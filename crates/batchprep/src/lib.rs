@@ -1,0 +1,39 @@
+//! # salient-batchprep
+//!
+//! SALIENT's shared-memory parallel batch preparation (§4.2): worker threads
+//! prepare mini-batches end-to-end (sample, then serially slice features and
+//! labels straight into pinned staging memory), pulling work from a
+//! lock-free dynamic queue. A PyTorch-multiprocessing emulation — static
+//! partitioning plus an extra shared-memory copy — is included as the
+//! baseline it replaces.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use salient_graph::DatasetConfig;
+//! use salient_batchprep::{run_epoch, PrepConfig};
+//!
+//! let ds = Arc::new(DatasetConfig::tiny(0).build());
+//! let cfg = PrepConfig { batch_size: 32, fanouts: vec![5, 3], ..Default::default() };
+//! let handle = run_epoch(&ds, &ds.splits.train.clone(), &cfg);
+//! let n = handle.batches.iter().count();
+//! let stats = handle.join();
+//! assert_eq!(stats.batches, n);
+//! ```
+
+#![warn(missing_docs)]
+
+mod pinned;
+mod prep;
+mod queue;
+mod slice;
+mod stats;
+
+pub use pinned::{PinnedPool, PinnedSlot};
+pub use prep::{run_epoch, EpochHandle, PrepConfig, PrepMode, PreparedBatch, SamplerKind};
+pub use queue::{
+    make_work_items, CompletionCounter, DynamicQueue, StaticPartition, WorkItem, WorkSource,
+};
+pub use slice::{slice_batch, slice_labels, sliced_bytes};
+pub use stats::{EpochPrepStats, PrepTimings};

@@ -1,0 +1,192 @@
+//! Work distribution for batch preparation.
+//!
+//! SALIENT's batch-prep threads "balance load dynamically via a lock-free
+//! input queue that contains the destination nodes for each mini-batch"
+//! (§4.2); the PyTorch DataLoader baseline instead assigns batches to worker
+//! processes *statically* (round-robin), which loses to dynamic balancing
+//! because final neighborhood size varies substantially across batches. Both
+//! strategies are implemented here.
+
+use crossbeam::queue::SegQueue;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// One unit of work: prepare the mini-batch with the given id from a range
+/// of the epoch's (already shuffled) node order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkItem {
+    /// Sequential batch index within the epoch.
+    pub batch_id: usize,
+    /// Start offset into the epoch node order.
+    pub start: usize,
+    /// One-past-end offset into the epoch node order.
+    pub end: usize,
+}
+
+/// Splits an epoch of `n` nodes into batch work items of `batch_size`
+/// (the last batch may be short).
+pub fn make_work_items(n: usize, batch_size: usize) -> Vec<WorkItem> {
+    assert!(batch_size > 0, "batch size must be positive");
+    (0..n)
+        .step_by(batch_size)
+        .enumerate()
+        .map(|(batch_id, start)| WorkItem {
+            batch_id,
+            start,
+            end: (start + batch_size).min(n),
+        })
+        .collect()
+}
+
+/// A strategy for handing work items to `num_workers` preparation threads.
+pub trait WorkSource: Send + Sync {
+    /// Next item for worker `worker`; `None` when the worker is done.
+    fn next(&self, worker: usize) -> Option<WorkItem>;
+}
+
+/// Lock-free dynamic load balancing (SALIENT): all workers pop from one
+/// queue, so a worker stuck on a giant neighborhood does not delay the rest
+/// of the epoch.
+#[derive(Debug)]
+pub struct DynamicQueue {
+    queue: SegQueue<WorkItem>,
+}
+
+impl DynamicQueue {
+    /// Builds a queue preloaded with the epoch's work items.
+    pub fn new(items: Vec<WorkItem>) -> Arc<Self> {
+        let queue = SegQueue::new();
+        for item in items {
+            queue.push(item);
+        }
+        Arc::new(DynamicQueue { queue })
+    }
+
+    /// Number of items not yet claimed.
+    pub fn remaining(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl WorkSource for DynamicQueue {
+    fn next(&self, _worker: usize) -> Option<WorkItem> {
+        self.queue.pop()
+    }
+}
+
+/// Static round-robin partitioning (the PyTorch DataLoader scheme): batch
+/// `b` is pinned to worker `b % num_workers` up front.
+#[derive(Debug)]
+pub struct StaticPartition {
+    per_worker: Vec<SegQueue<WorkItem>>,
+}
+
+impl StaticPartition {
+    /// Pre-assigns the items round-robin across `num_workers`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_workers == 0`.
+    pub fn new(items: Vec<WorkItem>, num_workers: usize) -> Arc<Self> {
+        assert!(num_workers > 0, "need at least one worker");
+        let per_worker: Vec<SegQueue<WorkItem>> =
+            (0..num_workers).map(|_| SegQueue::new()).collect();
+        for item in items {
+            per_worker[item.batch_id % num_workers].push(item);
+        }
+        Arc::new(StaticPartition { per_worker })
+    }
+}
+
+impl WorkSource for StaticPartition {
+    fn next(&self, worker: usize) -> Option<WorkItem> {
+        self.per_worker[worker % self.per_worker.len()].pop()
+    }
+}
+
+/// Counts completed batches so a consumer knows when the epoch has drained.
+#[derive(Debug, Default)]
+pub struct CompletionCounter {
+    done: AtomicUsize,
+}
+
+impl CompletionCounter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Marks one batch done; returns the new count.
+    pub fn complete(&self) -> usize {
+        self.done.fetch_add(1, Ordering::AcqRel) + 1
+    }
+
+    /// Batches completed so far.
+    pub fn completed(&self) -> usize {
+        self.done.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn work_items_cover_epoch_exactly() {
+        let items = make_work_items(10, 4);
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0], WorkItem { batch_id: 0, start: 0, end: 4 });
+        assert_eq!(items[2], WorkItem { batch_id: 2, start: 8, end: 10 });
+        let covered: usize = items.iter().map(|i| i.end - i.start).sum();
+        assert_eq!(covered, 10);
+    }
+
+    #[test]
+    fn dynamic_queue_hands_out_each_item_once() {
+        let q = DynamicQueue::new(make_work_items(100, 10));
+        let mut seen = HashSet::new();
+        while let Some(item) = q.next(0) {
+            assert!(seen.insert(item.batch_id));
+        }
+        assert_eq!(seen.len(), 10);
+        assert_eq!(q.remaining(), 0);
+    }
+
+    #[test]
+    fn dynamic_queue_is_safe_under_concurrency() {
+        let q = DynamicQueue::new(make_work_items(1_000, 1));
+        let total = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|s| {
+            for w in 0..4 {
+                let q = Arc::clone(&q);
+                let total = Arc::clone(&total);
+                s.spawn(move || {
+                    while let Some(_item) = q.next(w) {
+                        total.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 1_000);
+    }
+
+    #[test]
+    fn static_partition_respects_assignment() {
+        let p = StaticPartition::new(make_work_items(12, 2), 3);
+        for w in 0..3 {
+            while let Some(item) = p.next(w) {
+                assert_eq!(item.batch_id % 3, w, "batch pinned to wrong worker");
+            }
+        }
+    }
+
+    #[test]
+    fn completion_counter() {
+        let c = CompletionCounter::new();
+        assert_eq!(c.complete(), 1);
+        assert_eq!(c.complete(), 2);
+        assert_eq!(c.completed(), 2);
+    }
+
+}

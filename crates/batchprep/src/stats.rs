@@ -1,0 +1,109 @@
+//! Per-stage timing accounting for batch preparation.
+
+use std::time::Duration;
+
+/// Wall-clock cost of preparing one batch, split by stage.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PrepTimings {
+    /// Neighborhood sampling + MFG construction time.
+    pub sample: Duration,
+    /// Feature/label slicing time.
+    pub slice: Duration,
+    /// Extra copy time (only nonzero in the multiprocessing-emulation mode,
+    /// where sliced data crosses a POSIX-shared-memory boundary).
+    pub copy: Duration,
+}
+
+impl PrepTimings {
+    /// Total preparation time.
+    pub fn total(&self) -> Duration {
+        self.sample + self.slice + self.copy
+    }
+}
+
+/// Aggregated preparation statistics for an epoch.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EpochPrepStats {
+    /// Number of batches prepared.
+    pub batches: usize,
+    /// Total sampled nodes across batches.
+    pub nodes: usize,
+    /// Total MFG edges across batches.
+    pub edges: usize,
+    /// Total staged payload bytes.
+    pub bytes: usize,
+    /// Summed per-stage timings.
+    pub timings: PrepTimings,
+}
+
+impl EpochPrepStats {
+    /// Folds one batch's contribution into the epoch totals.
+    pub fn add(&mut self, nodes: usize, edges: usize, bytes: usize, t: PrepTimings) {
+        self.batches += 1;
+        self.nodes += nodes;
+        self.edges += edges;
+        self.bytes += bytes;
+        self.timings.sample += t.sample;
+        self.timings.slice += t.slice;
+        self.timings.copy += t.copy;
+    }
+
+    /// Merges stats from another worker.
+    pub fn merge(&mut self, other: &EpochPrepStats) {
+        self.batches += other.batches;
+        self.nodes += other.nodes;
+        self.edges += other.edges;
+        self.bytes += other.bytes;
+        self.timings.sample += other.timings.sample;
+        self.timings.slice += other.timings.slice;
+        self.timings.copy += other.timings.copy;
+    }
+
+    /// Mean sampled nodes per batch.
+    pub fn avg_nodes_per_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.nodes as f64 / self.batches as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_merge() {
+        let mut a = EpochPrepStats::default();
+        a.add(
+            100,
+            500,
+            4_000,
+            PrepTimings {
+                sample: Duration::from_millis(3),
+                slice: Duration::from_millis(1),
+                copy: Duration::ZERO,
+            },
+        );
+        let mut b = EpochPrepStats::default();
+        b.add(
+            200,
+            900,
+            8_000,
+            PrepTimings {
+                sample: Duration::from_millis(5),
+                slice: Duration::from_millis(2),
+                copy: Duration::from_millis(1),
+            },
+        );
+        a.merge(&b);
+        assert_eq!(a.batches, 2);
+        assert_eq!(a.nodes, 300);
+        assert_eq!(a.edges, 1_400);
+        assert_eq!(a.bytes, 12_000);
+        assert_eq!(a.timings.sample, Duration::from_millis(8));
+        assert_eq!(a.timings.total(), Duration::from_millis(12));
+        assert_eq!(a.avg_nodes_per_batch(), 150.0);
+    }
+}

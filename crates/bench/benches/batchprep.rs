@@ -1,0 +1,95 @@
+//! Criterion microbenchmarks of batch preparation: serial slicing into
+//! pinned memory, the multiprocessing extra-copy penalty, lock-free dynamic
+//! queue vs static partitioning under contention, and the pinned-pool
+//! recycle path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use salient_batchprep::{
+    make_work_items, slice_batch, DynamicQueue, PinnedPool, StaticPartition, WorkSource,
+};
+use salient_graph::{Dataset, DatasetConfig};
+use salient_sampler::FastSampler;
+use salient_tensor::F16;
+use std::hint::black_box;
+
+fn dataset() -> Dataset {
+    DatasetConfig::products_sim(0.15).build()
+}
+
+fn bench_slicing(c: &mut Criterion) {
+    let ds = dataset();
+    let mfg = FastSampler::new(0).sample(&ds.graph, &ds.splits.train[..256], &[15, 10, 5]);
+    let dim = ds.features.dim();
+    let mut group = c.benchmark_group("slicing");
+    group.sample_size(30);
+    group.throughput(criterion::Throughput::Bytes(
+        (mfg.num_nodes() * dim * 2) as u64,
+    ));
+
+    // SALIENT: serial slice straight into the staging buffer.
+    let mut staged = vec![F16::ZERO; mfg.num_nodes() * dim];
+    let mut labels = vec![0u32; mfg.batch_size()];
+    group.bench_function("zero_copy_serial", |b| {
+        b.iter(|| {
+            slice_batch(&ds, &mfg, &mut staged, &mut labels);
+            black_box(staged[0]);
+        })
+    });
+
+    // Multiprocessing emulation: slice to private memory, then copy.
+    let mut private = vec![F16::ZERO; mfg.num_nodes() * dim];
+    group.bench_function("slice_plus_shm_copy", |b| {
+        b.iter(|| {
+            slice_batch(&ds, &mfg, &mut private, &mut labels);
+            staged.copy_from_slice(&private);
+            black_box(staged[0]);
+        })
+    });
+    group.finish();
+}
+
+fn bench_queues(c: &mut Criterion) {
+    let mut group = c.benchmark_group("work_queue");
+    group.sample_size(20);
+    let items = make_work_items(100_000, 8);
+    group.bench_function("dynamic_lockfree_drain", |b| {
+        b.iter(|| {
+            let q = DynamicQueue::new(items.clone());
+            let mut n = 0usize;
+            while let Some(item) = q.next(0) {
+                n += item.end - item.start;
+            }
+            black_box(n)
+        })
+    });
+    group.bench_function("static_partition_drain", |b| {
+        b.iter(|| {
+            let q = StaticPartition::new(items.clone(), 4);
+            let mut n = 0usize;
+            for w in 0..4 {
+                while let Some(item) = q.next(w) {
+                    n += item.end - item.start;
+                }
+            }
+            black_box(n)
+        })
+    });
+    group.finish();
+}
+
+fn bench_pinned_pool(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pinned_pool");
+    group.sample_size(30);
+    let pool = PinnedPool::new(4, 4096, 32, 256);
+    group.bench_function("acquire_prepare_release", |b| {
+        b.iter(|| {
+            let mut slot = pool.acquire();
+            slot.prepare(2048, 32, 128);
+            black_box(slot.payload_bytes())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_slicing, bench_queues, bench_pinned_pool);
+criterion_main!(benches);

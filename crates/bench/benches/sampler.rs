@@ -1,0 +1,103 @@
+//! Criterion microbenchmarks of the neighborhood sampler (Figure 2's
+//! workhorse): the tuned FastSampler vs the PyG-style baseline, key
+//! design-space points, hop-trace replay isolating id-map cost, and an
+//! ablation over fanout sizes (where the array-set's cache advantage lives).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use salient_graph::{Dataset, DatasetConfig};
+use salient_sampler::{
+    record_trace, replay_trace, FastSampler, FlatIdMap, PygSampler, StdIdMap, VariantConfig,
+    VariantSampler,
+};
+use std::hint::black_box;
+
+fn dataset() -> Dataset {
+    DatasetConfig::products_sim(0.15).build()
+}
+
+fn bench_samplers(c: &mut Criterion) {
+    let ds = dataset();
+    let batch: Vec<u32> = ds.splits.train.iter().copied().take(256).collect();
+    let fanouts = [15usize, 10, 5];
+    let mut group = c.benchmark_group("sampler");
+    group.sample_size(20);
+
+    let mut fast = FastSampler::new(1);
+    group.bench_function("fast(salient)", |b| {
+        b.iter(|| black_box(fast.sample(&ds.graph, &batch, &fanouts)).num_edges())
+    });
+    let mut pyg = PygSampler::new(1);
+    group.bench_function("pyg_baseline", |b| {
+        b.iter(|| black_box(pyg.sample(&ds.graph, &batch, &fanouts)).num_edges())
+    });
+    // Two intermediate design-space points: only the map upgraded; only the
+    // set upgraded.
+    for (label, cfg) in [
+        ("flat_map_only", VariantConfig {
+            id_map: salient_sampler::IdMapKind::Flat,
+            ..VariantConfig::pyg_baseline()
+        }),
+        ("array_set_only", VariantConfig {
+            neighbor_set: salient_sampler::NeighborSetKind::Array,
+            ..VariantConfig::pyg_baseline()
+        }),
+    ] {
+        let mut v = VariantSampler::new(cfg, 1);
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(v.sample(&ds.graph, &batch, &fanouts)).num_edges())
+        });
+    }
+    group.finish();
+}
+
+fn bench_trace_replay(c: &mut Criterion) {
+    // The paper's hop-by-hop microbenchmark: identical sampled neighbors,
+    // different id-map implementations.
+    let ds = dataset();
+    let batch: Vec<u32> = ds.splits.train.iter().copied().take(256).collect();
+    let trace = record_trace(&ds.graph, &batch, &[15, 10, 5], 7);
+    let mut group = c.benchmark_group("trace_replay");
+    group.sample_size(20);
+    group.bench_function("flat_map", |b| {
+        let mut map = FlatIdMap::default();
+        b.iter(|| black_box(replay_trace(&trace, &mut map)).num_edges())
+    });
+    group.bench_function("std_map", |b| {
+        let mut map = StdIdMap::new();
+        b.iter(|| black_box(replay_trace(&trace, &mut map)).num_edges())
+    });
+    group.finish();
+}
+
+fn bench_fanout_sweep(c: &mut Criterion) {
+    // Ablation: array set vs hash set as the fanout (set size) grows.
+    let ds = dataset();
+    let batch: Vec<u32> = ds.splits.train.iter().copied().take(128).collect();
+    let mut group = c.benchmark_group("fanout_sweep");
+    group.sample_size(12);
+    for fanout in [5usize, 20, 50] {
+        for (label, set) in [
+            ("array", salient_sampler::NeighborSetKind::Array),
+            ("flat_hash", salient_sampler::NeighborSetKind::Flat),
+        ] {
+            let cfg = VariantConfig {
+                neighbor_set: set,
+                ..VariantConfig::salient()
+            };
+            let mut v = VariantSampler::new(cfg, 1);
+            group.bench_with_input(
+                BenchmarkId::new(label, fanout),
+                &fanout,
+                |b, &fanout| {
+                    b.iter(|| {
+                        black_box(v.sample(&ds.graph, &batch, &[fanout, fanout])).num_edges()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers, bench_trace_replay, bench_fanout_sweep);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Figure 1 — illustration of mini-batch progress per training epoch:
+//! ASCII timelines of the standard PyTorch workflow versus SALIENT,
+//! rendered from the event simulator's first milliseconds.
+//!
+//! In the baseline lanes the main thread serializes Slice → Transfer while
+//! the GPU idles; in the SALIENT lanes prep (P), transfer (T on dma) and
+//! train (T on gpu) overlap and the GPU lane is dense.
+//!
+//! Run: `cargo run --release -p salient-bench --bin fig1`
+
+use salient_graph::DatasetStats;
+use salient_sim::{render_text, simulate_epoch_detailed, CostModel, EpochConfig, OptLevel};
+
+fn main() {
+    let model = CostModel::paper_hardware();
+    // Few workers keeps the chart readable, as in the paper's illustration.
+    let mk = |level| EpochConfig {
+        cpu_workers: 4,
+        ..EpochConfig::paper_default(DatasetStats::products(), level)
+    };
+
+    let (base_r, base_sim, base_ex) = simulate_epoch_detailed(&mk(OptLevel::PygBaseline), &model);
+    let (sal_r, sal_sim, sal_ex) = simulate_epoch_detailed(&mk(OptLevel::Pipelined), &model);
+
+    // The baseline's multiprocessing samplers take ~0.4 s per batch at 4
+    // workers, so a wider window is needed to see its (sparse) GPU activity.
+    let horizon = 1_500_000_000; // 1.5 s window
+    println!("Figure 1(a): standard PyTorch workflow (products, 4 CPU workers, first 1.5 s)");
+    println!("  S=sample (workers), S=slice (main), T=transfer (main), T=train (gpu)\n");
+    println!("{}", render_text(&base_sim, &base_ex, horizon, 100));
+    println!(
+        "  epoch {:.1}s, GPU utilization {:.0}%\n",
+        base_r.epoch_s,
+        base_r.gpu_util * 100.0
+    );
+
+    println!("Figure 1(b): SALIENT (same workload)");
+    println!("  P=prep (workers, sample+slice fused), T=transfer (dma), T=train (gpu)\n");
+    println!("{}", render_text(&sal_sim, &sal_ex, horizon, 100));
+    println!(
+        "  epoch {:.1}s, GPU utilization {:.0}%",
+        sal_r.epoch_s,
+        sal_r.gpu_util * 100.0
+    );
+    println!("\nPaper: SALIENT 'almost eliminates GPU idle time' — the gpu lane fills up.");
+}

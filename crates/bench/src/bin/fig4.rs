@@ -1,0 +1,104 @@
+//! Figure 4 — performance improvement of SALIENT over the standard PyG
+//! workflow on one GPU: simulated at paper scale, plus a *real* wall-clock
+//! comparison of this repository's two executors on the synthetic datasets.
+//!
+//! Expected shape (paper §6): 3×–3.4× across the three datasets. The real
+//! single-core comparison shows a smaller but consistent win (parallel
+//! batch prep cannot help on one core; the sampler and zero-copy gains
+//! remain).
+//!
+//! Run: `cargo run --release -p salient-bench --bin fig4 [--scale 0.15]`
+
+use salient_bench::{arg_f64, bar, fmt_s, fmt_x, render_table};
+use salient_core::{ExecutorKind, RunConfig, Trainer};
+use salient_graph::{DatasetConfig, DatasetStats};
+use salient_sim::{simulate_epoch, CostModel, EpochConfig, OptLevel};
+use std::sync::Arc;
+
+fn main() {
+    let model = CostModel::paper_hardware();
+    println!("Figure 4: SALIENT vs PyG, one GPU (simulated at paper scale)\n");
+    let paper_speedup = [3.4, 3.1, 3.1];
+    let mut rows = Vec::new();
+    let mut max = 0.0f64;
+    let mut entries = Vec::new();
+    for (stats, ps) in DatasetStats::all().into_iter().zip(paper_speedup) {
+        let base = simulate_epoch(
+            &EpochConfig::paper_default(stats.clone(), OptLevel::PygBaseline),
+            &model,
+        )
+        .epoch_s;
+        let salient = simulate_epoch(
+            &EpochConfig::paper_default(stats.clone(), OptLevel::Pipelined),
+            &model,
+        )
+        .epoch_s;
+        max = max.max(base);
+        entries.push((stats.name, base, salient, ps));
+    }
+    for (name, base, salient, ps) in &entries {
+        rows.push(vec![
+            name.to_string(),
+            format!("{} {}", fmt_s(*base), bar(*base, max, 24)),
+            format!("{} {}", fmt_s(*salient), bar(*salient, max, 24)),
+            fmt_x(base / salient),
+            format!("~{ps}x"),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Data Set", "PyG epoch", "SALIENT epoch", "speedup", "paper"],
+            &rows,
+        )
+    );
+
+    // Real wall-clock comparison of the two executors (single core).
+    let scale = arg_f64("--scale", 0.15);
+    println!("\nReal executor comparison on synthetic data (scale {scale}, single core):\n");
+    let mut rows = Vec::new();
+    for cfg in [
+        DatasetConfig::arxiv_sim(scale),
+        DatasetConfig::products_sim(scale),
+    ] {
+        let ds = Arc::new(cfg.build());
+        let time_of = |executor: ExecutorKind| {
+            let run = RunConfig {
+                executor,
+                epochs: 1,
+                batch_size: 256,
+                hidden: 64,
+                num_layers: 3,
+                train_fanouts: vec![15, 10, 5],
+                infer_fanouts: vec![20, 20, 20],
+                num_workers: 2,
+                ..RunConfig::default()
+            };
+            let mut trainer = Trainer::new(Arc::clone(&ds), run);
+            let warm = trainer.train_epoch(); // warm-up epoch
+            let stats = trainer.train_epoch();
+            let _ = warm;
+            stats.timings
+        };
+        let base = time_of(ExecutorKind::Baseline);
+        let sal = time_of(ExecutorKind::Salient);
+        rows.push(vec![
+            ds.name.clone(),
+            fmt_s(base.total_s),
+            fmt_s(sal.total_s),
+            fmt_x(base.total_s / sal.total_s),
+            format!(
+                "prep {} -> {}",
+                fmt_s(base.prep_s),
+                fmt_s(sal.prep_s)
+            ),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Data Set", "Baseline", "SALIENT", "speedup", "prep blocking"],
+            &rows,
+        )
+    );
+}

@@ -1,0 +1,36 @@
+//! Table 5 — GNN hyperparameters used by the paper's experiments, and the
+//! sim-scale equivalents this repository trains with.
+//!
+//! Run: `cargo run --release -p salient-bench --bin table5`
+
+use salient_bench::render_table;
+use salient_core::RunConfig;
+
+fn main() {
+    println!("Table 5: GNN hyperparameters (paper scale)\n");
+    let rows = vec![
+        vec!["arxiv", "SAGE", "3", "256", "(15, 10, 5)", "1024"],
+        vec!["products", "SAGE", "3", "256", "(15, 10, 5)", "1024"],
+        vec!["papers", "SAGE", "3", "256", "(15, 10, 5)", "1024"],
+        vec!["papers", "GAT", "3", "256", "(15, 10, 5)", "1024"],
+        vec!["papers", "GIN", "3", "256", "(20, 20, 20)", "1024"],
+        vec!["papers", "SAGE-RI", "3", "1024", "(12, 12, 12)", "1024"],
+    ]
+    .into_iter()
+    .map(|r| r.into_iter().map(String::from).collect())
+    .collect::<Vec<Vec<String>>>();
+    println!(
+        "{}",
+        render_table(
+            &["Data Set", "GNN", "#Layers", "Hidden", "Fanout", "Batch"],
+            &rows,
+        )
+    );
+
+    let d = RunConfig::default();
+    println!("Sim-scale defaults used by this repository's real training runs:");
+    println!(
+        "  model SAGE, layers {}, hidden {}, train fanout {:?}, infer fanout {:?}, batch {}, lr {}, Adam",
+        d.num_layers, d.hidden, d.train_fanouts, d.infer_fanouts, d.batch_size, d.learning_rate
+    );
+}

@@ -1,0 +1,76 @@
+//! Table 7 — representative GNN training systems and their reported
+//! performance on the largest graph each reported, with this reproduction's
+//! simulated SALIENT row computed live.
+//!
+//! Run: `cargo run --release -p salient-bench --bin table7`
+
+use salient_bench::{fmt_s, render_table};
+use salient_graph::DatasetStats;
+use salient_sim::{
+    simulate_multi_gpu, CostModel, EpochConfig, MultiGpuConfig, OptLevel,
+};
+
+fn main() {
+    println!("Table 7: representative GNN training systems (reported numbers from the paper)\n");
+    let static_rows: Vec<Vec<String>> = vec![
+        vec!["NeuGraph", "TensorFlow", "full-batch", "GCN L=2", "1x(28 cores, 8 P100)", "amazon 8.6M/232M", "0.655", "N/A"],
+        vec!["Roc", "FlexFlow/Lux", "full-batch", "GCN", "4x(20 cores, 4 P100)", "amazon 9.4M/232M", "0.526", "N/A"],
+        vec!["DistDGL", "PyTorch+DGL", "mini-batch 2000", "SAGE L=3 h=256", "16 EC2 x 96 vCPU", "papers100M", "13", "N/A"],
+        vec!["DeepGalois", "Galois", "full-batch", "SAGE L=2 h=16", "32x48 cores", "papers100M", "70", "N/A"],
+        vec!["Zero-Copy", "PyTorch+DGL", "mini-batch", "SAGE", "1x(24 cores, 2 RTX3090)", "papers100M", "648", "N/A"],
+        vec!["GNS", "PyTorch+DGL", "mini-batch 1000", "SAGE L=3 h=256", "1 EC2, 1 T4", "papers100M", "98.5", "63.31"],
+    ]
+    .into_iter()
+    .map(|r| r.into_iter().map(String::from).collect())
+    .collect();
+
+    let model = CostModel::paper_hardware();
+    let train = simulate_multi_gpu(
+        &MultiGpuConfig {
+            base: EpochConfig::paper_default(DatasetStats::papers(), OptLevel::Pipelined),
+            ranks: 16,
+            gpus_per_machine: 2,
+        },
+        &model,
+    );
+    // Inference with fanout (20,20,20) over the test set on 16 GPUs.
+    let infer_cfg = EpochConfig {
+        fanouts: vec![20, 20, 20],
+        ..EpochConfig::paper_default(DatasetStats::papers(), OptLevel::Pipelined)
+    };
+    let infer_s = salient_sim::simulate_inference_epoch(
+        &infer_cfg,
+        &model,
+        DatasetStats::papers().test_size,
+        16,
+    );
+
+    let mut rows = static_rows;
+    rows.push(vec![
+        "SALIENT (this repro, simulated)".into(),
+        "Rust".into(),
+        "mini-batch 1024".into(),
+        "SAGE L=3 h=256".into(),
+        "8x(2x20 cores, 2 V100)".into(),
+        "papers100M".into(),
+        format!("train {} / infer {}", fmt_s(train.epoch_s), fmt_s(infer_s)),
+        "64.58 (paper)".into(),
+    ]);
+    println!(
+        "{}",
+        render_table(
+            &[
+                "System",
+                "Framework",
+                "Batching",
+                "GNN",
+                "Machines",
+                "Data Set",
+                "Speed (s/epoch)",
+                "Acc. (%)",
+            ],
+            &rows,
+        )
+    );
+    println!("Paper's SALIENT row: train 2.0 s/epoch, inference 2.4 s on the test set, acc 64.58±0.40.");
+}

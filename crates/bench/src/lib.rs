@@ -1,0 +1,148 @@
+//! # salient-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation. Each binary prints one artifact:
+//!
+//! | binary | artifact |
+//! |---|---|
+//! | `table1` | baseline per-operation breakdown |
+//! | `table2` | sampling/slicing thread scaling, PyG vs SALIENT |
+//! | `table3` | the optimization ladder |
+//! | `table4` | dataset summary |
+//! | `table5` | hyperparameter table |
+//! | `table6` | inference accuracy vs fanout (real training) |
+//! | `table7` | cross-system comparison |
+//! | `fig1`   | execution timeline, baseline vs SALIENT |
+//! | `fig2`   | 48-variant sampler design space (real wall clock) |
+//! | `fig3`   | accuracy & node count vs degree (real training) |
+//! | `fig4`   | single-GPU speedup over PyG |
+//! | `fig5`   | multi-GPU scaling |
+//! | `fig6`   | per-architecture time & accuracy |
+//!
+//! Criterion microbenches (`cargo bench`) cover the sampler variants,
+//! slicing kernels, lock-free queue vs static partitioning, tensor kernels,
+//! f16 conversion, and the DES engine itself.
+
+use std::fmt::Write as _;
+
+/// Renders rows as a fixed-width text table with a header rule.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut width = vec![0usize; cols];
+    for (i, h) in headers.iter().enumerate() {
+        width[i] = h.len();
+    }
+    for row in rows {
+        assert_eq!(row.len(), cols, "row arity mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            width[i] = width[i].max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let mut line = String::new();
+    for (i, h) in headers.iter().enumerate() {
+        let _ = write!(line, "| {:w$} ", h, w = width[i]);
+    }
+    line.push('|');
+    let rule: String = line
+        .chars()
+        .map(|c| if c == '|' { '|' } else { '-' })
+        .collect();
+    let _ = writeln!(out, "{line}");
+    let _ = writeln!(out, "{rule}");
+    for row in rows {
+        let mut line = String::new();
+        for (i, cell) in row.iter().enumerate() {
+            let pad = width[i].saturating_sub(cell.chars().count());
+            let _ = write!(line, "| {}{} ", cell, " ".repeat(pad));
+        }
+        line.push('|');
+        let _ = writeln!(out, "{line}");
+    }
+    out
+}
+
+/// Formats seconds with sensible precision.
+pub fn fmt_s(s: f64) -> String {
+    if s >= 100.0 {
+        format!("{s:.0}s")
+    } else if s >= 10.0 {
+        format!("{s:.1}s")
+    } else {
+        format!("{s:.2}s")
+    }
+}
+
+/// Formats a ratio as `N.NNx`.
+pub fn fmt_x(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Formats a fraction as a percentage.
+pub fn fmt_pct(p: f64) -> String {
+    format!("{p:.0}%")
+}
+
+/// Parses `--scale <f64>` style flags from `std::env::args` with a default.
+pub fn arg_f64(name: &str, default: f64) -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Parses `--reps <usize>` style flags with a default.
+pub fn arg_usize(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Renders a unicode horizontal bar of `value/max` scaled to `width` cells.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round() as usize;
+    "█".repeat(n.min(width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        let w = lines[0].len();
+        assert!(lines.iter().all(|l| l.len() == w), "all rows equal width");
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_s(123.4), "123s");
+        assert_eq!(fmt_s(12.34), "12.3s");
+        assert_eq!(fmt_s(1.234), "1.23s");
+        assert_eq!(fmt_x(2.5), "2.50x");
+        assert_eq!(fmt_pct(28.4), "28%");
+    }
+
+    #[test]
+    fn bars() {
+        assert_eq!(bar(5.0, 10.0, 10), "█████");
+        assert_eq!(bar(20.0, 10.0, 10).chars().count(), 10);
+    }
+}

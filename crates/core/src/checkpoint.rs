@@ -1,0 +1,258 @@
+//! Model checkpointing: save/restore parameter tensors by name.
+//!
+//! The format is a small self-describing binary layout (magic, version,
+//! little-endian lengths and `f32` payloads) written with std I/O only, so
+//! no serialization-format dependency is needed.
+
+use salient_nn::GnnModel;
+use salient_tensor::{Shape, Tensor};
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"SALIENT\x01";
+
+/// A named set of tensors (model parameters, optimizer state, …).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Checkpoint {
+    entries: Vec<(String, Tensor)>,
+}
+
+impl Checkpoint {
+    /// Creates an empty checkpoint.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Captures every parameter of a model.
+    pub fn from_model(model: &dyn GnnModel) -> Self {
+        Checkpoint {
+            entries: model
+                .params()
+                .iter()
+                .map(|p| (p.name().to_string(), p.value().clone()))
+                .collect(),
+        }
+    }
+
+    /// Number of stored tensors.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the checkpoint is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Adds or replaces a tensor.
+    pub fn insert(&mut self, name: impl Into<String>, tensor: Tensor) {
+        let name = name.into();
+        if let Some(e) = self.entries.iter_mut().find(|(n, _)| *n == name) {
+            e.1 = tensor;
+        } else {
+            self.entries.push((name, tensor));
+        }
+    }
+
+    /// Looks up a tensor by name.
+    pub fn get(&self, name: &str) -> Option<&Tensor> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+    }
+
+    /// Restores parameters into a model by name. Every model parameter must
+    /// be present with a matching shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive error if a parameter is missing or its shape
+    /// differs.
+    pub fn apply_to_model(&self, model: &mut dyn GnnModel) -> Result<(), String> {
+        let by_name: HashMap<&str, &Tensor> = self
+            .entries
+            .iter()
+            .map(|(n, t)| (n.as_str(), t))
+            .collect();
+        for p in model.params_mut() {
+            let t = by_name
+                .get(p.name())
+                .ok_or_else(|| format!("checkpoint is missing parameter '{}'", p.name()))?;
+            if t.shape() != p.value().shape() {
+                return Err(format!(
+                    "parameter '{}' shape mismatch: checkpoint {} vs model {}",
+                    p.name(),
+                    t.shape(),
+                    p.value().shape()
+                ));
+            }
+            p.set_value((*t).clone());
+        }
+        Ok(())
+    }
+
+    /// Serializes to a writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&(self.entries.len() as u64).to_le_bytes())?;
+        for (name, t) in &self.entries {
+            let nb = name.as_bytes();
+            w.write_all(&(nb.len() as u32).to_le_bytes())?;
+            w.write_all(nb)?;
+            let dims = t.shape().dims();
+            w.write_all(&(dims.len() as u32).to_le_bytes())?;
+            for &d in dims {
+                w.write_all(&(d as u64).to_le_bytes())?;
+            }
+            for &x in t.data() {
+                w.write_all(&x.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserializes from a reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on I/O failure or malformed input.
+    pub fn read_from(r: &mut impl Read) -> io::Result<Self> {
+        let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(bad("not a SALIENT checkpoint"));
+        }
+        let mut u64b = [0u8; 8];
+        r.read_exact(&mut u64b)?;
+        let count = u64::from_le_bytes(u64b) as usize;
+        if count > 1_000_000 {
+            return Err(bad("implausible entry count"));
+        }
+        let mut entries = Vec::with_capacity(count);
+        for _ in 0..count {
+            let mut u32b = [0u8; 4];
+            r.read_exact(&mut u32b)?;
+            let name_len = u32::from_le_bytes(u32b) as usize;
+            if name_len > 4096 {
+                return Err(bad("implausible name length"));
+            }
+            let mut name = vec![0u8; name_len];
+            r.read_exact(&mut name)?;
+            let name = String::from_utf8(name).map_err(|_| bad("name is not UTF-8"))?;
+            r.read_exact(&mut u32b)?;
+            let rank = u32::from_le_bytes(u32b) as usize;
+            if rank > 8 {
+                return Err(bad("implausible rank"));
+            }
+            let mut dims = Vec::with_capacity(rank);
+            for _ in 0..rank {
+                r.read_exact(&mut u64b)?;
+                dims.push(u64::from_le_bytes(u64b) as usize);
+            }
+            let shape = Shape::new(dims);
+            let len = shape.len();
+            if len > 1 << 30 {
+                return Err(bad("implausible tensor size"));
+            }
+            let mut data = Vec::with_capacity(len);
+            let mut f32b = [0u8; 4];
+            for _ in 0..len {
+                r.read_exact(&mut f32b)?;
+                data.push(f32::from_le_bytes(f32b));
+            }
+            entries.push((name, Tensor::from_vec(data, shape)));
+        }
+        Ok(Checkpoint { entries })
+    }
+
+    /// Saves to a file path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut f = io::BufWriter::new(std::fs::File::create(path)?);
+        self.write_to(&mut f)
+    }
+
+    /// Loads from a file path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and format errors.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        let mut f = io::BufReader::new(std::fs::File::open(path)?);
+        Self::read_from(&mut f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salient_nn::{build_model, ModelKind};
+
+    #[test]
+    fn byte_round_trip() {
+        let mut ckpt = Checkpoint::new();
+        ckpt.insert("a", Tensor::from_vec(vec![1.0, -2.5, 3.25], [3]));
+        ckpt.insert("b.weight", Tensor::zeros([2, 4]));
+        let mut buf = Vec::new();
+        ckpt.write_to(&mut buf).unwrap();
+        let back = Checkpoint::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(ckpt, back);
+        assert_eq!(back.get("a").unwrap().data(), &[1.0, -2.5, 3.25]);
+    }
+
+    #[test]
+    fn model_round_trip_restores_exact_weights() {
+        let model = build_model(ModelKind::Sage, 8, 16, 4, 2, 7);
+        let ckpt = Checkpoint::from_model(model.as_ref());
+        // Fresh model with different seed, then restore.
+        let mut other = build_model(ModelKind::Sage, 8, 16, 4, 2, 99);
+        let before: Vec<f32> = other.params()[0].value().data().to_vec();
+        ckpt.apply_to_model(other.as_mut()).unwrap();
+        let after: Vec<f32> = other.params()[0].value().data().to_vec();
+        assert_ne!(before, after);
+        assert_eq!(after, model.params()[0].value().data());
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let model = build_model(ModelKind::Sage, 8, 16, 4, 2, 7);
+        let ckpt = Checkpoint::from_model(model.as_ref());
+        let mut wrong = build_model(ModelKind::Sage, 8, 32, 4, 2, 7);
+        let err = ckpt.apply_to_model(wrong.as_mut()).unwrap_err();
+        assert!(err.contains("shape mismatch"), "{err}");
+    }
+
+    #[test]
+    fn missing_parameter_is_rejected() {
+        let ckpt = Checkpoint::new();
+        let mut model = build_model(ModelKind::Sage, 8, 16, 4, 2, 7);
+        let err = ckpt.apply_to_model(model.as_mut()).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn corrupt_magic_is_rejected() {
+        let err = Checkpoint::read_from(&mut &b"NOTSALIE000"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir().join("salient_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.ckpt");
+        let model = build_model(ModelKind::Gin, 8, 16, 4, 2, 3);
+        let ckpt = Checkpoint::from_model(model.as_ref());
+        ckpt.save(&path).unwrap();
+        let back = Checkpoint::load(&path).unwrap();
+        assert_eq!(ckpt, back);
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,165 @@
+//! Run configuration mirroring the paper's Table 5.
+
+use salient_nn::ModelKind;
+use serde::{Deserialize, Serialize};
+
+/// Which execution pipeline to use (the Figure-1 comparison).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecutorKind {
+    /// Standard PyTorch-style workflow: serial per-batch sample → slice →
+    /// transfer → train on the main thread (PyG baseline).
+    Baseline,
+    /// SALIENT: shared-memory batch-prep threads slicing into pinned
+    /// buffers, with training overlapping preparation.
+    Salient,
+}
+
+/// Hyperparameters of one training run (one row of Table 5).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Architecture.
+    pub model: ModelKindConfig,
+    /// Number of GNN layers.
+    pub num_layers: usize,
+    /// Hidden dimensionality.
+    pub hidden: usize,
+    /// Training fanouts (PyG order).
+    pub train_fanouts: Vec<usize>,
+    /// Inference fanouts (Table 6 column).
+    pub infer_fanouts: Vec<usize>,
+    /// Per-GPU mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Batch-preparation worker threads (SALIENT executor).
+    pub num_workers: usize,
+    /// Pinned staging slots.
+    pub slots: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Execution pipeline.
+    pub executor: ExecutorKind,
+}
+
+/// Serializable wrapper for [`ModelKind`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelKindConfig {
+    /// GraphSAGE.
+    Sage,
+    /// GAT.
+    Gat,
+    /// GIN.
+    Gin,
+    /// GraphSAGE-RI.
+    SageRi,
+}
+
+impl From<ModelKindConfig> for ModelKind {
+    fn from(k: ModelKindConfig) -> ModelKind {
+        match k {
+            ModelKindConfig::Sage => ModelKind::Sage,
+            ModelKindConfig::Gat => ModelKind::Gat,
+            ModelKindConfig::Gin => ModelKind::Gin,
+            ModelKindConfig::SageRi => ModelKind::SageRi,
+        }
+    }
+}
+
+impl From<ModelKind> for ModelKindConfig {
+    fn from(k: ModelKind) -> ModelKindConfig {
+        match k {
+            ModelKind::Sage => ModelKindConfig::Sage,
+            ModelKind::Gat => ModelKindConfig::Gat,
+            ModelKind::Gin => ModelKindConfig::Gin,
+            ModelKind::SageRi => ModelKindConfig::SageRi,
+        }
+    }
+}
+
+impl Default for RunConfig {
+    /// The paper's default SAGE configuration, scaled for sim-size datasets
+    /// (hidden 64 instead of 256; fanouts and batching per Table 5 shrunk
+    /// proportionally to the ~1/10-scale graphs).
+    fn default() -> Self {
+        RunConfig {
+            model: ModelKindConfig::Sage,
+            num_layers: 3,
+            hidden: 64,
+            train_fanouts: vec![15, 10, 5],
+            infer_fanouts: vec![20, 20, 20],
+            batch_size: 256,
+            learning_rate: 3e-3,
+            epochs: 5,
+            num_workers: 2,
+            slots: 4,
+            seed: 0,
+            executor: ExecutorKind::Salient,
+        }
+    }
+}
+
+impl RunConfig {
+    /// Quick configuration for unit tests: 2 layers, small everything.
+    pub fn test_tiny() -> Self {
+        RunConfig {
+            num_layers: 2,
+            hidden: 16,
+            train_fanouts: vec![5, 5],
+            infer_fanouts: vec![5, 5],
+            batch_size: 64,
+            epochs: 2,
+            ..Default::default()
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fanout lists do not match `num_layers` or sizes are zero.
+    pub fn validate(&self) {
+        assert_eq!(
+            self.train_fanouts.len(),
+            self.num_layers,
+            "one training fanout per layer"
+        );
+        assert_eq!(
+            self.infer_fanouts.len(),
+            self.num_layers,
+            "one inference fanout per layer"
+        );
+        assert!(self.batch_size > 0 && self.hidden > 0 && self.num_workers > 0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        RunConfig::default().validate();
+        RunConfig::test_tiny().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "one training fanout per layer")]
+    fn mismatched_fanouts_rejected() {
+        let cfg = RunConfig {
+            train_fanouts: vec![5],
+            ..RunConfig::default()
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    fn model_kind_round_trip() {
+        for k in ModelKind::all() {
+            let cfg: ModelKindConfig = k.into();
+            let back: ModelKind = cfg.into();
+            assert_eq!(back, k);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Real multi-rank data-parallel training (threads as ranks), mirroring the
+//! paper's DDP usage: effective batch size scales with the number of GPUs,
+//! gradients are averaged with a ring all-reduce after every backward pass,
+//! and replicas stay bit-identical.
+
+use crate::config::RunConfig;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use salient_ddp::{average_model_gradients, sync_model, Communicator};
+use salient_graph::{Dataset, NodeId};
+use salient_nn::{build_model, GnnModel, Mode};
+use salient_sampler::FastSampler;
+use salient_tensor::optim::{zero_grads, Adam, Optimizer};
+use salient_tensor::Tape;
+use std::sync::Arc;
+
+/// Result of a distributed training run.
+pub struct DdpRunResult {
+    /// Rank 0's trained model.
+    pub model: Box<dyn GnnModel>,
+    /// Mean loss per epoch (averaged across ranks).
+    pub epoch_losses: Vec<f64>,
+    /// Wall-clock seconds of the whole run.
+    pub wall_s: f64,
+}
+
+/// Trains with `ranks` data-parallel replicas (threads). Each rank processes
+/// `config.batch_size` nodes per iteration, so the effective batch is
+/// `ranks × batch_size` — exactly the paper's multi-GPU scaling regime.
+///
+/// # Panics
+///
+/// Panics if `ranks == 0` or a rank thread panics.
+pub fn train_ddp(dataset: &Arc<Dataset>, config: &RunConfig, ranks: usize) -> DdpRunResult {
+    assert!(ranks > 0, "need at least one rank");
+    config.validate();
+    let start = std::time::Instant::now();
+    let comms = Communicator::ring(ranks);
+    let mut handles = Vec::with_capacity(ranks);
+    for (rank, comm) in comms.into_iter().enumerate() {
+        let dataset = Arc::clone(dataset);
+        let config = config.clone();
+        handles.push(std::thread::spawn(move || {
+            rank_loop(rank, ranks, comm, dataset, config)
+        }));
+    }
+    let mut results: Vec<(Box<dyn GnnModel>, Vec<f64>)> = handles
+        .into_iter()
+        .map(|h| h.join().expect("rank thread panicked"))
+        .collect();
+    let (model, epoch_losses) = results.remove(0);
+    DdpRunResult {
+        model,
+        epoch_losses,
+        wall_s: start.elapsed().as_secs_f64(),
+    }
+}
+
+fn rank_loop(
+    rank: usize,
+    world: usize,
+    comm: Communicator,
+    dataset: Arc<Dataset>,
+    config: RunConfig,
+) -> (Box<dyn GnnModel>, Vec<f64>) {
+    // Same seed everywhere: replicas start identical. The broadcast is a
+    // belt-and-suspenders guarantee (and exercises the collective).
+    let mut model = build_model(
+        config.model.into(),
+        dataset.features.dim(),
+        config.hidden,
+        dataset.num_classes,
+        config.num_layers,
+        config.seed,
+    );
+    sync_model(&comm, model.as_mut());
+    let mut opt = Adam::new(config.learning_rate);
+    let mut sampler = FastSampler::new(config.seed ^ (rank as u64) << 40);
+    let mut dropout_rng = StdRng::seed_from_u64(config.seed ^ (rank as u64) << 24);
+    let mut epoch_losses = Vec::with_capacity(config.epochs);
+
+    for epoch in 0..config.epochs {
+        // All ranks shuffle identically, then shard by iteration.
+        let mut order = dataset.splits.train.clone();
+        let mut shuffle_rng = StdRng::seed_from_u64(config.seed ^ 0xE90C ^ epoch as u64);
+        order.shuffle(&mut shuffle_rng);
+
+        let effective = config.batch_size * world;
+        let mut loss_sum = 0.0;
+        let mut steps = 0usize;
+        for global_chunk in order.chunks(effective) {
+            // Rank r takes its slice of the effective batch; trailing
+            // partial chunks are shared as evenly as possible.
+            let shard: Vec<NodeId> = global_chunk
+                .iter()
+                .skip(rank)
+                .step_by(world)
+                .copied()
+                .collect();
+            if shard.is_empty() {
+                // Keep collectives aligned: participate with a zero grad.
+                zero_grads(model.params_mut().into_iter());
+                average_model_gradients(&comm, model.as_mut());
+                opt.step(model.params_mut().into_iter());
+                steps += 1;
+                continue;
+            }
+            let mfg = sampler.sample(&dataset.graph, &shard, &config.train_fanouts);
+            let tape = Tape::new();
+            let x = tape.constant(dataset.features.gather_f32(&mfg.node_ids));
+            let out = model.forward(&tape, x, &mfg, Mode::Train, &mut dropout_rng);
+            let targets: Vec<usize> = mfg.node_ids[..mfg.batch_size()]
+                .iter()
+                .map(|&v| dataset.labels[v as usize] as usize)
+                .collect();
+            let loss = out.nll_loss(&targets);
+            loss_sum += loss.value().item() as f64;
+            let grads = tape.backward(&loss);
+            zero_grads(model.params_mut().into_iter());
+            grads.apply_to(model.params_mut());
+            average_model_gradients(&comm, model.as_mut());
+            opt.step(model.params_mut().into_iter());
+            steps += 1;
+        }
+        // Average the epoch loss across ranks for reporting.
+        let mut l = [(loss_sum / steps.max(1) as f64) as f32];
+        comm.all_reduce_mean(&mut l);
+        epoch_losses.push(l[0] as f64);
+    }
+    (model, epoch_losses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salient_graph::DatasetConfig;
+    use salient_nn::metrics;
+
+    fn setup() -> (Arc<Dataset>, RunConfig) {
+        let ds = Arc::new(DatasetConfig::tiny(77).build());
+        let cfg = RunConfig {
+            epochs: 3,
+            batch_size: 32,
+            ..RunConfig::test_tiny()
+        };
+        (ds, cfg)
+    }
+
+    #[test]
+    fn ddp_reduces_loss_with_two_ranks() {
+        let (ds, cfg) = setup();
+        let result = train_ddp(&ds, &cfg, 2);
+        assert_eq!(result.epoch_losses.len(), 3);
+        assert!(
+            result.epoch_losses.last().unwrap() < result.epoch_losses.first().unwrap(),
+            "losses {:?}",
+            result.epoch_losses
+        );
+    }
+
+    #[test]
+    fn ddp_model_predicts_above_chance() {
+        let (ds, mut cfg) = setup();
+        cfg.epochs = 8;
+        let mut result = train_ddp(&ds, &cfg, 2);
+        // Evaluate rank 0's model with a quick sampled pass.
+        let mut sampler = FastSampler::new(5);
+        let nodes = &ds.splits.val;
+        let mut preds = Vec::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        for chunk in nodes.chunks(64) {
+            let mfg = sampler.sample(&ds.graph, chunk, &cfg.infer_fanouts);
+            let tape = Tape::new();
+            let x = tape.constant(ds.features.gather_f32(&mfg.node_ids));
+            let out = result.model.forward(&tape, x, &mfg, Mode::Eval, &mut rng);
+            preds.extend(metrics::argmax_rows(&out.value()));
+        }
+        let targets: Vec<u32> = nodes.iter().map(|&v| ds.labels[v as usize]).collect();
+        let acc = metrics::accuracy(&preds, &targets);
+        assert!(acc > 2.0 / ds.num_classes as f64, "acc {acc:.3}");
+    }
+
+    #[test]
+    fn replicas_stay_synchronized() {
+        // Train 3 ranks for 2 epochs and verify rank models are identical by
+        // rerunning with the deterministic seeds and comparing rank outputs.
+        let (ds, cfg) = setup();
+        let comms = Communicator::ring(3);
+        let finals: Vec<Vec<f32>> = std::thread::scope(|s| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .enumerate()
+                .map(|(rank, comm)| {
+                    let ds = Arc::clone(&ds);
+                    let cfg = cfg.clone();
+                    s.spawn(move || {
+                        let (model, _) = rank_loop(rank, 3, comm, ds, cfg);
+                        model
+                            .params()
+                            .iter()
+                            .flat_map(|p| p.value().data().to_vec())
+                            .collect::<Vec<f32>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(finals[0], finals[1], "ranks 0 and 1 diverged");
+        assert_eq!(finals[0], finals[2], "ranks 0 and 2 diverged");
+    }
+}

@@ -1,0 +1,72 @@
+//! Inference helpers (§5 of the paper).
+//!
+//! SALIENT's key observation is that *sampled* inference matches
+//! full-neighborhood accuracy at modest fanouts, so the mini-batch training
+//! path can be reused verbatim. For the "fanout: all" reference this module
+//! builds a full-graph MFG — every hop is the complete (bipartite-ized)
+//! graph — which makes the layer-wise full-neighborhood computation run
+//! through the exact same model code.
+
+use salient_graph::{CsrGraph, NodeId};
+use salient_sampler::{MessageFlowGraph, MfgLayer};
+
+/// Builds an MFG whose every hop is the entire graph: `n_src = n_dst = |V|`
+/// and the edge list enumerates every edge. Feeding it to a model performs
+/// classic layer-wise full-neighborhood inference over all nodes at once.
+pub fn full_graph_mfg(graph: &CsrGraph, num_layers: usize) -> MessageFlowGraph {
+    let n = graph.num_nodes();
+    let mut edge_src = Vec::with_capacity(graph.num_edges());
+    let mut edge_dst = Vec::with_capacity(graph.num_edges());
+    for v in 0..n as NodeId {
+        for &u in graph.neighbors(v) {
+            edge_src.push(u);
+            edge_dst.push(v);
+        }
+    }
+    let layer = MfgLayer {
+        edge_src,
+        edge_dst,
+        n_src: n,
+        n_dst: n,
+    };
+    MessageFlowGraph {
+        node_ids: (0..n as NodeId).collect(),
+        layers: vec![layer; num_layers],
+    }
+}
+
+/// Host-memory bytes needed by layer-wise full inference: one activation
+/// matrix per layer boundary (the paper's reason sampled inference wins on
+/// memory; dense architectures must keep *all* layer results).
+pub fn layerwise_memory_bytes(num_nodes: usize, hidden: usize, num_layers: usize, dense: bool) -> usize {
+    let per_layer = num_nodes * hidden * 4;
+    if dense {
+        per_layer * num_layers
+    } else {
+        per_layer * 2 // ping-pong buffers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salient_graph::DatasetConfig;
+
+    #[test]
+    fn full_graph_mfg_is_valid_and_complete() {
+        let ds = DatasetConfig::tiny(9).build();
+        let mfg = full_graph_mfg(&ds.graph, 3);
+        mfg.validate().unwrap();
+        assert_eq!(mfg.num_nodes(), ds.graph.num_nodes());
+        assert_eq!(mfg.layers.len(), 3);
+        assert_eq!(mfg.layers[0].num_edges(), ds.graph.num_edges());
+        assert_eq!(mfg.batch_size(), ds.graph.num_nodes());
+    }
+
+    #[test]
+    fn memory_model_orders() {
+        let sampled = layerwise_memory_bytes(1000, 64, 3, false);
+        let dense = layerwise_memory_bytes(1000, 64, 3, true);
+        assert!(dense > sampled, "dense connections store all layer results");
+    }
+}

@@ -1,0 +1,43 @@
+//! # salient-core
+//!
+//! The SALIENT public API: end-to-end GNN training and inference with fast
+//! sampling and pipelined batch preparation, on real (synthetic) datasets.
+//!
+//! Two executors implement the paper's Figure-1 comparison:
+//!
+//! * [`ExecutorKind::Baseline`] — the standard serial PyTorch-style loop;
+//! * [`ExecutorKind::Salient`] — shared-memory batch-prep workers slicing
+//!   into pinned buffers, overlapping preparation with training.
+//!
+//! Multi-rank data-parallel training ([`train_ddp`]) and sampled /
+//! full-neighborhood inference complete the system.
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use salient_core::{RunConfig, Trainer};
+//! use salient_graph::DatasetConfig;
+//!
+//! let ds = Arc::new(DatasetConfig::tiny(1).build());
+//! let mut trainer = Trainer::new(Arc::clone(&ds), RunConfig::test_tiny());
+//! trainer.fit();
+//! let (acc, _) = trainer.evaluate_sampled(&ds.splits.val.clone(), &[5, 5]);
+//! assert!(acc > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod ddp_train;
+mod timing;
+mod train;
+
+pub mod cache;
+pub mod checkpoint;
+pub mod infer;
+
+pub use config::{ExecutorKind, ModelKindConfig, RunConfig};
+pub use ddp_train::{train_ddp, DdpRunResult};
+pub use timing::{Stage, StageTimings};
+pub use train::{EpochStats, Trainer};

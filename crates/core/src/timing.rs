@@ -1,0 +1,71 @@
+//! Per-stage wall-clock accounting (the real-execution analogue of
+//! Table 1's blocking-time columns).
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Blocking time per pipeline stage over one epoch.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Batch preparation (sampling + slicing) blocking seconds.
+    pub prep_s: f64,
+    /// Host→device staging ("transfer", including the f16→f32 upcast).
+    pub transfer_s: f64,
+    /// Model compute (forward + backward + step).
+    pub train_s: f64,
+    /// End-to-end epoch seconds.
+    pub total_s: f64,
+}
+
+impl StageTimings {
+    /// Adds a duration to a stage.
+    pub fn add(&mut self, stage: Stage, d: Duration) {
+        let s = d.as_secs_f64();
+        match stage {
+            Stage::Prep => self.prep_s += s,
+            Stage::Transfer => self.transfer_s += s,
+            Stage::Train => self.train_s += s,
+        }
+    }
+
+    /// Percent of the total attributed to a stage value.
+    pub fn pct(&self, stage_s: f64) -> f64 {
+        if self.total_s == 0.0 {
+            0.0
+        } else {
+            100.0 * stage_s / self.total_s
+        }
+    }
+
+    /// Unattributed time (scheduling gaps, pipeline fill).
+    pub fn other_s(&self) -> f64 {
+        (self.total_s - self.prep_s - self.transfer_s - self.train_s).max(0.0)
+    }
+}
+
+/// Pipeline stage label.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Sampling + slicing.
+    Prep,
+    /// Host→device staging.
+    Transfer,
+    /// Forward/backward/update.
+    Train,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accounting() {
+        let mut t = StageTimings::default();
+        t.add(Stage::Prep, Duration::from_millis(300));
+        t.add(Stage::Transfer, Duration::from_millis(100));
+        t.add(Stage::Train, Duration::from_millis(500));
+        t.total_s = 1.0;
+        assert!((t.pct(t.train_s) - 50.0).abs() < 1e-9);
+        assert!((t.other_s() - 0.1).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,242 @@
+//! In-process collective communication: a ring all-reduce over threads.
+//!
+//! SALIENT delegates gradient synchronization to PyTorch DDP over NCCL; this
+//! module provides the equivalent primitive for the Rust reproduction. The
+//! algorithm is the standard two-phase ring: `n − 1` reduce-scatter steps
+//! followed by `n − 1` all-gather steps, so each rank sends and receives
+//! `2·(n−1)/n` of the buffer — the same communication volume the simulator's
+//! cost model charges.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use salient_tensor::Tensor;
+
+/// One rank's endpoint of a ring communicator.
+#[derive(Debug)]
+pub struct Communicator {
+    rank: usize,
+    world: usize,
+    to_next: Sender<Vec<f32>>,
+    from_prev: Receiver<Vec<f32>>,
+}
+
+impl Communicator {
+    /// Creates a ring of `world` connected communicators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world == 0`.
+    pub fn ring(world: usize) -> Vec<Communicator> {
+        assert!(world > 0, "world size must be positive");
+        let channels: Vec<(Sender<Vec<f32>>, Receiver<Vec<f32>>)> =
+            (0..world).map(|_| unbounded()).collect();
+        let mut senders: Vec<Option<Sender<Vec<f32>>>> =
+            channels.iter().map(|(s, _)| Some(s.clone())).collect();
+        channels
+            .into_iter()
+            .enumerate()
+            .map(|(rank, (_, rx))| {
+                // rank sends to rank+1; channel i is *received* by rank i,
+                // so rank r sends on channel (r + 1) % world.
+                let to_next = senders[(rank + 1) % world]
+                    .take()
+                    .expect("each channel has one producer");
+                Communicator {
+                    rank,
+                    world,
+                    to_next,
+                    from_prev: rx,
+                }
+            })
+            .collect()
+    }
+
+    /// This rank's index.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks.
+    pub fn world(&self) -> usize {
+        self.world
+    }
+
+    fn chunk_bounds(len: usize, world: usize, chunk: usize) -> (usize, usize) {
+        let base = len / world;
+        let rem = len % world;
+        let start = chunk * base + chunk.min(rem);
+        let size = base + usize::from(chunk < rem);
+        (start, start + size)
+    }
+
+    /// In-place ring all-reduce (sum) over a flat buffer. Every rank must
+    /// call this with a buffer of identical length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a peer disconnected mid-collective.
+    pub fn all_reduce_sum(&self, data: &mut [f32]) {
+        let n = self.world;
+        if n == 1 {
+            return;
+        }
+        let len = data.len();
+        // Reduce-scatter: after step s, rank r owns the full sum of chunk
+        // (r + 1) mod n ... eventually chunk (r + 1) mod n is complete.
+        let mut send_chunk = self.rank;
+        for _ in 0..n - 1 {
+            let (s, e) = Self::chunk_bounds(len, n, send_chunk);
+            self.to_next
+                .send(data[s..e].to_vec())
+                .expect("ring peer disconnected");
+            let recv_chunk = (send_chunk + n - 1) % n;
+            let (rs, re) = Self::chunk_bounds(len, n, recv_chunk);
+            let incoming = self.from_prev.recv().expect("ring peer disconnected");
+            debug_assert_eq!(incoming.len(), re - rs);
+            for (d, v) in data[rs..re].iter_mut().zip(incoming) {
+                *d += v;
+            }
+            send_chunk = recv_chunk;
+        }
+        // All-gather: circulate the completed chunks.
+        for _ in 0..n - 1 {
+            let (s, e) = Self::chunk_bounds(len, n, send_chunk);
+            self.to_next
+                .send(data[s..e].to_vec())
+                .expect("ring peer disconnected");
+            let recv_chunk = (send_chunk + n - 1) % n;
+            let (rs, re) = Self::chunk_bounds(len, n, recv_chunk);
+            let incoming = self.from_prev.recv().expect("ring peer disconnected");
+            data[rs..re].copy_from_slice(&incoming);
+            send_chunk = recv_chunk;
+        }
+    }
+
+    /// In-place all-reduce that averages instead of summing.
+    pub fn all_reduce_mean(&self, data: &mut [f32]) {
+        self.all_reduce_sum(data);
+        let inv = 1.0 / self.world as f32;
+        for d in data {
+            *d *= inv;
+        }
+    }
+
+    /// Averages a tensor across ranks in place.
+    pub fn all_reduce_mean_tensor(&self, t: &mut Tensor) {
+        self.all_reduce_mean(t.data_mut());
+    }
+
+    /// Broadcast from rank 0: every rank ends with rank 0's buffer.
+    pub fn broadcast(&self, data: &mut [f32]) {
+        if self.world == 1 {
+            return;
+        }
+        // Pass the buffer around the ring n-1 times starting at rank 0.
+        if self.rank == 0 {
+            self.to_next
+                .send(data.to_vec())
+                .expect("ring peer disconnected");
+        } else {
+            let incoming = self.from_prev.recv().expect("ring peer disconnected");
+            data.copy_from_slice(&incoming);
+            if self.rank != self.world - 1 {
+                self.to_next
+                    .send(data.to_vec())
+                    .expect("ring peer disconnected");
+            }
+        }
+    }
+
+    /// Synchronization barrier (an all-reduce of a scalar).
+    pub fn barrier(&self) {
+        let mut token = [0.0f32];
+        self.all_reduce_sum(&mut token);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_ranks<F>(world: usize, f: F) -> Vec<Vec<f32>>
+    where
+        F: Fn(usize, &Communicator) -> Vec<f32> + Send + Sync,
+    {
+        let comms = Communicator::ring(world);
+        std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for (r, comm) in comms.into_iter().enumerate() {
+                let f = &f;
+                handles.push(s.spawn(move || f(r, &comm)));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    }
+
+    #[test]
+    fn all_reduce_sum_across_4_ranks() {
+        let results = run_ranks(4, |r, comm| {
+            let mut data: Vec<f32> = (0..10).map(|i| (r * 10 + i) as f32).collect();
+            comm.all_reduce_sum(&mut data);
+            data
+        });
+        // Sum over ranks of (10r + i) = 60 + 4i.
+        for data in results {
+            for (i, v) in data.iter().enumerate() {
+                assert_eq!(*v, 60.0 + 4.0 * i as f32);
+            }
+        }
+    }
+
+    #[test]
+    fn all_reduce_mean_equals_average() {
+        let results = run_ranks(3, |r, comm| {
+            let mut data = vec![r as f32; 7];
+            comm.all_reduce_mean(&mut data);
+            data
+        });
+        for data in results {
+            assert!(data.iter().all(|&v| (v - 1.0).abs() < 1e-6));
+        }
+    }
+
+    #[test]
+    fn buffer_shorter_than_world_still_works() {
+        let results = run_ranks(4, |r, comm| {
+            let mut data = vec![r as f32 + 1.0];
+            comm.all_reduce_sum(&mut data);
+            data
+        });
+        for data in results {
+            assert_eq!(data[0], 10.0);
+        }
+    }
+
+    #[test]
+    fn broadcast_from_rank_zero() {
+        let results = run_ranks(4, |r, comm| {
+            let mut data = if r == 0 { vec![3.5; 5] } else { vec![0.0; 5] };
+            comm.broadcast(&mut data);
+            data
+        });
+        for data in results {
+            assert!(data.iter().all(|&v| v == 3.5));
+        }
+    }
+
+    #[test]
+    fn single_rank_is_identity() {
+        let comms = Communicator::ring(1);
+        let mut data = vec![1.0, 2.0];
+        comms[0].all_reduce_mean(&mut data);
+        assert_eq!(data, vec![1.0, 2.0]);
+        comms[0].barrier();
+    }
+
+    #[test]
+    fn barrier_completes() {
+        run_ranks(5, |_, comm| {
+            comm.barrier();
+            vec![]
+        });
+    }
+}

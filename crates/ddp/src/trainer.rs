@@ -1,0 +1,120 @@
+//! Distributed data-parallel model utilities: replica synchronization and
+//! gradient averaging (the work PyTorch DDP does for SALIENT).
+
+use crate::comm::Communicator;
+use salient_nn::GnnModel;
+use salient_tensor::Param;
+
+/// Averages every parameter's gradient across ranks (in place).
+///
+/// All ranks must call this with parameters in the same order — guaranteed
+/// when each rank builds the same architecture.
+pub fn average_gradients(comm: &Communicator, params: &mut [&mut Param]) {
+    for p in params.iter_mut() {
+        comm.all_reduce_mean_tensor(p.grad_mut());
+    }
+}
+
+/// Broadcasts rank 0's parameter values to every rank, making replicas
+/// bit-identical before training starts.
+pub fn sync_parameters(comm: &Communicator, params: &mut [&mut Param]) {
+    for p in params.iter_mut() {
+        let mut buf = p.value().data().to_vec();
+        comm.broadcast(&mut buf);
+        let shape = p.value().shape().clone();
+        p.set_value(salient_tensor::Tensor::from_vec(buf, shape));
+    }
+}
+
+/// Broadcasts a model's parameters from rank 0 (convenience wrapper).
+pub fn sync_model(comm: &Communicator, model: &mut dyn GnnModel) {
+    let mut params = model.params_mut();
+    sync_parameters(comm, &mut params);
+}
+
+/// Averages a model's gradients across ranks (convenience wrapper).
+pub fn average_model_gradients(comm: &Communicator, model: &mut dyn GnnModel) {
+    let mut params = model.params_mut();
+    average_gradients(comm, &mut params);
+}
+
+/// Verifies two parameter sets are element-wise equal (test helper for the
+/// replica-consistency invariant).
+pub fn replicas_equal(a: &[&Param], b: &[&Param]) -> bool {
+    a.len() == b.len()
+        && a.iter()
+            .zip(b.iter())
+            .all(|(x, y)| x.value().data() == y.value().data())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salient_nn::{build_model, ModelKind};
+    use salient_tensor::Tensor;
+
+    #[test]
+    fn gradient_averaging_matches_mean() {
+        let comms = Communicator::ring(3);
+        let results = std::thread::scope(|s| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .enumerate()
+                .map(|(r, comm)| {
+                    s.spawn(move || {
+                        let mut p = Param::new("w", Tensor::zeros([4]));
+                        p.accumulate_grad(&Tensor::full([4], r as f32));
+                        average_gradients(&comm, &mut [&mut p]);
+                        p.grad().data().to_vec()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        });
+        for g in results {
+            assert!(g.iter().all(|&v| (v - 1.0).abs() < 1e-6), "mean of 0,1,2 is 1");
+        }
+    }
+
+    #[test]
+    fn sync_makes_replicas_identical() {
+        let comms = Communicator::ring(2);
+        let values = std::thread::scope(|s| {
+            let handles: Vec<_> = comms
+                .into_iter()
+                .enumerate()
+                .map(|(r, comm)| {
+                    s.spawn(move || {
+                        // Different seeds => different initial replicas.
+                        let mut model =
+                            build_model(ModelKind::Sage, 8, 4, 3, 2, 100 + r as u64);
+                        sync_model(&comm, model.as_mut());
+                        model
+                            .params()
+                            .iter()
+                            .flat_map(|p| p.value().data().to_vec())
+                            .collect::<Vec<f32>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(values[0], values[1], "replicas must match rank 0 after sync");
+    }
+
+    #[test]
+    fn replicas_equal_helper() {
+        let a = Param::new("a", Tensor::ones([2]));
+        let b = Param::new("b", Tensor::ones([2]));
+        let c = Param::new("c", Tensor::zeros([2]));
+        assert!(replicas_equal(&[&a], &[&b]));
+        assert!(!replicas_equal(&[&a], &[&c]));
+        assert!(!replicas_equal(&[&a], &[&a, &b]));
+    }
+}

@@ -1,0 +1,175 @@
+//! Node feature storage in host memory.
+//!
+//! Features are stored row-major in IEEE binary16, exactly as the paper's
+//! tuned baseline does ("half-precision floating point for feature vectors in
+//! host memory to reduce bandwidth pressure in slicing and CPU-to-GPU data
+//! transfers", §3). Slicing therefore moves 2 bytes per value and the
+//! (simulated) device widens to `f32` after transfer.
+
+use salient_tensor::{F16, Tensor};
+
+/// A dense `num_nodes × dim` feature matrix stored as binary16.
+///
+/// # Examples
+///
+/// ```
+/// use salient_graph::FeatureMatrix;
+///
+/// let f = FeatureMatrix::from_f32(2, 3, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+/// assert_eq!(f.dim(), 3);
+/// let row = f.row_f32(1);
+/// assert_eq!(row, vec![4.0, 5.0, 6.0]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FeatureMatrix {
+    data: Vec<F16>,
+    num_nodes: usize,
+    dim: usize,
+}
+
+impl FeatureMatrix {
+    /// Quantizes an `f32` buffer into half-precision storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != num_nodes * dim`.
+    pub fn from_f32(num_nodes: usize, dim: usize, values: &[f32]) -> Self {
+        assert_eq!(values.len(), num_nodes * dim, "feature buffer size mismatch");
+        FeatureMatrix {
+            data: salient_tensor::quantize(values),
+            num_nodes,
+            dim,
+        }
+    }
+
+    /// Wraps an existing half-precision buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != num_nodes * dim`.
+    pub fn from_halves(num_nodes: usize, dim: usize, values: Vec<F16>) -> Self {
+        assert_eq!(values.len(), num_nodes * dim, "feature buffer size mismatch");
+        FeatureMatrix {
+            data: values,
+            num_nodes,
+            dim,
+        }
+    }
+
+    /// Number of nodes (rows).
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Feature dimensionality (columns).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The raw half-precision buffer.
+    pub fn data(&self) -> &[F16] {
+        &self.data
+    }
+
+    /// Bytes occupied by the feature storage.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<F16>()
+    }
+
+    /// The half-precision row of node `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    pub fn row(&self, v: u32) -> &[F16] {
+        let v = v as usize;
+        assert!(v < self.num_nodes, "node {v} out of range");
+        &self.data[v * self.dim..(v + 1) * self.dim]
+    }
+
+    /// Row `v` widened to `f32`.
+    pub fn row_f32(&self, v: u32) -> Vec<f32> {
+        self.row(v).iter().map(|h| h.to_f32()).collect()
+    }
+
+    /// Serially slices the rows `ids` into `out` (half precision, the exact
+    /// data-movement kernel of the paper's batch preparation).
+    ///
+    /// The kernel is deliberately *serial*: SALIENT's batch-prep threads each
+    /// run a serial slice to keep cache locality and avoid inter-thread
+    /// contention (§4.2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != ids.len() * dim` or any id is out of range.
+    pub fn slice_into(&self, ids: &[u32], out: &mut [F16]) {
+        assert_eq!(out.len(), ids.len() * self.dim, "slice output size mismatch");
+        for (i, &v) in ids.iter().enumerate() {
+            let row = self.row(v);
+            out[i * self.dim..(i + 1) * self.dim].copy_from_slice(row);
+        }
+    }
+
+    /// Slices rows and widens to an `f32` [`Tensor`] in one pass (used by the
+    /// real-execution training path after the "transfer").
+    pub fn gather_f32(&self, ids: &[u32]) -> Tensor {
+        let mut out = vec![0.0f32; ids.len() * self.dim];
+        for (i, &v) in ids.iter().enumerate() {
+            for (o, h) in out[i * self.dim..(i + 1) * self.dim]
+                .iter_mut()
+                .zip(self.row(v).iter())
+            {
+                *o = h.to_f32();
+            }
+        }
+        Tensor::from_vec(out, [ids.len(), self.dim])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_rows() {
+        let f = FeatureMatrix::from_f32(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(f.row_f32(0), vec![1.0, 2.0]);
+        assert_eq!(f.row_f32(2), vec![5.0, 6.0]);
+        assert_eq!(f.memory_bytes(), 12);
+    }
+
+    #[test]
+    fn slice_into_gathers_rows() {
+        let f = FeatureMatrix::from_f32(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let mut out = vec![F16::ZERO; 4];
+        f.slice_into(&[2, 0], &mut out);
+        let widened: Vec<f32> = out.iter().map(|h| h.to_f32()).collect();
+        assert_eq!(widened, vec![5.0, 6.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn gather_f32_matches_slice() {
+        let f = FeatureMatrix::from_f32(4, 3, &(0..12).map(|i| i as f32).collect::<Vec<_>>());
+        let t = f.gather_f32(&[1, 3]);
+        assert_eq!(t.shape().dims(), &[2, 3]);
+        assert_eq!(t.data(), &[3.0, 4.0, 5.0, 9.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn slice_into_checks_output_len() {
+        let f = FeatureMatrix::from_f32(2, 2, &[0.0; 4]);
+        let mut out = vec![F16::ZERO; 3];
+        f.slice_into(&[0], &mut out);
+    }
+
+    #[test]
+    fn quantization_error_is_half_precision() {
+        let xs: Vec<f32> = (0..100).map(|i| (i as f32) * 0.3117 - 15.0).collect();
+        let f = FeatureMatrix::from_f32(10, 10, &xs);
+        for (i, &x) in xs.iter().enumerate() {
+            let got = f.row_f32((i / 10) as u32)[i % 10];
+            assert!((got - x).abs() <= x.abs() * 1e-3 + 1e-3);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # salient-graph
+//!
+//! Graph storage and synthetic datasets for the SALIENT reproduction: CSR
+//! graphs (the input format of the neighborhood sampler), heavy-tailed random
+//! graph generators, half-precision feature storage, planted-label tasks, and
+//! the published statistics of the paper's OGB benchmarks.
+//!
+//! # Example
+//!
+//! ```
+//! use salient_graph::DatasetConfig;
+//!
+//! let ds = DatasetConfig::tiny(0).build();
+//! assert!(ds.graph.is_undirected());
+//! assert_eq!(ds.features.num_nodes(), ds.graph.num_nodes());
+//! ```
+
+#![warn(missing_docs)]
+
+mod csr;
+mod datasets;
+mod features;
+mod split;
+
+pub mod generate;
+pub mod labels;
+pub mod partition;
+
+pub use csr::{CsrGraph, NodeId};
+pub use datasets::{Dataset, DatasetConfig, DatasetStats};
+pub use features::FeatureMatrix;
+pub use split::Splits;

@@ -1,0 +1,100 @@
+//! Train / validation / test node splits.
+
+use crate::csr::NodeId;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Disjoint train / validation / test node sets.
+///
+/// Fractions need not cover every node: ogbn-papers100M labels only ~1.4 % of
+/// its 111 M nodes, and the split reflects that.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Splits {
+    /// Training node ids.
+    pub train: Vec<NodeId>,
+    /// Validation node ids.
+    pub val: Vec<NodeId>,
+    /// Test node ids.
+    pub test: Vec<NodeId>,
+}
+
+impl Splits {
+    /// Randomly partitions `num_nodes` nodes with the given fractions
+    /// (remaining nodes are unlabeled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fractions are negative or sum to more than 1.
+    pub fn random(num_nodes: usize, frac_train: f64, frac_val: f64, frac_test: f64, seed: u64) -> Self {
+        assert!(
+            frac_train >= 0.0 && frac_val >= 0.0 && frac_test >= 0.0,
+            "negative split fraction"
+        );
+        assert!(
+            frac_train + frac_val + frac_test <= 1.0 + 1e-9,
+            "split fractions sum to more than 1"
+        );
+        let mut ids: Vec<NodeId> = (0..num_nodes as NodeId).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        ids.shuffle(&mut rng);
+        let n_train = (num_nodes as f64 * frac_train).round() as usize;
+        let n_val = (num_nodes as f64 * frac_val).round() as usize;
+        let n_test = (num_nodes as f64 * frac_test).round() as usize;
+        let train = ids[..n_train].to_vec();
+        let val = ids[n_train..n_train + n_val].to_vec();
+        let test = ids[n_train + n_val..(n_train + n_val + n_test).min(num_nodes)].to_vec();
+        Splits { train, val, test }
+    }
+
+    /// Total number of labeled nodes.
+    pub fn num_labeled(&self) -> usize {
+        self.train.len() + self.val.len() + self.test.len()
+    }
+
+    /// Verifies the three sets are pairwise disjoint (test helper).
+    pub fn is_disjoint(&self) -> bool {
+        let mut seen = std::collections::HashSet::with_capacity(self.num_labeled());
+        self.train
+            .iter()
+            .chain(self.val.iter())
+            .chain(self.test.iter())
+            .all(|&v| seen.insert(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_fractions() {
+        let s = Splits::random(1000, 0.5, 0.2, 0.3, 0);
+        assert_eq!(s.train.len(), 500);
+        assert_eq!(s.val.len(), 200);
+        assert_eq!(s.test.len(), 300);
+        assert!(s.is_disjoint());
+    }
+
+    #[test]
+    fn partial_labeling() {
+        let s = Splits::random(10_000, 0.011, 0.001, 0.002, 1);
+        assert_eq!(s.num_labeled(), 110 + 10 + 20);
+        assert!(s.is_disjoint());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Splits::random(100, 0.5, 0.25, 0.25, 7);
+        let b = Splits::random(100, 0.5, 0.25, 0.25, 7);
+        assert_eq!(a.train, b.train);
+        let c = Splits::random(100, 0.5, 0.25, 0.25, 8);
+        assert_ne!(a.train, c.train);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than 1")]
+    fn rejects_oversubscribed_split() {
+        Splits::random(10, 0.8, 0.3, 0.2, 0);
+    }
+}

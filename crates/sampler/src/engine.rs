@@ -1,0 +1,457 @@
+//! The parameterized neighborhood-sampling engine.
+//!
+//! One generic routine implements node-wise sampling with every design choice
+//! of the paper's Figure-2 exploration exposed as a parameter:
+//!
+//! * the global→local [`IdMap`] implementation (type parameter `M`);
+//! * the without-replacement [`NeighborSet`] implementation (type
+//!   parameter `S`);
+//! * fused versus two-phase MFG construction ([`EngineOpts::fused`]);
+//! * capacity pre-reservation ([`EngineOpts::reserve`]);
+//! * the without-replacement algorithm ([`SampleAlgo`]).
+//!
+//! The tuned production path ([`crate::FastSampler`]) is this engine
+//! monomorphized at the winning configuration.
+
+use crate::mfg::{MessageFlowGraph, MfgLayer};
+use crate::structures::{IdMap, NeighborSet};
+use rand::{Rng, RngExt};
+use salient_graph::{CsrGraph, NodeId};
+
+/// Algorithm for drawing `d` distinct neighbor positions out of `n`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SampleAlgo {
+    /// Repeatedly draw a uniform index and reject duplicates via the
+    /// [`NeighborSet`]. This is what PyG's C++ sampler does.
+    Rejection,
+    /// A partial Fisher–Yates shuffle over a *virtual* index array, tracking
+    /// displaced entries in a small association list — no O(degree) copy, no
+    /// rejection loop.
+    PartialFisherYates,
+}
+
+/// Non-type design choices of the sampling engine.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineOpts {
+    /// Map globals to locals while sampling (`true`) or in a second pass
+    /// over a neighbor buffer (`false`).
+    pub fused: bool,
+    /// Pre-reserve the id map for the expected frontier growth each hop.
+    pub reserve: bool,
+    /// Without-replacement sampling algorithm.
+    pub algo: SampleAlgo,
+}
+
+impl Default for EngineOpts {
+    fn default() -> Self {
+        EngineOpts {
+            fused: true,
+            reserve: true,
+            algo: SampleAlgo::PartialFisherYates,
+        }
+    }
+}
+
+/// Draws up to `fanout` distinct positions in `0..degree` and invokes `emit`
+/// for each (rejection variant).
+#[inline]
+fn sample_rejection<S: NeighborSet>(
+    degree: usize,
+    fanout: usize,
+    set: &mut S,
+    rng: &mut impl Rng,
+    mut emit: impl FnMut(u32),
+) {
+    if degree <= fanout {
+        for i in 0..degree as u32 {
+            emit(i);
+        }
+        return;
+    }
+    set.clear();
+    while set.len() < fanout {
+        let idx = rng.random_range(0..degree as u32);
+        if set.insert(idx) {
+            emit(idx);
+        }
+    }
+}
+
+/// Partial Fisher–Yates over a virtual `0..degree` array: `swaps` records
+/// displaced values sparsely.
+#[inline]
+fn sample_partial_fy(
+    degree: usize,
+    fanout: usize,
+    swaps: &mut Vec<(u32, u32)>,
+    rng: &mut impl Rng,
+    mut emit: impl FnMut(u32),
+) {
+    if degree <= fanout {
+        for i in 0..degree as u32 {
+            emit(i);
+        }
+        return;
+    }
+    swaps.clear();
+    let lookup = |swaps: &[(u32, u32)], i: u32| {
+        swaps
+            .iter()
+            .rev()
+            .find(|&&(k, _)| k == i)
+            .map(|&(_, v)| v)
+            .unwrap_or(i)
+    };
+    for i in 0..fanout as u32 {
+        let j = rng.random_range(i..degree as u32);
+        let vj = lookup(swaps, j);
+        let vi = lookup(swaps, i);
+        // Virtual swap: position j takes i's value; position i's value (vj)
+        // is emitted.
+        swaps.push((j, vi));
+        emit(vj);
+    }
+}
+
+/// Scratch buffers reused across batches to avoid allocation churn.
+#[derive(Debug, Default)]
+pub struct EngineScratch {
+    /// Two-phase neighbor buffer: `(dst_local, neighbor_global)` pairs.
+    pairs: Vec<(u32, NodeId)>,
+    /// Fisher–Yates displaced-entry association list.
+    swaps: Vec<(u32, u32)>,
+}
+
+/// Samples a multi-hop MFG for `batch` with the given per-hop `fanouts`
+/// (PyG order: `fanouts[0]` expands the batch nodes).
+///
+/// # Panics
+///
+/// Panics if `batch` is empty, contains duplicates, or `fanouts` is empty.
+pub fn sample_with<M: IdMap, S: NeighborSet>(
+    graph: &CsrGraph,
+    batch: &[NodeId],
+    fanouts: &[usize],
+    opts: EngineOpts,
+    map: &mut M,
+    set: &mut S,
+    scratch: &mut EngineScratch,
+    rng: &mut impl Rng,
+) -> MessageFlowGraph {
+    assert!(!batch.is_empty(), "cannot sample an empty batch");
+    assert!(!fanouts.is_empty(), "need at least one fanout");
+
+    map.clear();
+    let mut node_ids: Vec<NodeId> = Vec::with_capacity(batch.len() * 4);
+    for &v in batch {
+        let local = node_ids.len() as u32;
+        let (_, new) = map.get_or_insert(v, local);
+        assert!(new, "duplicate node {v} in batch");
+        node_ids.push(v);
+    }
+
+    let mut layers_rev: Vec<MfgLayer> = Vec::with_capacity(fanouts.len());
+    let mut frontier_len = node_ids.len();
+
+    for &fanout in fanouts {
+        if opts.reserve {
+            map.reserve(frontier_len * fanout);
+        }
+        let mut edge_src: Vec<u32> = Vec::with_capacity(frontier_len * fanout.min(16));
+        let mut edge_dst: Vec<u32> = Vec::with_capacity(frontier_len * fanout.min(16));
+
+        if opts.fused {
+            for i in 0..frontier_len {
+                let v = node_ids[i];
+                let neighbors = graph.neighbors(v);
+                let degree = neighbors.len();
+                let mut emit = |idx: u32| {
+                    let u = neighbors[idx as usize];
+                    let fallback = node_ids.len() as u32;
+                    let (local, new) = map.get_or_insert(u, fallback);
+                    if new {
+                        node_ids.push(u);
+                    }
+                    edge_src.push(local);
+                    edge_dst.push(i as u32);
+                };
+                match opts.algo {
+                    SampleAlgo::Rejection => sample_rejection(degree, fanout, set, rng, &mut emit),
+                    SampleAlgo::PartialFisherYates => {
+                        sample_partial_fy(degree, fanout, &mut scratch.swaps, rng, &mut emit)
+                    }
+                }
+            }
+        } else {
+            // Phase A: sample into a (dst, neighbor) buffer.
+            scratch.pairs.clear();
+            for i in 0..frontier_len {
+                let v = node_ids[i];
+                let neighbors = graph.neighbors(v);
+                let degree = neighbors.len();
+                let pairs = &mut scratch.pairs;
+                let mut emit = |idx: u32| {
+                    pairs.push((i as u32, neighbors[idx as usize]));
+                };
+                match opts.algo {
+                    SampleAlgo::Rejection => sample_rejection(degree, fanout, set, rng, &mut emit),
+                    SampleAlgo::PartialFisherYates => {
+                        sample_partial_fy(degree, fanout, &mut scratch.swaps, rng, &mut emit)
+                    }
+                }
+            }
+            // Phase B: map globals to locals and build edge lists.
+            for &(dst, u) in &scratch.pairs {
+                let fallback = node_ids.len() as u32;
+                let (local, new) = map.get_or_insert(u, fallback);
+                if new {
+                    node_ids.push(u);
+                }
+                edge_src.push(local);
+                edge_dst.push(dst);
+            }
+        }
+
+        layers_rev.push(MfgLayer {
+            edge_src,
+            edge_dst,
+            n_src: node_ids.len(),
+            n_dst: frontier_len,
+        });
+        frontier_len = node_ids.len();
+    }
+
+    // Hops were built output-side first; forward order is the reverse, and
+    // each layer's n_src must be the final node count of the *next* sampled
+    // hop. After reversal that is already encoded: layer k (forward) was
+    // sampled at step L-1-k and its n_src equals the node count at that
+    // point... except earlier hops were recorded before later hops extended
+    // `node_ids`. Fix up: forward layer 0 reads the full node list.
+    layers_rev.reverse();
+    let mut expected_src = node_ids.len();
+    for layer in &mut layers_rev {
+        layer.n_src = expected_src;
+        expected_src = layer.n_dst;
+    }
+
+    MessageFlowGraph {
+        node_ids,
+        layers: layers_rev,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structures::{ArrayNeighborSet, FlatIdMap, StdIdMap, StdNeighborSet};
+    use rand::SeedableRng;
+    use salient_graph::DatasetConfig;
+
+    fn line_graph() -> CsrGraph {
+        // 0 - 1 - 2 - 3 (undirected)
+        CsrGraph::from_edges(4, &[(0, 1), (1, 0), (1, 2), (2, 1), (2, 3), (3, 2)])
+    }
+
+    #[test]
+    fn one_hop_full_fanout_takes_all_neighbors() {
+        let g = line_graph();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mfg = sample_with(
+            &g,
+            &[1],
+            &[10],
+            EngineOpts::default(),
+            &mut FlatIdMap::default(),
+            &mut ArrayNeighborSet::new(),
+            &mut EngineScratch::default(),
+            &mut rng,
+        );
+        mfg.validate().unwrap();
+        assert_eq!(mfg.batch_size(), 1);
+        assert_eq!(mfg.node_ids[0], 1);
+        // Node 1 has neighbors {0, 2}.
+        let mut rest = mfg.node_ids[1..].to_vec();
+        rest.sort_unstable();
+        assert_eq!(rest, vec![0, 2]);
+        assert_eq!(mfg.layers[0].num_edges(), 2);
+    }
+
+    #[test]
+    fn two_hop_expansion_chains() {
+        let g = line_graph();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mfg = sample_with(
+            &g,
+            &[0],
+            &[5, 5],
+            EngineOpts::default(),
+            &mut FlatIdMap::default(),
+            &mut ArrayNeighborSet::new(),
+            &mut EngineScratch::default(),
+            &mut rng,
+        );
+        mfg.validate().unwrap();
+        // 0 -> 1 -> {0, 2}: nodes {0, 1, 2}.
+        assert_eq!(mfg.num_nodes(), 3);
+        assert_eq!(mfg.layers.len(), 2);
+        assert_eq!(mfg.layers[0].n_src, 3);
+        assert_eq!(mfg.layers.last().unwrap().n_dst, 1);
+    }
+
+    #[test]
+    fn fanout_bounds_respected_and_no_duplicate_edges() {
+        let ds = DatasetConfig::tiny(3).build();
+        let batch: Vec<NodeId> = ds.splits.train[..32].to_vec();
+        for algo in [SampleAlgo::Rejection, SampleAlgo::PartialFisherYates] {
+            for fused in [true, false] {
+                let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+                let mfg = sample_with(
+                    &ds.graph,
+                    &batch,
+                    &[7, 4],
+                    EngineOpts {
+                        fused,
+                        reserve: true,
+                        algo,
+                    },
+                    &mut FlatIdMap::default(),
+                    &mut ArrayNeighborSet::new(),
+                    &mut EngineScratch::default(),
+                    &mut rng,
+                );
+                mfg.validate().unwrap();
+                for (layer, cap) in mfg.layers.iter().rev().zip([7usize, 4]) {
+                    let mut per_dst = std::collections::HashMap::new();
+                    for (&s, &d) in layer.edge_src.iter().zip(layer.edge_dst.iter()) {
+                        let entry: &mut Vec<u32> = per_dst.entry(d).or_default();
+                        assert!(!entry.contains(&s), "duplicate sampled neighbor");
+                        entry.push(s);
+                    }
+                    for (d, ns) in per_dst {
+                        let global = mfg.node_ids[d as usize];
+                        let degree = ds.graph.degree(global);
+                        assert!(
+                            ns.len() <= cap.min(degree),
+                            "dst {d}: {} sampled, cap {cap}, degree {degree}",
+                            ns.len()
+                        );
+                        // Degree >= fanout must yield exactly fanout samples.
+                        if degree >= cap {
+                            assert_eq!(ns.len(), cap);
+                        } else {
+                            assert_eq!(ns.len(), degree, "low degree takes all");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sampled_edges_exist_in_graph() {
+        let ds = DatasetConfig::tiny(4).build();
+        let batch: Vec<NodeId> = ds.splits.train[..16].to_vec();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mfg = sample_with(
+            &ds.graph,
+            &batch,
+            &[10, 5],
+            EngineOpts::default(),
+            &mut FlatIdMap::default(),
+            &mut ArrayNeighborSet::new(),
+            &mut EngineScratch::default(),
+            &mut rng,
+        );
+        for layer in &mfg.layers {
+            for (&s, &d) in layer.edge_src.iter().zip(layer.edge_dst.iter()) {
+                let gs = mfg.node_ids[s as usize];
+                let gd = mfg.node_ids[d as usize];
+                assert!(
+                    ds.graph.neighbors(gd).binary_search(&gs).is_ok(),
+                    "edge ({gs} -> {gd}) not in graph"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn variants_agree_on_node_set_for_full_expansion() {
+        // With fanouts >= max degree every variant must produce the exact
+        // L-hop neighborhood, independent of data structures and RNG.
+        let ds = DatasetConfig::tiny(5).build();
+        let batch: Vec<NodeId> = ds.splits.train[..8].to_vec();
+        let big = vec![10_000usize; 2];
+        let sorted_nodes = |mfg: &MessageFlowGraph| {
+            let mut v = mfg.node_ids.clone();
+            v.sort_unstable();
+            v
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let a = sample_with(
+            &ds.graph,
+            &batch,
+            &big,
+            EngineOpts::default(),
+            &mut FlatIdMap::default(),
+            &mut ArrayNeighborSet::new(),
+            &mut EngineScratch::default(),
+            &mut rng,
+        );
+        let b = sample_with(
+            &ds.graph,
+            &batch,
+            &big,
+            EngineOpts {
+                fused: false,
+                reserve: false,
+                algo: SampleAlgo::Rejection,
+            },
+            &mut StdIdMap::new(),
+            &mut StdNeighborSet::new(),
+            &mut EngineScratch::default(),
+            &mut rng,
+        );
+        assert_eq!(sorted_nodes(&a), sorted_nodes(&b));
+        assert_eq!(a.num_edges(), b.num_edges());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate node")]
+    fn duplicate_batch_rejected() {
+        let g = line_graph();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        sample_with(
+            &g,
+            &[1, 1],
+            &[2],
+            EngineOpts::default(),
+            &mut FlatIdMap::default(),
+            &mut ArrayNeighborSet::new(),
+            &mut EngineScratch::default(),
+            &mut rng,
+        );
+    }
+
+    #[test]
+    fn partial_fy_is_uniform_without_replacement() {
+        // Statistical check: sampling 2 of 4 positions ~ each position hit
+        // with probability 1/2.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 4];
+        let mut swaps = Vec::new();
+        let trials = 40_000;
+        for _ in 0..trials {
+            let mut seen = Vec::new();
+            sample_partial_fy(4, 2, &mut swaps, &mut rng, |i| seen.push(i));
+            assert_eq!(seen.len(), 2);
+            assert_ne!(seen[0], seen[1], "without replacement");
+            for &i in &seen {
+                counts[i as usize] += 1;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let p = c as f64 / trials as f64;
+            assert!((p - 0.5).abs() < 0.02, "position {i} probability {p}");
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Enumeration of the sampler design space (the paper's Figure 2).
+//!
+//! "The space of possible design choices and optimizations is too large to
+//! explore manually. We designed a parameterized implementation of sampled
+//! MFG generation to systematically explore this optimization space" (§4.1).
+//!
+//! Five axes are exposed here — id-map structure × neighbor-set structure ×
+//! fused construction × capacity reservation × sampling algorithm — giving
+//! 48 instantiations benchmarked by `salient-bench --bin fig2`.
+
+use crate::engine::{sample_with, EngineOpts, EngineScratch, SampleAlgo};
+use crate::mfg::MessageFlowGraph;
+use crate::structures::{
+    ArrayNeighborSet, FlatIdMap, FlatNeighborSet, IdMap, NeighborSet, StdIdMap, StdNeighborSet,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use salient_graph::{CsrGraph, NodeId};
+
+/// Which global→local id-map implementation to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IdMapKind {
+    /// `std::collections::HashMap` (SipHash buckets — the STL analogue).
+    Std,
+    /// Flat open-addressing table with Fibonacci hashing (swiss-style).
+    Flat,
+}
+
+/// Which neighbor-dedup set implementation to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum NeighborSetKind {
+    /// `std::collections::HashSet`.
+    Std,
+    /// Flat open-addressing set.
+    Flat,
+    /// Plain array with linear scan (the paper's winner at small fanouts).
+    Array,
+}
+
+/// One point in the sampler design space.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct VariantConfig {
+    /// Id-map implementation.
+    pub id_map: IdMapKind,
+    /// Neighbor-set implementation.
+    pub neighbor_set: NeighborSetKind,
+    /// Fused sampling + MFG construction.
+    pub fused: bool,
+    /// Pre-reserve map capacity per hop.
+    pub reserve: bool,
+    /// Without-replacement algorithm.
+    pub algo: SampleAlgo,
+}
+
+impl VariantConfig {
+    /// Every point of the design space (48 variants).
+    pub fn all() -> Vec<VariantConfig> {
+        let mut out = Vec::with_capacity(48);
+        for id_map in [IdMapKind::Std, IdMapKind::Flat] {
+            for neighbor_set in [
+                NeighborSetKind::Std,
+                NeighborSetKind::Flat,
+                NeighborSetKind::Array,
+            ] {
+                for fused in [false, true] {
+                    for reserve in [false, true] {
+                        for algo in [SampleAlgo::Rejection, SampleAlgo::PartialFisherYates] {
+                            out.push(VariantConfig {
+                                id_map,
+                                neighbor_set,
+                                fused,
+                                reserve,
+                                algo,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The configuration matching the PyG baseline.
+    pub fn pyg_baseline() -> VariantConfig {
+        VariantConfig {
+            id_map: IdMapKind::Std,
+            neighbor_set: NeighborSetKind::Std,
+            fused: false,
+            reserve: false,
+            algo: SampleAlgo::Rejection,
+        }
+    }
+
+    /// The configuration shipped as [`crate::FastSampler`].
+    pub fn salient() -> VariantConfig {
+        VariantConfig {
+            id_map: IdMapKind::Flat,
+            neighbor_set: NeighborSetKind::Array,
+            fused: true,
+            reserve: true,
+            algo: SampleAlgo::PartialFisherYates,
+        }
+    }
+
+    /// A short human-readable label, e.g. `"flat/array/fused/resv/fy"`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}/{}/{}",
+            match self.id_map {
+                IdMapKind::Std => "std",
+                IdMapKind::Flat => "flat",
+            },
+            match self.neighbor_set {
+                NeighborSetKind::Std => "stdset",
+                NeighborSetKind::Flat => "flatset",
+                NeighborSetKind::Array => "array",
+            },
+            if self.fused { "fused" } else { "2phase" },
+            if self.reserve { "resv" } else { "grow" },
+            match self.algo {
+                SampleAlgo::Rejection => "rej",
+                SampleAlgo::PartialFisherYates => "fy",
+            },
+        )
+    }
+}
+
+#[derive(Debug)]
+enum AnyIdMap {
+    Std(StdIdMap),
+    Flat(FlatIdMap),
+}
+
+impl IdMap for AnyIdMap {
+    #[inline]
+    fn get_or_insert(&mut self, global: NodeId, fallback: u32) -> (u32, bool) {
+        match self {
+            AnyIdMap::Std(m) => m.get_or_insert(global, fallback),
+            AnyIdMap::Flat(m) => m.get_or_insert(global, fallback),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            AnyIdMap::Std(m) => m.clear(),
+            AnyIdMap::Flat(m) => m.clear(),
+        }
+    }
+
+    fn reserve(&mut self, n: usize) {
+        match self {
+            AnyIdMap::Std(m) => m.reserve(n),
+            AnyIdMap::Flat(m) => m.reserve(n),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            AnyIdMap::Std(m) => IdMap::len(m),
+            AnyIdMap::Flat(m) => IdMap::len(m),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum AnyNeighborSet {
+    Std(StdNeighborSet),
+    Flat(FlatNeighborSet),
+    Array(ArrayNeighborSet),
+}
+
+impl NeighborSet for AnyNeighborSet {
+    #[inline]
+    fn insert(&mut self, idx: u32) -> bool {
+        match self {
+            AnyNeighborSet::Std(s) => s.insert(idx),
+            AnyNeighborSet::Flat(s) => s.insert(idx),
+            AnyNeighborSet::Array(s) => s.insert(idx),
+        }
+    }
+
+    fn clear(&mut self) {
+        match self {
+            AnyNeighborSet::Std(s) => s.clear(),
+            AnyNeighborSet::Flat(s) => s.clear(),
+            AnyNeighborSet::Array(s) => s.clear(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            AnyNeighborSet::Std(s) => NeighborSet::len(s),
+            AnyNeighborSet::Flat(s) => NeighborSet::len(s),
+            AnyNeighborSet::Array(s) => NeighborSet::len(s),
+        }
+    }
+}
+
+/// A sampler instantiated at an arbitrary design-space point.
+#[derive(Debug)]
+pub struct VariantSampler {
+    config: VariantConfig,
+    map: AnyIdMap,
+    set: AnyNeighborSet,
+    scratch: EngineScratch,
+    rng: StdRng,
+}
+
+impl VariantSampler {
+    /// Instantiates the given configuration.
+    pub fn new(config: VariantConfig, seed: u64) -> Self {
+        VariantSampler {
+            config,
+            map: match config.id_map {
+                IdMapKind::Std => AnyIdMap::Std(StdIdMap::new()),
+                IdMapKind::Flat => AnyIdMap::Flat(FlatIdMap::default()),
+            },
+            set: match config.neighbor_set {
+                NeighborSetKind::Std => AnyNeighborSet::Std(StdNeighborSet::new()),
+                NeighborSetKind::Flat => AnyNeighborSet::Flat(FlatNeighborSet::new()),
+                NeighborSetKind::Array => AnyNeighborSet::Array(ArrayNeighborSet::new()),
+            },
+            scratch: EngineScratch::default(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// This sampler's configuration.
+    pub fn config(&self) -> VariantConfig {
+        self.config
+    }
+
+    /// Samples the MFG for one mini-batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is empty or contains duplicates, or `fanouts` is
+    /// empty.
+    pub fn sample(
+        &mut self,
+        graph: &CsrGraph,
+        batch: &[NodeId],
+        fanouts: &[usize],
+    ) -> MessageFlowGraph {
+        sample_with(
+            graph,
+            batch,
+            fanouts,
+            EngineOpts {
+                fused: self.config.fused,
+                reserve: self.config.reserve,
+                algo: self.config.algo,
+            },
+            &mut self.map,
+            &mut self.set,
+            &mut self.scratch,
+            &mut self.rng,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salient_graph::DatasetConfig;
+
+    #[test]
+    fn design_space_has_48_points() {
+        let all = VariantConfig::all();
+        assert_eq!(all.len(), 48);
+        let unique: std::collections::HashSet<_> = all.iter().collect();
+        assert_eq!(unique.len(), 48, "variants must be distinct");
+        assert!(all.contains(&VariantConfig::pyg_baseline()));
+        assert!(all.contains(&VariantConfig::salient()));
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let labels: std::collections::HashSet<String> =
+            VariantConfig::all().iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), 48);
+    }
+
+    #[test]
+    fn every_variant_produces_valid_mfgs() {
+        let ds = DatasetConfig::tiny(6).build();
+        let batch = &ds.splits.train[..16];
+        for cfg in VariantConfig::all() {
+            let mfg = VariantSampler::new(cfg, 3).sample(&ds.graph, batch, &[6, 3]);
+            mfg.validate()
+                .unwrap_or_else(|e| panic!("variant {}: {e}", cfg.label()));
+            assert_eq!(mfg.batch_size(), 16);
+        }
+    }
+}

@@ -1,0 +1,284 @@
+//! Multi-GPU distributed data-parallel epoch simulation (Figure 5 / 6).
+//!
+//! SALIENT "straightforwardly applies the PyTorch DDP module and performs
+//! distributed communications with the NCCL backend" (§6). Each rank runs
+//! the full pipelined single-GPU schedule on its shard of the (batch-size ×
+//! ranks) effective batch; after every iteration's backward pass a ring
+//! all-reduce synchronizes gradients before the next iteration may start.
+
+use crate::cost::CostModel;
+use crate::des::{Simulation, TaskId};
+use crate::schedules::{EpochConfig, OptLevel};
+use crate::workload::expected_batch;
+use serde::{Deserialize, Serialize};
+
+/// Multi-GPU run configuration.
+#[derive(Clone, Debug)]
+pub struct MultiGpuConfig {
+    /// Per-rank configuration (level is forced to [`OptLevel::Pipelined`]
+    /// for SALIENT runs; baseline multi-GPU uses the given level).
+    pub base: EpochConfig,
+    /// Number of GPUs (ranks). Batch size is per GPU, as in Table 5.
+    pub ranks: usize,
+    /// GPUs per machine (2 V100s in the paper's cluster); communication
+    /// within one machine uses the PCIe fabric, across machines the NIC.
+    pub gpus_per_machine: usize,
+}
+
+/// Result of a multi-GPU epoch simulation.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MultiGpuReport {
+    /// Virtual epoch seconds.
+    pub epoch_s: f64,
+    /// Mean GPU utilization across ranks.
+    pub gpu_util: f64,
+    /// Total all-reduce seconds per rank.
+    pub allreduce_s: f64,
+}
+
+/// Simulates one distributed training epoch.
+///
+/// # Panics
+///
+/// Panics if `ranks == 0`.
+pub fn simulate_multi_gpu(cfg: &MultiGpuConfig, model: &CostModel) -> MultiGpuReport {
+    assert!(cfg.ranks > 0, "need at least one rank");
+    let base = &cfg.base;
+    let w = expected_batch(&base.stats, &base.fanouts, base.batch_size);
+    let total_batches = base
+        .stats
+        .train_size
+        .div_ceil((base.batch_size * cfg.ranks) as u64) as usize;
+
+    // Per-batch stage durations follow the configured ladder level, exactly
+    // as in the single-GPU schedule builder.
+    let s = crate::schedules::stage_durations(base, model, &w);
+    let pipelined = base.level == OptLevel::Pipelined;
+    let transfer_ns = s.transfer;
+    let train_ns = s.train;
+
+    let grad_bytes = base.arch.param_bytes(base.stats.feat_dim, base.hidden, base.classes);
+    // Within one machine gradients move over the PCIe fabric; across
+    // machines over the shared NIC (halved per-GPU when both GPUs of a
+    // machine communicate).
+    let allreduce_ns = if cfg.ranks <= cfg.gpus_per_machine {
+        let n = cfg.ranks as f64;
+        if cfg.ranks == 1 {
+            0.0
+        } else {
+            2.0 * (n - 1.0) / n * grad_bytes / model.dma_bw * 1e9
+        }
+    } else {
+        let shared = model.nic_bw / cfg.gpus_per_machine as f64;
+        let n = cfg.ranks as f64;
+        2.0 * (n - 1.0) / n * grad_bytes / shared * 1e9
+            + 2.0 * (n - 1.0) * model.allreduce_latency_ns
+    };
+
+    let mut sim = Simulation::new();
+    let mut workers = Vec::with_capacity(cfg.ranks);
+    let mut mains = Vec::with_capacity(cfg.ranks);
+    let mut dma = Vec::with_capacity(cfg.ranks);
+    let mut gpu = Vec::with_capacity(cfg.ranks);
+    let mut nic = Vec::with_capacity(cfg.ranks);
+    let worker_pool = if pipelined || base.level == OptLevel::SharedMemPrep {
+        base.cpu_workers
+    } else {
+        s.sample_workers
+    };
+    for r in 0..cfg.ranks {
+        workers.push(sim.resource(format!("workers[{r}]"), worker_pool));
+        mains.push(sim.resource(format!("main[{r}]"), 1));
+        dma.push(sim.resource(format!("dma[{r}]"), 1));
+        gpu.push(sim.resource(format!("gpu[{r}]"), 1));
+        nic.push(sim.resource(format!("nic[{r}]"), 1));
+    }
+
+    let prefetch_depth = 2 * base.cpu_workers;
+    let mut prev_allreduce: Vec<Option<TaskId>> = vec![None; cfg.ranks];
+    let mut train_hist: Vec<Vec<TaskId>> = vec![Vec::new(); cfg.ranks];
+    for b in 0..total_batches {
+        let mut trains = Vec::with_capacity(cfg.ranks);
+        for r in 0..cfg.ranks {
+            let mut prep_deps = Vec::new();
+            if b >= prefetch_depth {
+                prep_deps.push(train_hist[r][b - prefetch_depth]);
+            }
+            let train = if pipelined {
+                // SALIENT: prep → transfer (own stream) → train; nothing
+                // blocks the main loop.
+                let prep =
+                    sim.task(format!("prep[{b},{r}]"), workers[r], s.prep_worker as u64, prep_deps);
+                let transfer = sim.task(
+                    format!("transfer[{b},{r}]"),
+                    dma[r],
+                    transfer_ns as u64,
+                    vec![prep],
+                );
+                let mut train_deps = vec![transfer];
+                if let Some(ar) = prev_allreduce[r] {
+                    train_deps.push(ar);
+                }
+                sim.task(format!("train[{b},{r}]"), gpu[r], train_ns as u64, train_deps)
+            } else {
+                // Baseline ladder levels: per-rank main thread serializes
+                // slice → transfer and blocks on training, as in the
+                // single-GPU schedules.
+                let sample_ns = match base.level {
+                    // Shared-memory prep: workers sample *and* slice.
+                    OptLevel::SharedMemPrep => s.prep_worker,
+                    _ => s.sample_worker,
+                };
+                let sample = sim.task(
+                    format!("sample[{b},{r}]"),
+                    workers[r],
+                    sample_ns as u64,
+                    prep_deps,
+                );
+                let mut slice_deps = vec![sample];
+                if let Some(&prev) = train_hist[r].last() {
+                    slice_deps.push(prev);
+                }
+                let (slice_ns, slice_label) = match base.level {
+                    OptLevel::SharedMemPrep => (0.0, "noop"),
+                    _ => (s.slice_main, "slice"),
+                };
+                let slice = sim.task(
+                    format!("{slice_label}[{b},{r}]"),
+                    mains[r],
+                    slice_ns as u64,
+                    slice_deps,
+                );
+                let transfer = sim.task(
+                    format!("transfer[{b},{r}]"),
+                    mains[r],
+                    transfer_ns as u64,
+                    vec![slice],
+                );
+                let mut train_deps = vec![transfer];
+                if let Some(ar) = prev_allreduce[r] {
+                    train_deps.push(ar);
+                }
+                sim.task(format!("train[{b},{r}]"), gpu[r], train_ns as u64, train_deps)
+            };
+            trains.push(train);
+            train_hist[r].push(train);
+        }
+        for r in 0..cfg.ranks {
+            // Ring all-reduce starts once every rank finished backward.
+            let ar = sim.task(
+                format!("allreduce[{b},{r}]"),
+                nic[r],
+                allreduce_ns as u64,
+                trains.clone(),
+            );
+            prev_allreduce[r] = Some(ar);
+        }
+    }
+
+    let ex = sim.run();
+    let mut util = 0.0;
+    for r in 0..cfg.ranks {
+        util += ex.utilization(&sim, gpu[r]);
+    }
+    MultiGpuReport {
+        epoch_s: ex.makespan as f64 / 1e9,
+        gpu_util: util / cfg.ranks as f64,
+        allreduce_s: total_batches as f64 * allreduce_ns / 1e9,
+    }
+}
+
+/// Sweeps rank counts (Figure 5) and returns `(ranks, epoch_s)` pairs.
+pub fn scaling_sweep(
+    base: &EpochConfig,
+    ranks: &[usize],
+    model: &CostModel,
+) -> Vec<(usize, f64)> {
+    ranks
+        .iter()
+        .map(|&r| {
+            let cfg = MultiGpuConfig {
+                base: base.clone(),
+                ranks: r,
+                gpus_per_machine: 2,
+            };
+            (r, simulate_multi_gpu(&cfg, model).epoch_s)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use salient_graph::DatasetStats;
+
+    fn base(stats: DatasetStats) -> EpochConfig {
+        EpochConfig::paper_default(stats, OptLevel::Pipelined)
+    }
+
+    #[test]
+    fn single_rank_matches_single_gpu_schedule() {
+        let cfg = MultiGpuConfig {
+            base: base(DatasetStats::products()),
+            ranks: 1,
+            gpus_per_machine: 2,
+        };
+        let m = CostModel::paper_hardware();
+        let multi = simulate_multi_gpu(&cfg, &m).epoch_s;
+        let single = crate::schedules::simulate_epoch(&cfg.base, &m).epoch_s;
+        let ratio = multi / single;
+        assert!(
+            (0.9..1.1).contains(&ratio),
+            "1-rank multi ({multi:.2}) vs single ({single:.2})"
+        );
+    }
+
+    #[test]
+    fn papers_16_gpu_epoch_near_2s() {
+        // §1: "training takes 2.0 seconds per epoch" with 16 GPUs.
+        let cfg = MultiGpuConfig {
+            base: base(DatasetStats::papers()),
+            ranks: 16,
+            gpus_per_machine: 2,
+        };
+        let t = simulate_multi_gpu(&cfg, &CostModel::paper_hardware()).epoch_s;
+        assert!((1.0..3.5).contains(&t), "papers 16-GPU epoch ≈2.0 s, got {t:.2}");
+    }
+
+    #[test]
+    fn figure5_speedup_bands() {
+        // "With 16 GPUs, the speedup ranges from 4.45× to 8.05×", larger
+        // datasets scaling better.
+        let m = CostModel::paper_hardware();
+        let mut speedups = Vec::new();
+        for stats in DatasetStats::all() {
+            let sweep = scaling_sweep(&base(stats.clone()), &[1, 16], &m);
+            let speedup = sweep[0].1 / sweep[1].1;
+            assert!(
+                (3.0..12.0).contains(&speedup),
+                "{}: 16-GPU speedup {speedup:.2} outside plausible band",
+                stats.name
+            );
+            speedups.push((stats.name, speedup));
+        }
+        let arxiv = speedups[0].1;
+        let papers = speedups[2].1;
+        assert!(
+            papers > arxiv,
+            "bigger graphs amortize startup latency better: papers {papers:.2} vs arxiv {arxiv:.2}"
+        );
+    }
+
+    #[test]
+    fn scaling_is_monotone_in_ranks() {
+        let m = CostModel::paper_hardware();
+        let sweep = scaling_sweep(&base(DatasetStats::papers()), &[1, 2, 4, 8, 16], &m);
+        for pair in sweep.windows(2) {
+            assert!(
+                pair[1].1 < pair[0].1 * 1.02,
+                "epoch time should not regress with more GPUs: {:?}",
+                sweep
+            );
+        }
+    }
+}

@@ -1,0 +1,471 @@
+//! Epoch schedules: the Table-3 optimization ladder compiled to DES task
+//! graphs.
+//!
+//! Four cumulative configurations are modeled, exactly as the paper applies
+//! them (§4.4, Table 3):
+//!
+//! 1. [`OptLevel::PygBaseline`] — multiprocessing sampling workers; the main
+//!    thread serially slices (OpenMP), transfers (with per-sparse-tensor
+//!    assertion round trips), and blocks on GPU training.
+//! 2. [`OptLevel::FastSampling`] — same schedule, SALIENT's 2.5× sampler.
+//! 3. [`OptLevel::SharedMemPrep`] — batch-prep threads sample *and* slice
+//!    end-to-end into pinned memory; the main thread only transfers and
+//!    launches training.
+//! 4. [`OptLevel::Pipelined`] — transfers move to a separate stream (DMA
+//!    resource), assertions are skipped, and GPU compute overlaps transfer.
+
+use crate::cost::{CostModel, GnnArch, Impl};
+use crate::des::{Executed, Simulation, TaskId};
+use crate::workload::{expected_batch, BatchWorkload};
+use salient_graph::DatasetStats;
+use serde::{Deserialize, Serialize};
+
+/// Cumulative optimization level (each includes the previous).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OptLevel {
+    /// Tuned PyG baseline ("None (PyG)" in Table 3).
+    PygBaseline,
+    /// + fast neighborhood sampling.
+    FastSampling,
+    /// + shared-memory batch preparation.
+    SharedMemPrep,
+    /// + pipelined data transfers (full SALIENT).
+    Pipelined,
+}
+
+impl OptLevel {
+    /// The ladder in Table-3 order.
+    pub fn ladder() -> [OptLevel; 4] {
+        [
+            OptLevel::PygBaseline,
+            OptLevel::FastSampling,
+            OptLevel::SharedMemPrep,
+            OptLevel::Pipelined,
+        ]
+    }
+
+    /// Row label used by the bench harness.
+    pub fn label(&self) -> &'static str {
+        match self {
+            OptLevel::PygBaseline => "None (PyG)",
+            OptLevel::FastSampling => "+ Fast sampling",
+            OptLevel::SharedMemPrep => "+ Shared-memory batch prep.",
+            OptLevel::Pipelined => "+ Pipelined data transfers",
+        }
+    }
+}
+
+/// Configuration of one simulated training epoch on one GPU.
+#[derive(Clone, Debug)]
+pub struct EpochConfig {
+    /// Dataset statistics (paper scale).
+    pub stats: DatasetStats,
+    /// Sampling fanouts, PyG order.
+    pub fanouts: Vec<usize>,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// GNN architecture.
+    pub arch: GnnArch,
+    /// Hidden dimensionality.
+    pub hidden: u32,
+    /// Output classes.
+    pub classes: u32,
+    /// CPU batch-preparation workers per GPU.
+    pub cpu_workers: usize,
+    /// Optimization ladder level.
+    pub level: OptLevel,
+}
+
+impl EpochConfig {
+    /// The paper's default single-GPU setup for a dataset (Table 5 row).
+    pub fn paper_default(stats: DatasetStats, level: OptLevel) -> Self {
+        EpochConfig {
+            stats,
+            fanouts: vec![15, 10, 5],
+            batch_size: 1024,
+            arch: GnnArch::Sage,
+            hidden: 256,
+            classes: 172,
+            cpu_workers: 20,
+            level,
+        }
+    }
+}
+
+/// Blocking-time breakdown of a simulated epoch (the Table-1 columns).
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct EpochReport {
+    /// Total epoch wall-clock (seconds, virtual).
+    pub epoch_s: f64,
+    /// Main-loop blocking time attributed to batch preparation.
+    pub prep_s: f64,
+    /// Blocking time attributed to CPU→GPU transfer.
+    pub transfer_s: f64,
+    /// Blocking time attributed to GPU training.
+    pub train_s: f64,
+    /// GPU busy fraction over the epoch.
+    pub gpu_util: f64,
+}
+
+impl EpochReport {
+    /// Percent of epoch attributed to a stage.
+    pub fn pct(&self, stage_s: f64) -> f64 {
+        if self.epoch_s == 0.0 {
+            0.0
+        } else {
+            100.0 * stage_s / self.epoch_s
+        }
+    }
+}
+
+/// Stage durations (ns) for one batch under a ladder level.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct StageNs {
+    pub(crate) sample_worker: f64,
+    pub(crate) sample_workers: usize,
+    pub(crate) slice_main: f64,
+    pub(crate) prep_worker: f64,
+    pub(crate) transfer: f64,
+    pub(crate) train: f64,
+}
+
+pub(crate) fn stage_durations(cfg: &EpochConfig, m: &CostModel, w: &BatchWorkload) -> StageNs {
+    let p = cfg.cpu_workers;
+    let (sampler, slicer) = match cfg.level {
+        OptLevel::PygBaseline => (Impl::Pyg, Impl::Pyg),
+        _ => (Impl::Salient, Impl::Salient),
+    };
+    // Per-batch duration on one worker inflates with P active workers such
+    // that aggregate throughput follows the calibrated Amdahl curve. The
+    // multiprocessing baseline runs fewer sampling workers than hardware
+    // cores (the main process's OpenMP slicing needs cores too).
+    let (sample_serial, sample_workers) = match cfg.level {
+        OptLevel::PygBaseline | OptLevel::FastSampling => {
+            (m.sample_serial_frac_pyg, m.pyg_dataloader_workers.min(p))
+        }
+        _ => (m.sample_serial_frac_salient, p),
+    };
+    let contention = |serial: f64, workers: usize| serial * workers as f64 + (1.0 - serial);
+    let sample_t1 = m.sample_batch_ns(sampler, w);
+    let sample_worker = sample_t1 * contention(sample_serial, sample_workers);
+
+    // Baseline slicing runs on the main thread with OpenMP across all
+    // cores, after receiving the sampled MFG from a worker process over
+    // IPC. The calibrated PyG slice bandwidth and serial fraction already
+    // include the shared-memory slicing overheads (fitted to Table 2).
+    let slice_t1 = m.slice_batch_ns(slicer, w);
+    let slice_main = CostModel::parallel_time(slice_t1, p, m.slice_serial_frac_pyg)
+        + m.ipc_receive_ns(w);
+
+    // Shared-memory prep: sample + serial slice end-to-end on a worker,
+    // zero-copy into pinned memory (no IPC term).
+    let prep_worker = sample_t1 * contention(m.sample_serial_frac_salient, p)
+        + m.slice_batch_ns(Impl::Salient, w) * contention(m.slice_serial_frac_salient, p)
+        + m.salient_batch_overhead_ns;
+
+    let transfer = m.transfer_batch_ns(w, cfg.level == OptLevel::Pipelined);
+    let train = m.gpu_train_batch_ns(cfg.arch, w, cfg.hidden, cfg.classes);
+    StageNs {
+        sample_worker,
+        sample_workers,
+        slice_main,
+        prep_worker,
+        transfer,
+        train,
+    }
+}
+
+/// Builds and runs the DES for one epoch, returning the report plus the raw
+/// execution (for timeline export).
+pub fn simulate_epoch_detailed(
+    cfg: &EpochConfig,
+    model: &CostModel,
+) -> (EpochReport, Simulation, Executed) {
+    let w = expected_batch(&cfg.stats, &cfg.fanouts, cfg.batch_size);
+    let batches = cfg.stats.batches_per_epoch(cfg.batch_size);
+    let s = stage_durations(cfg, model, &w);
+    let mut sim = Simulation::new();
+    let sampler_pool = match cfg.level {
+        OptLevel::PygBaseline | OptLevel::FastSampling => s.sample_workers,
+        _ => cfg.cpu_workers,
+    };
+    let workers = sim.resource("cpu-workers", sampler_pool);
+    let main = sim.resource("main", 1);
+    let dma = sim.resource("dma", 1);
+    let gpu = sim.resource("gpu", 1);
+
+    let mut train_tasks: Vec<TaskId> = Vec::with_capacity(batches);
+    let prefetch_depth = 2 * cfg.cpu_workers;
+
+    match cfg.level {
+        OptLevel::PygBaseline | OptLevel::FastSampling => {
+            // Workers sample ahead (bounded prefetch); main thread slices,
+            // transfers, and blocks on training.
+            for b in 0..batches {
+                let mut sample_deps = Vec::new();
+                if b >= prefetch_depth {
+                    sample_deps.push(train_tasks[b - prefetch_depth]);
+                }
+                let sample = sim.task(
+                    format!("sample[{b}]"),
+                    workers,
+                    s.sample_worker as u64,
+                    sample_deps,
+                );
+                let mut slice_deps = vec![sample];
+                if let Some(&prev) = train_tasks.last() {
+                    slice_deps.push(prev); // main thread is busy until train returns
+                }
+                let slice = sim.task(format!("slice[{b}]"), main, s.slice_main as u64, slice_deps);
+                let transfer = sim.task(format!("transfer[{b}]"), main, s.transfer as u64, vec![slice]);
+                let train = sim.task(format!("train[{b}]"), gpu, s.train as u64, vec![transfer]);
+                train_tasks.push(train);
+            }
+        }
+        OptLevel::SharedMemPrep => {
+            // Workers prepare end-to-end; main thread transfers (still
+            // blocking, assertions still on) then blocks on training.
+            for b in 0..batches {
+                let mut prep_deps = Vec::new();
+                if b >= prefetch_depth {
+                    prep_deps.push(train_tasks[b - prefetch_depth]);
+                }
+                let prep = sim.task(format!("prep[{b}]"), workers, s.prep_worker as u64, prep_deps);
+                let mut tr_deps = vec![prep];
+                if let Some(&prev) = train_tasks.last() {
+                    tr_deps.push(prev);
+                }
+                let transfer = sim.task(format!("transfer[{b}]"), main, s.transfer as u64, tr_deps);
+                let train = sim.task(format!("train[{b}]"), gpu, s.train as u64, vec![transfer]);
+                train_tasks.push(train);
+            }
+        }
+        OptLevel::Pipelined => {
+            // Full SALIENT: prep on workers, transfer on its own stream
+            // (DMA), GPU compute overlaps; nothing blocks the main loop.
+            for b in 0..batches {
+                let mut prep_deps = Vec::new();
+                if b >= prefetch_depth {
+                    prep_deps.push(train_tasks[b - prefetch_depth]);
+                }
+                let prep = sim.task(format!("prep[{b}]"), workers, s.prep_worker as u64, prep_deps);
+                let transfer = sim.task(format!("transfer[{b}]"), dma, s.transfer as u64, vec![prep]);
+                let train = sim.task(format!("train[{b}]"), gpu, s.train as u64, vec![transfer]);
+                train_tasks.push(train);
+            }
+        }
+    }
+
+    let ex = sim.run();
+    let report = build_report(cfg, &sim, &ex, &s, &train_tasks);
+    (report, sim, ex)
+}
+
+fn build_report(
+    cfg: &EpochConfig,
+    sim: &Simulation,
+    ex: &Executed,
+    s: &StageNs,
+    train_tasks: &[TaskId],
+) -> EpochReport {
+    let epoch_s = ex.makespan as f64 / 1e9;
+    let batches = train_tasks.len() as f64;
+    let train_s = batches * s.train / 1e9;
+    let (prep_s, transfer_s) = match cfg.level {
+        OptLevel::PygBaseline | OptLevel::FastSampling | OptLevel::SharedMemPrep => {
+            // Blocking accounting from the main loop's perspective: whatever
+            // is not transfer or training is preparation (slice + waiting on
+            // samplers), as in Table 1.
+            let transfer_s = batches * s.transfer / 1e9;
+            let prep_s = (epoch_s - transfer_s - train_s).max(0.0);
+            (prep_s, transfer_s)
+        }
+        OptLevel::Pipelined => {
+            // Nothing blocks except residual non-overlap.
+            let residual = (epoch_s - train_s).max(0.0);
+            (residual, 0.0)
+        }
+    };
+    // GPU resource is registered last (index 3).
+    let gpu_util = ex.utilization(sim, 3);
+    EpochReport {
+        epoch_s,
+        prep_s,
+        transfer_s,
+        train_s,
+        gpu_util,
+    }
+}
+
+
+/// Simulates a pipelined *inference* pass (forward only) over `num_nodes`
+/// evaluation nodes spread across `ranks` GPUs — the paper's "inference
+/// with fanout (20, 20, 20) takes 2.4 seconds" workload.
+pub fn simulate_inference_epoch(
+    cfg: &EpochConfig,
+    model: &CostModel,
+    num_nodes: u64,
+    ranks: usize,
+) -> f64 {
+    let w = expected_batch(&cfg.stats, &cfg.fanouts, cfg.batch_size);
+    let batches = num_nodes.div_ceil((cfg.batch_size * ranks.max(1)) as u64) as usize;
+    let contention = |serial: f64| serial * cfg.cpu_workers as f64 + (1.0 - serial);
+    let prep_ns = model.sample_batch_ns(Impl::Salient, &w)
+        * contention(model.sample_serial_frac_salient)
+        + model.slice_batch_ns(Impl::Salient, &w) * contention(model.slice_serial_frac_salient)
+        + model.salient_batch_overhead_ns;
+    let transfer_ns = model.transfer_batch_ns(&w, true);
+    let infer_ns = model.gpu_infer_batch_ns(cfg.arch, &w, cfg.hidden, cfg.classes);
+
+    let mut sim = Simulation::new();
+    let workers = sim.resource("workers", cfg.cpu_workers);
+    let dma = sim.resource("dma", 1);
+    let gpu = sim.resource("gpu", 1);
+    let mut infer_tasks: Vec<TaskId> = Vec::with_capacity(batches);
+    let prefetch = 2 * cfg.cpu_workers;
+    for b in 0..batches {
+        let mut deps = Vec::new();
+        if b >= prefetch {
+            deps.push(infer_tasks[b - prefetch]);
+        }
+        let prep = sim.task(format!("prep[{b}]"), workers, prep_ns as u64, deps);
+        let transfer = sim.task(format!("transfer[{b}]"), dma, transfer_ns as u64, vec![prep]);
+        let infer = sim.task(format!("infer[{b}]"), gpu, infer_ns as u64, vec![transfer]);
+        infer_tasks.push(infer);
+    }
+    sim.run().makespan as f64 / 1e9
+}
+
+/// Convenience wrapper returning just the report.
+pub fn simulate_epoch(cfg: &EpochConfig, model: &CostModel) -> EpochReport {
+    simulate_epoch_detailed(cfg, model).0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(stats: DatasetStats, level: OptLevel) -> EpochReport {
+        simulate_epoch(&EpochConfig::paper_default(stats, level), &CostModel::paper_hardware())
+    }
+
+    #[test]
+    fn table1_baseline_epoch_times_in_range() {
+        // Table 1: arxiv 1.7 s, products 8.6 s, papers 50.4 s.
+        let arxiv = report(DatasetStats::arxiv(), OptLevel::PygBaseline).epoch_s;
+        let products = report(DatasetStats::products(), OptLevel::PygBaseline).epoch_s;
+        let papers = report(DatasetStats::papers(), OptLevel::PygBaseline).epoch_s;
+        assert!((0.6..3.4).contains(&arxiv), "arxiv baseline ≈1.7 s, got {arxiv:.2}");
+        assert!((5.0..14.0).contains(&products), "products baseline ≈8.6 s, got {products:.2}");
+        assert!((33.0..75.0).contains(&papers), "papers baseline ≈50.4 s, got {papers:.1}");
+    }
+
+    #[test]
+    fn table1_gpu_share_is_minority() {
+        // "Across all three data sets, only about 28% of the time is spent
+        // on GPU training."
+        for stats in DatasetStats::all() {
+            let r = report(stats.clone(), OptLevel::PygBaseline);
+            let pct = r.pct(r.train_s);
+            assert!(
+                (15.0..45.0).contains(&pct),
+                "{}: GPU share ≈28 %, got {pct:.0} %",
+                stats.name
+            );
+        }
+    }
+
+    #[test]
+    fn table3_ladder_is_monotone() {
+        for stats in DatasetStats::all() {
+            let mut prev = f64::INFINITY;
+            for level in OptLevel::ladder() {
+                let t = report(stats.clone(), level).epoch_s;
+                assert!(
+                    t <= prev * 1.02,
+                    "{}: ladder level {level:?} regressed {t:.2} > {prev:.2}",
+                    stats.name
+                );
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn figure4_speedup_is_about_3x() {
+        for stats in DatasetStats::all() {
+            let base = report(stats.clone(), OptLevel::PygBaseline).epoch_s;
+            let salient = report(stats.clone(), OptLevel::Pipelined).epoch_s;
+            let speedup = base / salient;
+            assert!(
+                (2.0..4.5).contains(&speedup),
+                "{}: single-GPU speedup ≈3–3.4×, got {speedup:.2}",
+                stats.name
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_epoch_close_to_bottleneck_stage() {
+        // §8: "end-to-end training time per epoch is nearly equal to the
+        // time for the slowest of these components in isolation."
+        let cfg = EpochConfig::paper_default(DatasetStats::papers(), OptLevel::Pipelined);
+        let m = CostModel::paper_hardware();
+        let (r, sim, ex) = simulate_epoch_detailed(&cfg, &m);
+        let _ = (sim, ex);
+        // papers is prep-bound at 20 workers; epoch ≤ 1.15 × bottleneck.
+        let w = expected_batch(&cfg.stats, &cfg.fanouts, cfg.batch_size);
+        let s = stage_durations(&cfg, &m, &w);
+        let batches = cfg.stats.batches_per_epoch(cfg.batch_size) as f64;
+        let prep_capacity = batches * s.prep_worker / cfg.cpu_workers as f64 / 1e9;
+        let gpu_total = batches * s.train / 1e9;
+        let dma_total = batches * s.transfer / 1e9;
+        let bottleneck = prep_capacity.max(gpu_total).max(dma_total);
+        assert!(
+            r.epoch_s <= bottleneck * 1.15 + 0.2,
+            "epoch {:.2} should track bottleneck {:.2}",
+            r.epoch_s,
+            bottleneck
+        );
+    }
+
+    #[test]
+    fn papers_pipelined_epoch_matches_table3() {
+        // Table 3: papers with all optimizations = 16.5 s on one GPU.
+        let t = report(DatasetStats::papers(), OptLevel::Pipelined).epoch_s;
+        assert!((11.0..23.0).contains(&t), "papers SALIENT 1-GPU ≈16.5 s, got {t:.1}");
+    }
+
+
+    #[test]
+    fn papers_test_inference_near_paper_number() {
+        // Abstract: "inference with fanout (20, 20, 20) takes 2.4 seconds"
+        // over the 214K-node test set on 16 GPUs.
+        let cfg = EpochConfig {
+            fanouts: vec![20, 20, 20],
+            ..EpochConfig::paper_default(DatasetStats::papers(), OptLevel::Pipelined)
+        };
+        let t = simulate_inference_epoch(&cfg, &CostModel::paper_hardware(), 214_338, 16);
+        assert!((0.6..5.0).contains(&t), "papers inference ≈2.4 s, got {t:.2}");
+    }
+
+    #[test]
+    fn inference_is_cheaper_than_training_per_node() {
+        let m = CostModel::paper_hardware();
+        let cfg = EpochConfig::paper_default(DatasetStats::products(), OptLevel::Pipelined);
+        let w = expected_batch(&cfg.stats, &cfg.fanouts, cfg.batch_size);
+        let fwd = m.gpu_infer_batch_ns(cfg.arch, &w, cfg.hidden, cfg.classes);
+        let train = m.gpu_train_batch_ns(cfg.arch, &w, cfg.hidden, cfg.classes);
+        assert!(fwd < train, "forward-only must be cheaper: {fwd} vs {train}");
+    }
+
+    #[test]
+    fn gpu_utilization_improves_along_ladder() {
+        let base = report(DatasetStats::products(), OptLevel::PygBaseline).gpu_util;
+        let salient = report(DatasetStats::products(), OptLevel::Pipelined).gpu_util;
+        assert!(
+            salient > base + 0.15,
+            "pipelining should lift GPU utilization: {base:.2} -> {salient:.2}"
+        );
+    }
+}

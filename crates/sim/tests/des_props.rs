@@ -1,0 +1,150 @@
+//! Property-based tests of the discrete-event simulation engine: random
+//! task DAGs must execute with no server overlap, respected dependencies,
+//! and a makespan bounded by critical path and total-work arguments.
+
+use proptest::prelude::*;
+use salient_sim::Simulation;
+
+/// A random schedule description: resources with server counts, tasks with
+/// durations, resource assignments, and backward-pointing dependencies.
+#[derive(Debug, Clone)]
+struct RandomSchedule {
+    servers: Vec<usize>,
+    tasks: Vec<(usize, u64, Vec<usize>)>, // (resource, duration, deps)
+}
+
+fn schedules() -> impl Strategy<Value = RandomSchedule> {
+    (1usize..4, 1usize..40).prop_flat_map(|(num_res, num_tasks)| {
+        let servers = prop::collection::vec(1usize..4, num_res..=num_res);
+        let tasks = prop::collection::vec(
+            (0usize..num_res, 0u64..200, prop::collection::vec(0usize..1000, 0..3)),
+            num_tasks..=num_tasks,
+        );
+        (servers, tasks).prop_map(|(servers, raw)| {
+            let tasks = raw
+                .into_iter()
+                .enumerate()
+                .map(|(id, (res, dur, deps))| {
+                    // Deps must point to earlier tasks.
+                    let deps: Vec<usize> = deps
+                        .into_iter()
+                        .filter(|_| id > 0)
+                        .map(|d| d % id.max(1))
+                        .collect();
+                    (res, dur, deps)
+                })
+                .collect();
+            RandomSchedule { servers, tasks }
+        })
+    })
+}
+
+fn build(s: &RandomSchedule) -> Simulation {
+    let mut sim = Simulation::new();
+    let resources: Vec<_> = s
+        .servers
+        .iter()
+        .enumerate()
+        .map(|(i, &k)| sim.resource(format!("r{i}"), k))
+        .collect();
+    for (id, (res, dur, deps)) in s.tasks.iter().enumerate() {
+        let t = sim.task(format!("t{id}"), resources[*res], *dur, deps.clone());
+        assert_eq!(t, id);
+    }
+    sim
+}
+
+/// Longest dependency chain (ignoring resources): a lower bound on makespan.
+fn critical_path(s: &RandomSchedule) -> u64 {
+    let mut finish = vec![0u64; s.tasks.len()];
+    for (id, (_, dur, deps)) in s.tasks.iter().enumerate() {
+        let ready = deps.iter().map(|&d| finish[d]).max().unwrap_or(0);
+        finish[id] = ready + dur;
+    }
+    finish.into_iter().max().unwrap_or(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn execution_is_well_formed(s in schedules()) {
+        let sim = build(&s);
+        let ex = sim.run();
+
+        // 1. Dependencies respected.
+        for (id, (_, _, deps)) in s.tasks.iter().enumerate() {
+            for &d in deps {
+                prop_assert!(ex.start[id] >= ex.end[d],
+                    "task {id} started before dep {d} finished");
+            }
+        }
+
+        // 2. Duration honored.
+        for (id, (_, dur, _)) in s.tasks.iter().enumerate() {
+            prop_assert_eq!(ex.end[id] - ex.start[id], *dur);
+        }
+
+        // 3. No two tasks overlap on the same (resource, server) lane.
+        let mut lanes: std::collections::HashMap<(usize, usize), Vec<(u64, u64)>> =
+            std::collections::HashMap::new();
+        for (id, (res, dur, _)) in s.tasks.iter().enumerate() {
+            if *dur == 0 {
+                continue;
+            }
+            lanes
+                .entry((*res, ex.server[id]))
+                .or_default()
+                .push((ex.start[id], ex.end[id]));
+        }
+        for ((res, srv), mut intervals) in lanes {
+            intervals.sort_unstable();
+            for pair in intervals.windows(2) {
+                prop_assert!(pair[0].1 <= pair[1].0,
+                    "overlap on resource {res} server {srv}: {pair:?}");
+            }
+        }
+
+        // 4. Makespan bounds: at least the critical path, at most total work
+        //    serialized plus the critical path (loose but universal).
+        let cp = critical_path(&s);
+        let total: u64 = s.tasks.iter().map(|(_, d, _)| *d).sum();
+        prop_assert!(ex.makespan >= cp, "makespan {} < critical path {cp}", ex.makespan);
+        prop_assert!(ex.makespan <= total + cp,
+            "makespan {} > total work {total} + cp {cp}", ex.makespan);
+
+        // 5. Busy accounting equals summed durations per resource.
+        for (res, _) in s.servers.iter().enumerate() {
+            let expect: u64 = s
+                .tasks
+                .iter()
+                .filter(|(r, _, _)| *r == res)
+                .map(|(_, d, _)| *d)
+                .sum();
+            prop_assert_eq!(ex.busy[res], expect);
+        }
+    }
+
+    #[test]
+    fn more_servers_cannot_double_makespan(s in schedules()) {
+        // Greedy list scheduling is subject to Graham anomalies, so adding
+        // servers may occasionally *increase* the makespan — but never past
+        // Graham's 2x bound relative to the narrower schedule.
+        let base = build(&s).run().makespan;
+        let mut wider = s.clone();
+        for k in &mut wider.servers {
+            *k += 4;
+        }
+        let wide = build(&wider).run().makespan;
+        prop_assert!(wide <= base * 2 + 1, "anomaly beyond Graham bound: {wide} vs {base}");
+    }
+
+    #[test]
+    fn determinism(s in schedules()) {
+        let a = build(&s).run();
+        let b = build(&s).run();
+        prop_assert_eq!(a.start, b.start);
+        prop_assert_eq!(a.end, b.end);
+        prop_assert_eq!(a.makespan, b.makespan);
+    }
+}

@@ -1,0 +1,410 @@
+//! Reverse-mode automatic differentiation on a per-batch tape.
+//!
+//! Each training iteration builds a fresh [`Tape`]: the forward pass records
+//! one node per operation, and [`Tape::backward`] walks the nodes in reverse
+//! to produce a [`Gradients`] map. Trainable tensors live outside the tape in
+//! [`Param`]s (identified by a stable [`ParamId`]), so a model can be reused
+//! across batches, threads hold independent tapes, and the DDP layer can
+//! all-reduce gradients by parameter identity.
+
+use crate::tensor::Tensor;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Stable identity of a trainable parameter, unique within the process.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ParamId(u64);
+
+static NEXT_PARAM_ID: AtomicU64 = AtomicU64::new(0);
+
+impl ParamId {
+    fn fresh() -> Self {
+        ParamId(NEXT_PARAM_ID.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// A trainable parameter: a value tensor plus an accumulated gradient.
+///
+/// # Examples
+///
+/// ```
+/// use salient_tensor::{Param, Tensor};
+///
+/// let mut p = Param::new("w", Tensor::ones([2, 2]));
+/// assert_eq!(p.grad().sum(), 0.0);
+/// p.zero_grad();
+/// ```
+#[derive(Debug, Clone)]
+pub struct Param {
+    id: ParamId,
+    name: String,
+    value: Tensor,
+    grad: Tensor,
+}
+
+impl Param {
+    /// Creates a parameter with a zeroed gradient of the same shape.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape().clone());
+        Param {
+            id: ParamId::fresh(),
+            name: name.into(),
+            value,
+            grad,
+        }
+    }
+
+    /// The parameter's stable identity.
+    pub fn id(&self) -> ParamId {
+        self.id
+    }
+
+    /// The parameter's name (for debugging and checkpoints).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The current value.
+    pub fn value(&self) -> &Tensor {
+        &self.value
+    }
+
+    /// Mutable access to the value (used by optimizers).
+    pub fn value_mut(&mut self) -> &mut Tensor {
+        &mut self.value
+    }
+
+    /// Replaces the value, keeping identity and gradient shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new value's shape differs from the old.
+    pub fn set_value(&mut self, value: Tensor) {
+        assert_eq!(
+            self.value.shape(),
+            value.shape(),
+            "set_value must preserve shape"
+        );
+        self.value = value;
+    }
+
+    /// The accumulated gradient.
+    pub fn grad(&self) -> &Tensor {
+        &self.grad
+    }
+
+    /// Mutable access to the gradient (used by DDP all-reduce).
+    pub fn grad_mut(&mut self) -> &mut Tensor {
+        &mut self.grad
+    }
+
+    /// Adds `g` into the accumulated gradient.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient shape differs from the value shape.
+    pub fn accumulate_grad(&mut self, g: &Tensor) {
+        self.grad.axpy(1.0, g);
+    }
+
+    /// Resets the accumulated gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.zero_();
+    }
+}
+
+/// Gradient contributions flowing to the parents of one tape node.
+pub(crate) type BackwardFn = Box<dyn Fn(&Tensor) -> Vec<(usize, Tensor)>>;
+
+pub(crate) struct Node {
+    pub(crate) value: Tensor,
+    pub(crate) backward: Option<BackwardFn>,
+    /// Set when this node is a leaf bound to a parameter.
+    pub(crate) param: Option<ParamId>,
+}
+
+pub(crate) struct TapeInner {
+    pub(crate) nodes: RefCell<Vec<Node>>,
+}
+
+/// A recording of one forward pass, able to run backpropagation.
+///
+/// The tape is single-threaded by design (one per rank / per worker); the
+/// parallelism in SALIENT lives in batch preparation, not inside a batch's
+/// backward pass.
+///
+/// # Examples
+///
+/// ```
+/// use salient_tensor::{Tape, Tensor};
+///
+/// let tape = Tape::new();
+/// let x = tape.constant(Tensor::from_vec(vec![2.0], [1]));
+/// let y = x.mul(&x); // y = x^2
+/// let grads = tape.backward(&y.sum_all());
+/// // dy/dx = 2x = 4
+/// assert_eq!(grads.wrt(&x).unwrap().data(), &[4.0]);
+/// ```
+#[derive(Clone)]
+pub struct Tape {
+    pub(crate) inner: Rc<TapeInner>,
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Tape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tape({} nodes)", self.inner.nodes.borrow().len())
+    }
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Tape {
+            inner: Rc::new(TapeInner {
+                nodes: RefCell::new(Vec::new()),
+            }),
+        }
+    }
+
+    /// Number of recorded nodes.
+    pub fn len(&self) -> usize {
+        self.inner.nodes.borrow().len()
+    }
+
+    /// Whether the tape has recorded any node.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub(crate) fn push(&self, node: Node) -> Var {
+        let mut nodes = self.inner.nodes.borrow_mut();
+        nodes.push(node);
+        Var {
+            tape: Rc::clone(&self.inner),
+            id: nodes.len() - 1,
+        }
+    }
+
+    /// Records a non-trainable input (activations, sliced features).
+    pub fn constant(&self, value: Tensor) -> Var {
+        self.push(Node {
+            value,
+            backward: None,
+            param: None,
+        })
+    }
+
+    /// Records a leaf bound to a trainable parameter; its gradient appears in
+    /// [`Gradients::by_param`] after [`Tape::backward`].
+    pub fn param(&self, param: &Param) -> Var {
+        self.push(Node {
+            value: param.value().clone(),
+            backward: None,
+            param: Some(param.id()),
+        })
+    }
+
+    /// Runs reverse-mode differentiation from `output`, which must be a
+    /// scalar, and returns gradients for every reachable node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `output` is not on this tape or is not a scalar.
+    pub fn backward(&self, output: &Var) -> Gradients {
+        assert!(
+            Rc::ptr_eq(&self.inner, &output.tape),
+            "backward() var from a different tape"
+        );
+        let nodes = self.inner.nodes.borrow();
+        assert_eq!(
+            nodes[output.id].value.len(),
+            1,
+            "backward() requires a scalar output, got shape {}",
+            nodes[output.id].value.shape()
+        );
+        let mut grads: Vec<Option<Tensor>> = vec![None; nodes.len()];
+        grads[output.id] = Some(Tensor::full(
+            nodes[output.id].value.shape().clone(),
+            1.0,
+        ));
+        for id in (0..=output.id).rev() {
+            let Some(grad) = grads[id].take() else {
+                continue;
+            };
+            if let Some(backward) = &nodes[id].backward {
+                for (pid, contrib) in backward(&grad) {
+                    debug_assert!(pid < id, "gradient must flow to earlier node");
+                    match &mut grads[pid] {
+                        Some(acc) => acc.axpy(1.0, &contrib),
+                        slot @ None => *slot = Some(contrib),
+                    }
+                }
+            }
+            grads[id] = Some(grad);
+        }
+        let mut by_param = HashMap::new();
+        for (id, node) in nodes.iter().enumerate() {
+            if let (Some(pid), Some(g)) = (node.param, &grads[id]) {
+                by_param
+                    .entry(pid)
+                    .and_modify(|acc: &mut Tensor| acc.axpy(1.0, g))
+                    .or_insert_with(|| g.clone());
+            }
+        }
+        Gradients {
+            by_node: grads,
+            by_param,
+        }
+    }
+}
+
+/// The result of a backward pass: per-node and per-parameter gradients.
+#[derive(Debug)]
+pub struct Gradients {
+    by_node: Vec<Option<Tensor>>,
+    by_param: HashMap<ParamId, Tensor>,
+}
+
+impl Gradients {
+    /// Gradient with respect to a tape variable, if it was reached.
+    pub fn wrt(&self, var: &Var) -> Option<&Tensor> {
+        self.by_node.get(var.id).and_then(|g| g.as_ref())
+    }
+
+    /// Gradient with respect to a parameter, if it was used in the forward
+    /// pass.
+    pub fn by_param(&self, id: ParamId) -> Option<&Tensor> {
+        self.by_param.get(&id)
+    }
+
+    /// Accumulates all parameter gradients into the matching [`Param`]s.
+    ///
+    /// Parameters that did not participate in the forward pass are left
+    /// untouched.
+    pub fn apply_to<'a>(&self, params: impl IntoIterator<Item = &'a mut Param>) {
+        for p in params {
+            if let Some(g) = self.by_param.get(&p.id()) {
+                p.accumulate_grad(g);
+            }
+        }
+    }
+
+    /// Iterates over `(ParamId, gradient)` pairs.
+    pub fn iter_params(&self) -> impl Iterator<Item = (ParamId, &Tensor)> {
+        self.by_param.iter().map(|(k, v)| (*k, v))
+    }
+}
+
+/// A value recorded on a [`Tape`]. Cloning is cheap (it is an id plus a
+/// reference-counted tape handle).
+#[derive(Clone)]
+pub struct Var {
+    pub(crate) tape: Rc<TapeInner>,
+    pub(crate) id: usize,
+}
+
+impl Var {
+    /// The forward value of this variable.
+    pub fn value(&self) -> Tensor {
+        self.tape.nodes.borrow()[self.id].value.clone()
+    }
+
+    /// The shape of the forward value.
+    pub fn shape(&self) -> crate::Shape {
+        self.tape.nodes.borrow()[self.id].value.shape().clone()
+    }
+
+    pub(crate) fn tape(&self) -> Tape {
+        Tape {
+            inner: Rc::clone(&self.tape),
+        }
+    }
+
+    pub(crate) fn same_tape(&self, other: &Var) {
+        assert!(
+            Rc::ptr_eq(&self.tape, &other.tape),
+            "operands recorded on different tapes"
+        );
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Var(id={}, value={:?})", self.id, self.value())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_ids_are_unique() {
+        let a = Param::new("a", Tensor::zeros([1]));
+        let b = Param::new("b", Tensor::zeros([1]));
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn constant_has_no_param_grad() {
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::scalar(3.0));
+        let g = tape.backward(&x);
+        assert_eq!(g.iter_params().count(), 0);
+        assert_eq!(g.wrt(&x).unwrap().item(), 1.0);
+    }
+
+    #[test]
+    fn param_grad_accumulates_across_uses() {
+        let p = Param::new("w", Tensor::scalar(5.0));
+        let tape = Tape::new();
+        let w1 = tape.param(&p);
+        let w2 = tape.param(&p);
+        let y = w1.add(&w2); // y = w + w
+        let g = tape.backward(&y);
+        assert_eq!(g.by_param(p.id()).unwrap().item(), 2.0);
+    }
+
+    #[test]
+    fn apply_to_accumulates() {
+        let mut p = Param::new("w", Tensor::scalar(1.0));
+        let tape = Tape::new();
+        let w = tape.param(&p);
+        let y = w.scale(3.0);
+        let g = tape.backward(&y);
+        g.apply_to([&mut p]);
+        g.apply_to([&mut p]);
+        assert_eq!(p.grad().item(), 6.0, "two applications accumulate");
+        p.zero_grad();
+        assert_eq!(p.grad().item(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "scalar")]
+    fn backward_requires_scalar() {
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::zeros([2]));
+        tape.backward(&x);
+    }
+
+    #[test]
+    fn diamond_dependency_accumulates() {
+        // y = x*x + x*x; dy/dx = 4x.
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::scalar(3.0));
+        let a = x.mul(&x);
+        let b = x.mul(&x);
+        let y = a.add(&b);
+        let g = tape.backward(&y);
+        assert_eq!(g.wrt(&x).unwrap().item(), 12.0);
+    }
+}

@@ -1,0 +1,289 @@
+//! IEEE 754 binary16 ("half") floating point, implemented from scratch.
+//!
+//! SALIENT stores node features in host memory as half precision to halve the
+//! bytes moved during slicing and CPU→GPU transfer (§3, conventional
+//! optimization (iii)). GPU compute still happens in `f32`, so the only
+//! operations needed are conversion to/from `f32` plus ordering/formatting.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A 16-bit IEEE 754 binary16 floating point number.
+///
+/// Layout: 1 sign bit, 5 exponent bits (bias 15), 10 mantissa bits.
+/// Conversion from `f32` uses round-to-nearest-even, matching hardware
+/// `F32 -> F16` conversion semantics.
+///
+/// # Examples
+///
+/// ```
+/// use salient_tensor::F16;
+///
+/// let h = F16::from_f32(1.5);
+/// assert_eq!(h.to_f32(), 1.5);
+/// assert_eq!(F16::from_f32(f32::INFINITY).to_f32(), f32::INFINITY);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct F16(u16);
+
+const EXP_MASK: u16 = 0x7C00;
+const MAN_MASK: u16 = 0x03FF;
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0);
+    /// One.
+    pub const ONE: F16 = F16(0x3C00);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7C00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: F16 = F16(0xFC00);
+    /// The largest finite value, 65504.
+    pub const MAX: F16 = F16(0x7BFF);
+    /// The smallest positive normal value, 2^-14.
+    pub const MIN_POSITIVE: F16 = F16(0x0400);
+
+    /// Creates an `F16` from its raw bit pattern.
+    pub const fn from_bits(bits: u16) -> Self {
+        F16(bits)
+    }
+
+    /// Returns the raw bit pattern.
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts an `f32` to `F16` with round-to-nearest-even.
+    ///
+    /// Values whose magnitude exceeds [`F16::MAX`] become infinity; values
+    /// below the subnormal range flush to (signed) zero; NaN stays NaN.
+    pub fn from_f32(value: f32) -> Self {
+        let bits = value.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let man = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // Inf / NaN. Preserve a quiet-NaN payload bit so NaN stays NaN.
+            let nan_payload = if man != 0 { 0x0200 } else { 0 };
+            return F16(sign | EXP_MASK | nan_payload);
+        }
+
+        // Unbiased exponent.
+        let unbiased = exp - 127;
+        if unbiased > 15 {
+            // Overflow to infinity.
+            return F16(sign | EXP_MASK);
+        }
+        if unbiased >= -14 {
+            // Normal range. 13 mantissa bits must be rounded away.
+            let half_exp = ((unbiased + 15) as u16) << 10;
+            let half_man = (man >> 13) as u16;
+            let round_bits = man & 0x1FFF;
+            let mut h = sign | half_exp | half_man;
+            // Round to nearest even.
+            if round_bits > 0x1000 || (round_bits == 0x1000 && (half_man & 1) == 1) {
+                h = h.wrapping_add(1); // may carry into exponent: correct (rounds up to next binade or inf)
+            }
+            return F16(h);
+        }
+        if unbiased >= -25 {
+            // Subnormal half. Shift the implicit leading 1 into the mantissa.
+            // The unit in the last place of a subnormal half is 2^-24, so the
+            // 24-bit significand (1 implicit + 23 explicit bits, worth
+            // 2^(unbiased-23) per bit) must shift right by -(unbiased+1).
+            let full_man = man | 0x0080_0000;
+            let s = (-unbiased - 1) as u32; // 14..=24
+            let half_man = (full_man >> s) as u16;
+            let round_mask = (1u32 << s) - 1;
+            let round_bits = full_man & round_mask;
+            let halfway = 1u32 << (s - 1);
+            let mut h = sign | half_man;
+            if round_bits > halfway || (round_bits == halfway && (half_man & 1) == 1) {
+                h = h.wrapping_add(1);
+            }
+            return F16(h);
+        }
+        // Underflow to signed zero.
+        F16(sign)
+    }
+
+    /// Converts this half back to `f32` exactly (every `F16` value is
+    /// representable in `f32`).
+    pub fn to_f32(self) -> f32 {
+        let sign = ((self.0 & 0x8000) as u32) << 16;
+        let exp = ((self.0 & EXP_MASK) >> 10) as u32;
+        let man = (self.0 & MAN_MASK) as u32;
+        let bits = match (exp, man) {
+            (0, 0) => sign,
+            (0, m) => {
+                // Subnormal: normalize.
+                let mut e = -14i32;
+                let mut m = m;
+                while m & 0x0400 == 0 {
+                    m <<= 1;
+                    e -= 1;
+                }
+                m &= 0x03FF;
+                sign | (((e + 127) as u32) << 23) | (m << 13)
+            }
+            (0x1F, 0) => sign | 0x7F80_0000,
+            (0x1F, m) => sign | 0x7F80_0000 | (m << 13),
+            (e, m) => sign | ((e + 127 - 15) << 23) | (m << 13),
+        };
+        f32::from_bits(bits)
+    }
+
+    /// Whether this value is NaN.
+    pub fn is_nan(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & MAN_MASK) != 0
+    }
+
+    /// Whether this value is positive or negative infinity.
+    pub fn is_infinite(self) -> bool {
+        (self.0 & EXP_MASK) == EXP_MASK && (self.0 & MAN_MASK) == 0
+    }
+
+    /// Whether this value is finite (neither infinite nor NaN).
+    pub fn is_finite(self) -> bool {
+        (self.0 & EXP_MASK) != EXP_MASK
+    }
+}
+
+impl From<f32> for F16 {
+    fn from(v: f32) -> Self {
+        F16::from_f32(v)
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(v: F16) -> Self {
+        v.to_f32()
+    }
+}
+
+impl PartialOrd for F16 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+impl fmt::Debug for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F16({})", self.to_f32())
+    }
+}
+
+impl fmt::Display for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+/// Converts a slice of `f32` into a freshly allocated vector of halves.
+pub fn quantize(values: &[f32]) -> Vec<F16> {
+    values.iter().map(|&v| F16::from_f32(v)).collect()
+}
+
+/// Converts halves back to `f32`, writing into `out`.
+///
+/// This is the "GPU-side upcast" in the SALIENT transfer path: features are
+/// sliced and shipped as binary16 and widened on the device.
+///
+/// # Panics
+///
+/// Panics if `out.len() != values.len()`.
+pub fn dequantize_into(values: &[F16], out: &mut [f32]) {
+    assert_eq!(values.len(), out.len(), "dequantize length mismatch");
+    for (o, v) in out.iter_mut().zip(values.iter()) {
+        *o = v.to_f32();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers_round_trip() {
+        for i in -2048..=2048 {
+            let f = i as f32;
+            assert_eq!(F16::from_f32(f).to_f32(), f, "value {f}");
+        }
+    }
+
+    #[test]
+    fn powers_of_two_round_trip() {
+        for e in -14..=15 {
+            let f = (2.0f32).powi(e);
+            assert_eq!(F16::from_f32(f).to_f32(), f);
+            assert_eq!(F16::from_f32(-f).to_f32(), -f);
+        }
+    }
+
+    #[test]
+    fn constants() {
+        assert_eq!(F16::ZERO.to_f32(), 0.0);
+        assert_eq!(F16::ONE.to_f32(), 1.0);
+        assert_eq!(F16::MAX.to_f32(), 65504.0);
+        assert_eq!(F16::MIN_POSITIVE.to_f32(), (2.0f32).powi(-14));
+    }
+
+    #[test]
+    fn overflow_goes_to_infinity() {
+        assert_eq!(F16::from_f32(1e6).to_f32(), f32::INFINITY);
+        assert_eq!(F16::from_f32(-1e6).to_f32(), f32::NEG_INFINITY);
+        // Values just above MAX round to infinity; just below stay finite.
+        assert_eq!(F16::from_f32(65520.0).to_f32(), f32::INFINITY);
+        assert_eq!(F16::from_f32(65472.0).to_f32(), 65472.0);
+    }
+
+    #[test]
+    fn nan_is_preserved() {
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!(F16::from_f32(f32::NAN).to_f32().is_nan());
+    }
+
+    #[test]
+    fn subnormals() {
+        let tiny = (2.0f32).powi(-24); // smallest positive subnormal half
+        assert_eq!(F16::from_f32(tiny).to_f32(), tiny);
+        let sub = 3.0 * (2.0f32).powi(-24);
+        assert_eq!(F16::from_f32(sub).to_f32(), sub);
+        // Below half the smallest subnormal: flush to zero.
+        assert_eq!(F16::from_f32((2.0f32).powi(-26)).to_f32(), 0.0);
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2^-11 is exactly halfway between 1.0 and 1+2^-10; ties go to
+        // even mantissa, i.e. down to 1.0.
+        let halfway = 1.0 + (2.0f32).powi(-11);
+        assert_eq!(F16::from_f32(halfway).to_f32(), 1.0);
+        // Slightly above halfway rounds up.
+        let above = 1.0 + (2.0f32).powi(-11) + (2.0f32).powi(-16);
+        assert_eq!(F16::from_f32(above).to_f32(), 1.0 + (2.0f32).powi(-10));
+    }
+
+    #[test]
+    fn quantize_dequantize_slices() {
+        let xs = [0.0f32, 1.0, -2.5, 100.25, 0.099975586];
+        let q = quantize(&xs);
+        let mut out = vec![0.0f32; xs.len()];
+        dequantize_into(&q, &mut out);
+        for (a, b) in xs.iter().zip(out.iter()) {
+            assert!((a - b).abs() <= a.abs() * 1e-3 + 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn quantization_relative_error_bound() {
+        // Round-to-nearest: relative error at most 2^-11 for normal values.
+        let mut x = 1.0f32;
+        while x < 60000.0 {
+            let h = F16::from_f32(x).to_f32();
+            assert!((h - x).abs() <= x * (2.0f32).powi(-11) + f32::EPSILON);
+            x *= 1.37;
+        }
+    }
+}

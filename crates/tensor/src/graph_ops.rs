@@ -1,0 +1,459 @@
+//! Differentiable gather/scatter operations used by message-passing layers.
+//!
+//! A bipartite message-flow-graph layer is an edge list of `(src, dst)` local
+//! id pairs; aggregation ops here implement the `AGG` of Eq. (1) in the paper
+//! (mean for GraphSAGE, sum for GIN, attention-weighted sum for GAT).
+
+use crate::autograd::{Node, Var};
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+
+fn check_edges(src: &[u32], dst: &[u32], n_src: usize, n_dst: usize) {
+    assert_eq!(src.len(), dst.len(), "edge list length mismatch");
+    debug_assert!(
+        src.iter().all(|&s| (s as usize) < n_src),
+        "source id out of range"
+    );
+    debug_assert!(
+        dst.iter().all(|&d| (d as usize) < n_dst),
+        "destination id out of range"
+    );
+}
+
+impl Var {
+    /// Gathers rows by index: `out[i] = self[idx[i]]`.
+    ///
+    /// Backward scatter-adds the output gradient back to the gathered rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn gather_rows(&self, idx: &[u32]) -> Var {
+        let a = self.value();
+        let (rows, cols) = (a.rows(), a.cols());
+        let usize_idx: Vec<usize> = idx.iter().map(|&i| i as usize).collect();
+        let out = a.gather_rows(&usize_idx);
+        let ia = self.id;
+        self.tape().push(Node {
+            value: out,
+            backward: Some(Box::new(move |g| {
+                let mut dx = vec![0.0f32; rows * cols];
+                for (e, &i) in usize_idx.iter().enumerate() {
+                    let grow = g.row(e);
+                    for (d, v) in dx[i * cols..(i + 1) * cols].iter_mut().zip(grow.iter()) {
+                        *d += v;
+                    }
+                }
+                vec![(ia, Tensor::from_vec(dx, Shape::matrix(rows, cols)))]
+            })),
+            param: None,
+        })
+    }
+
+    /// Mean aggregation over a bipartite edge list:
+    /// `out[d] = mean { self[s] : (s, d) ∈ edges }`, with zero rows for
+    /// destinations that have no incoming edge.
+    ///
+    /// This is GraphSAGE's neighborhood mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != dst.len()` (and, in debug builds, if any id is
+    /// out of range).
+    pub fn scatter_mean(&self, src: &[u32], dst: &[u32], n_dst: usize) -> Var {
+        let a = self.value();
+        let cols = a.cols();
+        check_edges(src, dst, a.rows(), n_dst);
+        let mut counts = vec![0.0f32; n_dst];
+        for &d in dst {
+            counts[d as usize] += 1.0;
+        }
+        let mut out = vec![0.0f32; n_dst * cols];
+        let ad = a.data();
+        for (&s, &d) in src.iter().zip(dst.iter()) {
+            let (s, d) = (s as usize, d as usize);
+            for (o, v) in out[d * cols..(d + 1) * cols]
+                .iter_mut()
+                .zip(ad[s * cols..(s + 1) * cols].iter())
+            {
+                *o += v;
+            }
+        }
+        for d in 0..n_dst {
+            let c = counts[d];
+            if c > 0.0 {
+                for o in &mut out[d * cols..(d + 1) * cols] {
+                    *o /= c;
+                }
+            }
+        }
+        let ia = self.id;
+        let (src, dst) = (src.to_vec(), dst.to_vec());
+        let n_src = a.rows();
+        self.tape().push(Node {
+            value: Tensor::from_vec(out, Shape::matrix(n_dst, cols)),
+            backward: Some(Box::new(move |g| {
+                let mut dx = vec![0.0f32; n_src * cols];
+                let gd = g.data();
+                for (&s, &d) in src.iter().zip(dst.iter()) {
+                    let (s, d) = (s as usize, d as usize);
+                    let inv = 1.0 / counts[d];
+                    for (x, v) in dx[s * cols..(s + 1) * cols]
+                        .iter_mut()
+                        .zip(gd[d * cols..(d + 1) * cols].iter())
+                    {
+                        *x += inv * v;
+                    }
+                }
+                vec![(ia, Tensor::from_vec(dx, Shape::matrix(n_src, cols)))]
+            })),
+            param: None,
+        })
+    }
+
+    /// Sum aggregation over a bipartite edge list (GIN's neighborhood sum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != dst.len()`.
+    pub fn scatter_add(&self, src: &[u32], dst: &[u32], n_dst: usize) -> Var {
+        let a = self.value();
+        let cols = a.cols();
+        check_edges(src, dst, a.rows(), n_dst);
+        let mut out = vec![0.0f32; n_dst * cols];
+        let ad = a.data();
+        for (&s, &d) in src.iter().zip(dst.iter()) {
+            let (s, d) = (s as usize, d as usize);
+            for (o, v) in out[d * cols..(d + 1) * cols]
+                .iter_mut()
+                .zip(ad[s * cols..(s + 1) * cols].iter())
+            {
+                *o += v;
+            }
+        }
+        let ia = self.id;
+        let (src, dst) = (src.to_vec(), dst.to_vec());
+        let n_src = a.rows();
+        self.tape().push(Node {
+            value: Tensor::from_vec(out, Shape::matrix(n_dst, cols)),
+            backward: Some(Box::new(move |g| {
+                let mut dx = vec![0.0f32; n_src * cols];
+                let gd = g.data();
+                for (&s, &d) in src.iter().zip(dst.iter()) {
+                    let (s, d) = (s as usize, d as usize);
+                    for (x, v) in dx[s * cols..(s + 1) * cols]
+                        .iter_mut()
+                        .zip(gd[d * cols..(d + 1) * cols].iter())
+                    {
+                        *x += v;
+                    }
+                }
+                vec![(ia, Tensor::from_vec(dx, Shape::matrix(n_src, cols)))]
+            })),
+            param: None,
+        })
+    }
+
+
+    /// Max aggregation over a bipartite edge list:
+    /// `out[d][c] = max { self[s][c] : (s, d) ∈ edges }`, with zero rows for
+    /// destinations that have no incoming edge (GraphSAGE's pooling
+    /// aggregator applies this after a per-neighbor MLP).
+    ///
+    /// The backward pass routes each output gradient to the arg-max source
+    /// (ties broken by the first edge encountered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src.len() != dst.len()`.
+    pub fn scatter_max(&self, src: &[u32], dst: &[u32], n_dst: usize) -> Var {
+        let a = self.value();
+        let cols = a.cols();
+        check_edges(src, dst, a.rows(), n_dst);
+        let ad = a.data();
+        let mut out = vec![f32::NEG_INFINITY; n_dst * cols];
+        let mut argmax: Vec<u32> = vec![u32::MAX; n_dst * cols];
+        for (&s, &d) in src.iter().zip(dst.iter()) {
+            let (s, d) = (s as usize, d as usize);
+            for c in 0..cols {
+                let v = ad[s * cols + c];
+                let slot = d * cols + c;
+                if v > out[slot] {
+                    out[slot] = v;
+                    argmax[slot] = s as u32;
+                }
+            }
+        }
+        // Destinations with no edges produce zero rows (not -inf).
+        for (o, am) in out.iter_mut().zip(argmax.iter()) {
+            if *am == u32::MAX {
+                *o = 0.0;
+            }
+        }
+        let ia = self.id;
+        let n_src = a.rows();
+        self.tape().push(Node {
+            value: Tensor::from_vec(out, Shape::matrix(n_dst, cols)),
+            backward: Some(Box::new(move |g| {
+                let gd = g.data();
+                let mut dx = vec![0.0f32; n_src * cols];
+                for (slot, &am) in argmax.iter().enumerate() {
+                    if am != u32::MAX {
+                        let c = slot % cols;
+                        dx[am as usize * cols + c] += gd[slot];
+                    }
+                }
+                vec![(ia, Tensor::from_vec(dx, Shape::matrix(n_src, cols)))]
+            })),
+            param: None,
+        })
+    }
+
+    /// Softmax over edge logits grouped by destination node (GAT attention
+    /// normalization). `self` must be a length-`E` vector of logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the logit count differs from `dst.len()`.
+    pub fn edge_softmax(&self, dst: &[u32], n_dst: usize) -> Var {
+        let logits = self.value();
+        assert_eq!(logits.len(), dst.len(), "one logit per edge required");
+        debug_assert!(dst.iter().all(|&d| (d as usize) < n_dst));
+        let ld = logits.data();
+        let mut maxes = vec![f32::NEG_INFINITY; n_dst];
+        for (e, &d) in dst.iter().enumerate() {
+            let d = d as usize;
+            maxes[d] = maxes[d].max(ld[e]);
+        }
+        let mut sums = vec![0.0f32; n_dst];
+        let mut alpha = vec![0.0f32; ld.len()];
+        for (e, &d) in dst.iter().enumerate() {
+            let d = d as usize;
+            let v = (ld[e] - maxes[d]).exp();
+            alpha[e] = v;
+            sums[d] += v;
+        }
+        for (e, &d) in dst.iter().enumerate() {
+            alpha[e] /= sums[d as usize];
+        }
+        let alpha_t = Tensor::from_vec(alpha.clone(), Shape::vector(ld.len()));
+        let ia = self.id;
+        let dst = dst.to_vec();
+        self.tape().push(Node {
+            value: alpha_t,
+            backward: Some(Box::new(move |g| {
+                // dl_e = a_e * (g_e - sum_{e' in group(e)} g_{e'} a_{e'})
+                let gd = g.data();
+                let mut group_dot = vec![0.0f32; n_dst];
+                for (e, &d) in dst.iter().enumerate() {
+                    group_dot[d as usize] += gd[e] * alpha[e];
+                }
+                let mut dl = vec![0.0f32; alpha.len()];
+                for (e, &d) in dst.iter().enumerate() {
+                    dl[e] = alpha[e] * (gd[e] - group_dot[d as usize]);
+                }
+                vec![(ia, Tensor::from_vec(dl, Shape::vector(alpha.len())))]
+            })),
+            param: None,
+        })
+    }
+
+    /// Attention-weighted aggregation: `out[d] = Σ_e α_e · self[src_e]` over
+    /// edges `(src_e, d)`. `alpha` must be a length-`E` vector.
+    ///
+    /// Gradients flow to both the source features and the weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if edge lists and weights disagree in length.
+    pub fn weighted_scatter_add(
+        &self,
+        alpha: &Var,
+        src: &[u32],
+        dst: &[u32],
+        n_dst: usize,
+    ) -> Var {
+        self.same_tape(alpha);
+        let x = self.value();
+        let w = alpha.value();
+        let cols = x.cols();
+        check_edges(src, dst, x.rows(), n_dst);
+        assert_eq!(w.len(), src.len(), "one weight per edge required");
+        let (xd, wd) = (x.data(), w.data());
+        let mut out = vec![0.0f32; n_dst * cols];
+        for (e, (&s, &d)) in src.iter().zip(dst.iter()).enumerate() {
+            let (s, d) = (s as usize, d as usize);
+            let a = wd[e];
+            for (o, v) in out[d * cols..(d + 1) * cols]
+                .iter_mut()
+                .zip(xd[s * cols..(s + 1) * cols].iter())
+            {
+                *o += a * v;
+            }
+        }
+        let (ix, iw) = (self.id, alpha.id);
+        let (src, dst) = (src.to_vec(), dst.to_vec());
+        let n_src = x.rows();
+        self.tape().push(Node {
+            value: Tensor::from_vec(out, Shape::matrix(n_dst, cols)),
+            backward: Some(Box::new(move |g| {
+                let gd = g.data();
+                let xd = x.data();
+                let wd = w.data();
+                let mut dx = vec![0.0f32; n_src * cols];
+                let mut dw = vec![0.0f32; src.len()];
+                for (e, (&s, &d)) in src.iter().zip(dst.iter()).enumerate() {
+                    let (s, d) = (s as usize, d as usize);
+                    let grow = &gd[d * cols..(d + 1) * cols];
+                    let xrow = &xd[s * cols..(s + 1) * cols];
+                    let a = wd[e];
+                    let mut dot = 0.0f32;
+                    for ((x_acc, &gv), &xv) in
+                        dx[s * cols..(s + 1) * cols].iter_mut().zip(grow).zip(xrow)
+                    {
+                        *x_acc += a * gv;
+                        dot += gv * xv;
+                    }
+                    dw[e] = dot;
+                }
+                vec![
+                    (ix, Tensor::from_vec(dx, Shape::matrix(n_src, cols))),
+                    (iw, Tensor::from_vec(dw, Shape::vector(src.len()))),
+                ]
+            })),
+            param: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autograd::Tape;
+
+    fn t(data: &[f32], shape: impl Into<Shape>) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape)
+    }
+
+    #[test]
+    fn gather_rows_forward_and_backward() {
+        let tape = Tape::new();
+        let x = tape.constant(t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [3, 2]));
+        let y = x.gather_rows(&[2, 0, 2]);
+        assert_eq!(y.value().data(), &[5.0, 6.0, 1.0, 2.0, 5.0, 6.0]);
+        let g = tape.backward(&y.sum_all());
+        // Row 2 gathered twice, row 0 once, row 1 never.
+        assert_eq!(g.wrt(&x).unwrap().data(), &[1.0, 1.0, 0.0, 0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn scatter_mean_averages_neighbors() {
+        let tape = Tape::new();
+        let x = tape.constant(t(&[2.0, 4.0, 6.0], [3, 1]));
+        // dst 0 <- src {0, 1}; dst 1 <- src {2}; dst 2 has no edges.
+        let y = x.scatter_mean(&[0, 1, 2], &[0, 0, 1], 3);
+        assert_eq!(y.value().data(), &[3.0, 6.0, 0.0]);
+        let g = tape.backward(&y.sum_all());
+        assert_eq!(g.wrt(&x).unwrap().data(), &[0.5, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn scatter_add_sums_neighbors() {
+        let tape = Tape::new();
+        let x = tape.constant(t(&[2.0, 4.0, 6.0], [3, 1]));
+        let y = x.scatter_add(&[0, 1, 2], &[0, 0, 1], 2);
+        assert_eq!(y.value().data(), &[6.0, 6.0]);
+        let g = tape.backward(&y.sum_all());
+        assert_eq!(g.wrt(&x).unwrap().data(), &[1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn edge_softmax_normalizes_per_destination() {
+        let tape = Tape::new();
+        let l = tape.constant(t(&[0.0, 0.0, 1.0, 3.0], [4]));
+        // dst groups: {e0, e1} -> 0, {e2, e3} -> 1.
+        let a = l.edge_softmax(&[0, 0, 1, 1], 2).value();
+        assert!((a.data()[0] - 0.5).abs() < 1e-6);
+        assert!((a.data()[1] - 0.5).abs() < 1e-6);
+        let z = (1.0f32).exp() + (3.0f32).exp();
+        assert!((a.data()[2] - (1.0f32).exp() / z).abs() < 1e-6);
+        assert!((a.data()[3] - (3.0f32).exp() / z).abs() < 1e-6);
+    }
+
+    #[test]
+    fn edge_softmax_gradient_matches_numeric() {
+        let dst = [0u32, 0, 0, 1, 1];
+        let logits = [0.3f32, -0.2, 0.9, 0.1, 0.4];
+        // Loss = sum of alpha^2, a curved function to exercise the Jacobian.
+        let f = |ls: &[f32]| {
+            let tape = Tape::new();
+            let l = tape.constant(t(ls, [5]));
+            let a = l.edge_softmax(&dst, 2);
+            let loss = a.mul(&a).sum_all();
+            (tape, l, loss)
+        };
+        let (tape, l, loss) = f(&logits);
+        let g = tape.backward(&loss);
+        let analytic = g.wrt(&l).unwrap().clone();
+        let eps = 1e-3;
+        for e in 0..5 {
+            let mut lp = logits;
+            lp[e] += eps;
+            let (_, _, up) = f(&lp);
+            let mut lm = logits;
+            lm[e] -= eps;
+            let (_, _, down) = f(&lm);
+            let numeric = (up.value().item() - down.value().item()) / (2.0 * eps);
+            assert!(
+                (analytic.data()[e] - numeric).abs() < 1e-3,
+                "edge {e}: {} vs {}",
+                analytic.data()[e],
+                numeric
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_scatter_add_forward_and_grads() {
+        let tape = Tape::new();
+        let x = tape.constant(t(&[1.0, 2.0, 10.0, 20.0], [2, 2]));
+        let w = tape.constant(t(&[0.25, 0.75], [2]));
+        // Both edges into dst 0: out = 0.25*x0 + 0.75*x1.
+        let y = x.weighted_scatter_add(&w, &[0, 1], &[0, 0], 1);
+        assert_eq!(y.value().data(), &[7.75, 15.5]);
+        let g = tape.backward(&y.sum_all());
+        assert_eq!(g.wrt(&x).unwrap().data(), &[0.25, 0.25, 0.75, 0.75]);
+        // dα_e = dot(x[src_e], ones) = row sums.
+        assert_eq!(g.wrt(&w).unwrap().data(), &[3.0, 30.0]);
+    }
+
+
+    #[test]
+    fn scatter_max_takes_columnwise_max() {
+        let tape = Tape::new();
+        let x = tape.constant(t(&[1.0, 5.0, 3.0, 2.0, 4.0, 0.0], [3, 2]));
+        // dst 0 <- src {0, 1}; dst 1 <- src {2}; dst 2 empty.
+        let y = x.scatter_max(&[0, 1, 2], &[0, 0, 1], 3);
+        assert_eq!(y.value().data(), &[3.0, 5.0, 4.0, 0.0, 0.0, 0.0]);
+        let g = tape.backward(&y.sum_all());
+        // Gradient flows to the argmax entries only: dst0 col0 came from
+        // src1, dst0 col1 from src0, and dst1 (both columns) from src2.
+        assert_eq!(g.wrt(&x).unwrap().data(), &[0.0, 1.0, 1.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn scatter_max_handles_negative_values() {
+        let tape = Tape::new();
+        let x = tape.constant(t(&[-3.0, -1.0], [2, 1]));
+        let y = x.scatter_max(&[0, 1], &[0, 0], 1);
+        assert_eq!(y.value().data(), &[-1.0], "max of negatives is not clamped to 0");
+    }
+
+    #[test]
+    fn empty_edge_list_yields_zero_rows() {
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::ones([2, 3]));
+        let y = x.scatter_mean(&[], &[], 2);
+        assert_eq!(y.value().data(), &[0.0; 6]);
+    }
+}

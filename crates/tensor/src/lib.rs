@@ -1,0 +1,59 @@
+//! # salient-tensor
+//!
+//! A small, dependency-light dense tensor engine with reverse-mode automatic
+//! differentiation, built as the compute substrate for the SALIENT
+//! reproduction (the role PyTorch plays in the original paper).
+//!
+//! The crate provides:
+//!
+//! * [`Tensor`] — dense, row-major, reference-counted `f32` storage;
+//! * [`F16`] — IEEE 754 binary16 for host-side feature storage (the paper
+//!   keeps features in half precision to halve slicing/transfer bytes);
+//! * [`Tape`] / [`Var`] — a per-batch autograd tape recording elementwise,
+//!   linear-algebra, and message-passing (gather/scatter) operations;
+//! * [`Param`] — trainable parameters with stable identities, usable across
+//!   tapes and threads;
+//! * [`optim`] — SGD and Adam;
+//! * [`init`] — Glorot/Kaiming/normal initializers.
+//!
+//! # Example
+//!
+//! ```
+//! use salient_tensor::{init, optim::{Adam, Optimizer}, Param, Tape, Tensor};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut w = Param::new("w", init::glorot_uniform(2, 2, &mut rng));
+//! let mut opt = Adam::new(1e-2);
+//!
+//! for _ in 0..10 {
+//!     let tape = Tape::new();
+//!     let x = tape.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]));
+//!     let y = x.matmul(&tape.param(&w)).log_softmax();
+//!     let loss = y.nll_loss(&[0, 1]);
+//!     w.zero_grad();
+//!     tape.backward(&loss).apply_to([&mut w]);
+//!     opt.step(std::iter::once(&mut w));
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+mod autograd;
+mod f16;
+mod graph_ops;
+mod norm;
+mod ops;
+mod shape;
+mod tensor;
+
+pub mod init;
+pub mod optim;
+pub mod schedule;
+
+pub use autograd::{Gradients, Param, ParamId, Tape, Var};
+pub use f16::{dequantize_into, quantize, F16};
+pub use norm::column_stats;
+pub use ops::gemm;
+pub use shape::Shape;
+pub use tensor::Tensor;

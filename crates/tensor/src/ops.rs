@@ -1,0 +1,691 @@
+//! Differentiable tensor operations recorded on the autograd [`Tape`].
+//!
+//! Every method on [`Var`] appends a node whose backward closure produces the
+//! gradient contributions for its parents. Raw (non-differentiable) kernels
+//! such as [`gemm`] are exposed for optimizer / communication code.
+
+use crate::autograd::{Node, Var};
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use rand::{Rng, RngExt};
+
+/// Dense matrix multiply `op(a) * op(b)` where `op` optionally transposes.
+///
+/// Shapes: with `ta = tb = false`, `a` is `m×k`, `b` is `k×n`, result `m×n`.
+/// The kernel uses i-k-j loop order so the innermost loop streams rows of `b`
+/// (cache-friendly for row-major data).
+///
+/// # Panics
+///
+/// Panics if the inner dimensions do not agree.
+pub fn gemm(a: &Tensor, b: &Tensor, ta: bool, tb: bool) -> Tensor {
+    let (ar, ac) = (a.rows(), a.cols());
+    let (br, bc) = (b.rows(), b.cols());
+    let (m, k1) = if ta { (ac, ar) } else { (ar, ac) };
+    let (k2, n) = if tb { (bc, br) } else { (br, bc) };
+    assert_eq!(
+        k1, k2,
+        "gemm inner dimension mismatch: {}x{} ({}) @ {}x{} ({})",
+        ar, ac, ta, br, bc, tb
+    );
+    let k = k1;
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    match (ta, tb) {
+        (false, false) => {
+            for i in 0..m {
+                let arow = &ad[i * k..(i + 1) * k];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (p, &av) in arow.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &bd[p * n..(p + 1) * n];
+                    for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+        (true, false) => {
+            // a is k×m stored row-major; a^T[i][p] = a[p][i].
+            for p in 0..k {
+                let arow = &ad[p * m..(p + 1) * m];
+                let brow = &bd[p * n..(p + 1) * n];
+                for (i, &av) in arow.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let orow = &mut out[i * n..(i + 1) * n];
+                    for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+        (false, true) => {
+            // b is n×k stored row-major; out[i][j] = dot(a[i], b[j]).
+            for i in 0..m {
+                let arow = &ad[i * k..(i + 1) * k];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (j, o) in orow.iter_mut().enumerate() {
+                    let brow = &bd[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&av, &bv) in arow.iter().zip(brow.iter()) {
+                        acc += av * bv;
+                    }
+                    *o = acc;
+                }
+            }
+        }
+        (true, true) => {
+            // out[i][j] = sum_p a[p][i] * b[j][p].
+            for i in 0..m {
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (j, o) in orow.iter_mut().enumerate() {
+                    let mut acc = 0.0f32;
+                    for p in 0..k {
+                        acc += ad[p * m + i] * bd[j * k + p];
+                    }
+                    *o = acc;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, Shape::matrix(m, n))
+}
+
+/// Broadcasts `grad` (shape `r×c`) down to `shape` by summing over rows when
+/// `shape` is a row vector / scalar. Used by the backward pass of broadcast
+/// addition.
+fn reduce_to_shape(grad: &Tensor, shape: &Shape) -> Tensor {
+    if grad.shape() == shape {
+        return grad.clone();
+    }
+    if shape.rank() == 0 {
+        return Tensor::scalar(grad.sum());
+    }
+    // Sum over rows into a single row of `shape.len()` columns.
+    let cols = shape.len();
+    assert_eq!(grad.cols(), cols, "broadcast reduce mismatch");
+    let mut out = vec![0.0f32; cols];
+    for r in 0..grad.rows() {
+        for (o, v) in out.iter_mut().zip(grad.row(r).iter()) {
+            *o += v;
+        }
+    }
+    Tensor::from_vec(out, shape.clone())
+}
+
+/// Adds `b` (same shape, row vector, or scalar) to every row of `a`.
+fn broadcast_add(a: &Tensor, b: &Tensor) -> Tensor {
+    if a.shape() == b.shape() {
+        return a.zip(b, |x, y| x + y);
+    }
+    assert!(
+        a.shape().broadcasts_with(b.shape()),
+        "cannot broadcast {} onto {}",
+        b.shape(),
+        a.shape()
+    );
+    if b.shape().rank() == 0 {
+        let s = b.item();
+        return a.map(|x| x + s);
+    }
+    let cols = a.cols();
+    let mut out = a.data().to_vec();
+    let bd = b.data();
+    for r in 0..a.rows() {
+        for (o, v) in out[r * cols..(r + 1) * cols].iter_mut().zip(bd.iter()) {
+            *o += v;
+        }
+    }
+    Tensor::from_vec(out, a.shape().clone())
+}
+
+impl Var {
+    /// Matrix product `self @ rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree or the vars are on different
+    /// tapes.
+    pub fn matmul(&self, rhs: &Var) -> Var {
+        self.same_tape(rhs);
+        let a = self.value();
+        let b = rhs.value();
+        let out = gemm(&a, &b, false, false);
+        let (ia, ib) = (self.id, rhs.id);
+        self.tape().push(Node {
+            value: out,
+            backward: Some(Box::new(move |g| {
+                vec![(ia, gemm(g, &b, false, true)), (ib, gemm(&a, g, true, false))]
+            })),
+            param: None,
+        })
+    }
+
+    /// Elementwise / broadcast addition. `rhs` may have the same shape, be a
+    /// row vector matching `self`'s columns (bias), or a scalar.
+    pub fn add(&self, rhs: &Var) -> Var {
+        self.same_tape(rhs);
+        let a = self.value();
+        let b = rhs.value();
+        let out = broadcast_add(&a, &b);
+        let (ia, ib) = (self.id, rhs.id);
+        let bshape = b.shape().clone();
+        self.tape().push(Node {
+            value: out,
+            backward: Some(Box::new(move |g| {
+                vec![(ia, g.clone()), (ib, reduce_to_shape(g, &bshape))]
+            })),
+            param: None,
+        })
+    }
+
+    /// Elementwise subtraction (same shapes only).
+    pub fn sub(&self, rhs: &Var) -> Var {
+        self.same_tape(rhs);
+        let out = self.value().zip(&rhs.value(), |x, y| x - y);
+        let (ia, ib) = (self.id, rhs.id);
+        self.tape().push(Node {
+            value: out,
+            backward: Some(Box::new(move |g| {
+                let mut neg = g.clone();
+                neg.scale(-1.0);
+                vec![(ia, g.clone()), (ib, neg)]
+            })),
+            param: None,
+        })
+    }
+
+    /// Elementwise product (same shapes only).
+    pub fn mul(&self, rhs: &Var) -> Var {
+        self.same_tape(rhs);
+        let a = self.value();
+        let b = rhs.value();
+        let out = a.zip(&b, |x, y| x * y);
+        let (ia, ib) = (self.id, rhs.id);
+        self.tape().push(Node {
+            value: out,
+            backward: Some(Box::new(move |g| {
+                vec![(ia, g.zip(&b, |gv, bv| gv * bv)), (ib, g.zip(&a, |gv, av| gv * av))]
+            })),
+            param: None,
+        })
+    }
+
+    /// Multiplication by a compile-time constant scalar.
+    pub fn scale(&self, c: f32) -> Var {
+        let out = self.value().map(|x| x * c);
+        let ia = self.id;
+        self.tape().push(Node {
+            value: out,
+            backward: Some(Box::new(move |g| vec![(ia, g.map(|gv| gv * c))])),
+            param: None,
+        })
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&self) -> Var {
+        let a = self.value();
+        let out = a.map(|x| x.max(0.0));
+        let ia = self.id;
+        self.tape().push(Node {
+            value: out,
+            backward: Some(Box::new(move |g| {
+                vec![(ia, g.zip(&a, |gv, av| if av > 0.0 { gv } else { 0.0 }))]
+            })),
+            param: None,
+        })
+    }
+
+    /// Leaky rectified linear unit with negative-side `slope`.
+    pub fn leaky_relu(&self, slope: f32) -> Var {
+        let a = self.value();
+        let out = a.map(|x| if x > 0.0 { x } else { slope * x });
+        let ia = self.id;
+        self.tape().push(Node {
+            value: out,
+            backward: Some(Box::new(move |g| {
+                vec![(
+                    ia,
+                    g.zip(&a, |gv, av| if av > 0.0 { gv } else { slope * gv }),
+                )]
+            })),
+            param: None,
+        })
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&self) -> Var {
+        let out = self.value().map(|x| 1.0 / (1.0 + (-x).exp()));
+        let ia = self.id;
+        let saved = out.clone();
+        self.tape().push(Node {
+            value: out,
+            backward: Some(Box::new(move |g| {
+                vec![(ia, g.zip(&saved, |gv, s| gv * s * (1.0 - s)))]
+            })),
+            param: None,
+        })
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&self) -> Var {
+        let out = self.value().map(f32::tanh);
+        let ia = self.id;
+        let saved = out.clone();
+        self.tape().push(Node {
+            value: out,
+            backward: Some(Box::new(move |g| {
+                vec![(ia, g.zip(&saved, |gv, t| gv * (1.0 - t * t)))]
+            })),
+            param: None,
+        })
+    }
+
+    /// Inverted dropout: during training each element is zeroed with
+    /// probability `p` and survivors are scaled by `1/(1-p)`; at inference it
+    /// is the identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1)`.
+    pub fn dropout(&self, p: f32, training: bool, rng: &mut impl Rng) -> Var {
+        assert!((0.0..1.0).contains(&p), "dropout probability {p} not in [0,1)");
+        if !training || p == 0.0 {
+            let ia = self.id;
+            return self.tape().push(Node {
+                value: self.value(),
+                backward: Some(Box::new(move |g| vec![(ia, g.clone())])),
+                param: None,
+            });
+        }
+        let a = self.value();
+        let keep = 1.0 - p;
+        let mask: Vec<f32> = (0..a.len())
+            .map(|_| if rng.random::<f32>() < keep { 1.0 / keep } else { 0.0 })
+            .collect();
+        let mask = Tensor::from_vec(mask, a.shape().clone());
+        let out = a.zip(&mask, |x, m| x * m);
+        let ia = self.id;
+        self.tape().push(Node {
+            value: out,
+            backward: Some(Box::new(move |g| {
+                vec![(ia, g.zip(&mask, |gv, m| gv * m))]
+            })),
+            param: None,
+        })
+    }
+
+    /// Row-wise log-softmax (numerically stabilized by the row max).
+    pub fn log_softmax(&self) -> Var {
+        let a = self.value();
+        let (rows, cols) = (a.rows(), a.cols());
+        let mut out = vec![0.0f32; rows * cols];
+        for r in 0..rows {
+            let row = a.row(r);
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let lse = row.iter().map(|x| (x - m).exp()).sum::<f32>().ln() + m;
+            for (o, &x) in out[r * cols..(r + 1) * cols].iter_mut().zip(row.iter()) {
+                *o = x - lse;
+            }
+        }
+        let out = Tensor::from_vec(out, a.shape().clone());
+        let saved = out.clone();
+        let ia = self.id;
+        self.tape().push(Node {
+            value: out,
+            backward: Some(Box::new(move |g| {
+                // d log_softmax: g - softmax * sum_row(g)
+                let (rows, cols) = (saved.rows(), saved.cols());
+                let mut dx = vec![0.0f32; rows * cols];
+                for r in 0..rows {
+                    let grow = g.row(r);
+                    let srow = saved.row(r);
+                    let gsum: f32 = grow.iter().sum();
+                    for c in 0..cols {
+                        dx[r * cols + c] = grow[c] - srow[c].exp() * gsum;
+                    }
+                }
+                vec![(ia, Tensor::from_vec(dx, saved.shape().clone()))]
+            })),
+            param: None,
+        })
+    }
+
+    /// Mean negative log likelihood of `targets` given row-wise
+    /// log-probabilities (the output of [`Var::log_softmax`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `targets.len() != self.rows()` or a target is out of range.
+    pub fn nll_loss(&self, targets: &[usize]) -> Var {
+        let a = self.value();
+        let (rows, cols) = (a.rows(), a.cols());
+        assert_eq!(targets.len(), rows, "one target per row required");
+        let mut loss = 0.0f32;
+        for (r, &t) in targets.iter().enumerate() {
+            assert!(t < cols, "target {t} out of range for {cols} classes");
+            loss -= a.row(r)[t];
+        }
+        loss /= rows.max(1) as f32;
+        let ia = self.id;
+        let targets = targets.to_vec();
+        let shape = a.shape().clone();
+        self.tape().push(Node {
+            value: Tensor::scalar(loss),
+            backward: Some(Box::new(move |g| {
+                let scale = g.item() / targets.len().max(1) as f32;
+                let mut dx = vec![0.0f32; shape.len()];
+                let cols = shape.cols();
+                for (r, &t) in targets.iter().enumerate() {
+                    dx[r * cols + t] = -scale;
+                }
+                vec![(ia, Tensor::from_vec(dx, shape.clone()))]
+            })),
+            param: None,
+        })
+    }
+
+    /// Sum of all elements, as a scalar variable.
+    pub fn sum_all(&self) -> Var {
+        let a = self.value();
+        let ia = self.id;
+        let shape = a.shape().clone();
+        self.tape().push(Node {
+            value: Tensor::scalar(a.sum()),
+            backward: Some(Box::new(move |g| {
+                vec![(ia, Tensor::full(shape.clone(), g.item()))]
+            })),
+            param: None,
+        })
+    }
+
+    /// Mean of all elements, as a scalar variable.
+    pub fn mean_all(&self) -> Var {
+        let n = self.value().len().max(1) as f32;
+        self.sum_all().scale(1.0 / n)
+    }
+
+    /// Reinterprets the value with a new shape (same element count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if element counts differ.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Var {
+        let a = self.value();
+        let old_shape = a.shape().clone();
+        let out = a.reshape(shape);
+        let ia = self.id;
+        self.tape().push(Node {
+            value: out,
+            backward: Some(Box::new(move |g| vec![(ia, g.reshape(old_shape.clone()))])),
+            param: None,
+        })
+    }
+
+    /// Flattens to a rank-1 vector.
+    pub fn reshape_vector(&self) -> Var {
+        let n = self.value().len();
+        self.reshape([n])
+    }
+
+    /// Keeps the first `k` rows (PyG's `x[:k]` target slice).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` exceeds the number of rows.
+    pub fn narrow_rows(&self, k: usize) -> Var {
+        let a = self.value();
+        let out = a.narrow_rows(k);
+        let ia = self.id;
+        let (rows, cols) = (a.rows(), a.cols());
+        self.tape().push(Node {
+            value: out,
+            backward: Some(Box::new(move |g| {
+                let mut dx = vec![0.0f32; rows * cols];
+                dx[..k * cols].copy_from_slice(g.data());
+                vec![(ia, Tensor::from_vec(dx, Shape::matrix(rows, cols)))]
+            })),
+            param: None,
+        })
+    }
+
+    /// Concatenates `vars` along columns (dim 1). All operands must have the
+    /// same number of rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars` is empty or row counts differ.
+    pub fn concat_cols(vars: &[Var]) -> Var {
+        assert!(!vars.is_empty(), "concat_cols of no tensors");
+        for w in &vars[1..] {
+            vars[0].same_tape(w);
+        }
+        let tensors: Vec<Tensor> = vars.iter().map(|v| v.value()).collect();
+        let rows = tensors[0].rows();
+        for t in &tensors {
+            assert_eq!(t.rows(), rows, "concat_cols row mismatch");
+        }
+        let widths: Vec<usize> = tensors.iter().map(|t| t.cols()).collect();
+        let total: usize = widths.iter().sum();
+        let mut out = vec![0.0f32; rows * total];
+        for r in 0..rows {
+            let mut off = 0;
+            for (t, &w) in tensors.iter().zip(widths.iter()) {
+                out[r * total + off..r * total + off + w].copy_from_slice(t.row(r));
+                off += w;
+            }
+        }
+        let ids: Vec<usize> = vars.iter().map(|v| v.id).collect();
+        vars[0].tape().push(Node {
+            value: Tensor::from_vec(out, Shape::matrix(rows, total)),
+            backward: Some(Box::new(move |g| {
+                let mut contributions = Vec::with_capacity(ids.len());
+                let total: usize = widths.iter().sum();
+                let mut off = 0;
+                for (&id, &w) in ids.iter().zip(widths.iter()) {
+                    let mut dx = vec![0.0f32; rows * w];
+                    for r in 0..rows {
+                        dx[r * w..(r + 1) * w]
+                            .copy_from_slice(&g.data()[r * total + off..r * total + off + w]);
+                    }
+                    contributions.push((id, Tensor::from_vec(dx, Shape::matrix(rows, w))));
+                    off += w;
+                }
+                contributions
+            })),
+            param: None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autograd::Tape;
+
+    fn t(data: &[f32], shape: impl Into<Shape>) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape)
+    }
+
+    #[test]
+    fn gemm_all_transpose_combinations() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]);
+        let b = t(&[7.0, 8.0, 9.0, 10.0, 11.0, 12.0], [3, 2]);
+        let c = gemm(&a, &b, false, false);
+        assert_eq!(c.data(), &[58.0, 64.0, 139.0, 154.0]);
+
+        let at = t(&[1.0, 4.0, 2.0, 5.0, 3.0, 6.0], [3, 2]); // a^T
+        assert_eq!(gemm(&at, &b, true, false).data(), c.data());
+
+        let bt = t(&[7.0, 9.0, 11.0, 8.0, 10.0, 12.0], [2, 3]); // b^T
+        assert_eq!(gemm(&a, &bt, false, true).data(), c.data());
+        assert_eq!(gemm(&at, &bt, true, true).data(), c.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimension")]
+    fn gemm_dim_mismatch_panics() {
+        gemm(&Tensor::zeros([2, 3]), &Tensor::zeros([2, 3]), false, false);
+    }
+
+    #[test]
+    fn matmul_gradients() {
+        let tape = Tape::new();
+        let a = tape.constant(t(&[1.0, 2.0, 3.0, 4.0], [2, 2]));
+        let b = tape.constant(t(&[5.0, 6.0, 7.0, 8.0], [2, 2]));
+        let y = a.matmul(&b).sum_all();
+        let g = tape.backward(&y);
+        // d/dA (sum AB) = ones @ B^T
+        assert_eq!(g.wrt(&a).unwrap().data(), &[11.0, 15.0, 11.0, 15.0]);
+        assert_eq!(g.wrt(&b).unwrap().data(), &[4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn bias_broadcast_add_reduces_grad() {
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::zeros([3, 2]));
+        let bias = tape.constant(t(&[1.0, 2.0], [2]));
+        let y = x.add(&bias).sum_all();
+        let g = tape.backward(&y);
+        assert_eq!(g.wrt(&bias).unwrap().data(), &[3.0, 3.0]);
+    }
+
+    #[test]
+    fn scalar_broadcast_add() {
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::ones([2, 2]));
+        let s = tape.constant(Tensor::scalar(10.0));
+        let y = x.add(&s);
+        assert_eq!(y.value().data(), &[11.0; 4]);
+        let g = tape.backward(&y.sum_all());
+        assert_eq!(g.wrt(&s).unwrap().item(), 4.0);
+    }
+
+    #[test]
+    fn relu_and_leaky_relu_grads() {
+        let tape = Tape::new();
+        let x = tape.constant(t(&[-1.0, 2.0], [2]));
+        let g = tape.backward(&x.relu().sum_all());
+        assert_eq!(g.wrt(&x).unwrap().data(), &[0.0, 1.0]);
+
+        let tape = Tape::new();
+        let x = tape.constant(t(&[-1.0, 2.0], [2]));
+        let g = tape.backward(&x.leaky_relu(0.1).sum_all());
+        assert_eq!(g.wrt(&x).unwrap().data(), &[0.1, 1.0]);
+    }
+
+    #[test]
+    fn log_softmax_rows_sum_to_one_in_prob_space() {
+        let tape = Tape::new();
+        let x = tape.constant(t(&[1.0, 2.0, 3.0, -1.0, 0.0, 1.0], [2, 3]));
+        let ls = x.log_softmax().value();
+        for r in 0..2 {
+            let p: f32 = ls.row(r).iter().map(|v| v.exp()).sum();
+            assert!((p - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn nll_loss_matches_manual() {
+        let tape = Tape::new();
+        let x = tape.constant(t(&[0.0, 1.0, 0.5, 2.0], [2, 2]));
+        let ls = x.log_softmax();
+        let loss = ls.nll_loss(&[1, 0]);
+        let manual = {
+            let v = ls.value();
+            -(v.row(0)[1] + v.row(1)[0]) / 2.0
+        };
+        assert!((loss.value().item() - manual).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_nll_grad_is_p_minus_onehot() {
+        let tape = Tape::new();
+        let x = tape.constant(t(&[0.2, -0.3, 0.5], [1, 3]));
+        let ls = x.log_softmax();
+        let loss = ls.nll_loss(&[2]);
+        let g = tape.backward(&loss);
+        let probs: Vec<f32> = ls.value().row(0).iter().map(|v| v.exp()).collect();
+        let gx = g.wrt(&x).unwrap();
+        for c in 0..3 {
+            let expect = probs[c] - if c == 2 { 1.0 } else { 0.0 };
+            assert!((gx.row(0)[c] - expect).abs() < 1e-5, "class {c}");
+        }
+    }
+
+    #[test]
+    fn dropout_eval_is_identity() {
+        let mut rng = rand::rng();
+        let tape = Tape::new();
+        let x = tape.constant(t(&[1.0, 2.0, 3.0], [3]));
+        let y = x.dropout(0.5, false, &mut rng);
+        assert_eq!(y.value().data(), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn dropout_train_preserves_expectation_roughly() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let tape = Tape::new();
+        let x = tape.constant(Tensor::ones([10_000]));
+        let y = x.dropout(0.5, true, &mut rng).value();
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.05, "inverted dropout keeps mean, got {mean}");
+    }
+
+    #[test]
+    fn concat_and_narrow_roundtrip_grads() {
+        let tape = Tape::new();
+        let a = tape.constant(t(&[1.0, 2.0], [1, 2]));
+        let b = tape.constant(t(&[3.0], [1, 1]));
+        let c = Var::concat_cols(&[a.clone(), b.clone()]);
+        assert_eq!(c.value().data(), &[1.0, 2.0, 3.0]);
+        let g = tape.backward(&c.scale(2.0).sum_all());
+        assert_eq!(g.wrt(&a).unwrap().data(), &[2.0, 2.0]);
+        assert_eq!(g.wrt(&b).unwrap().data(), &[2.0]);
+
+        let tape = Tape::new();
+        let x = tape.constant(t(&[1.0, 2.0, 3.0, 4.0], [2, 2]));
+        let y = x.narrow_rows(1);
+        let g = tape.backward(&y.sum_all());
+        assert_eq!(g.wrt(&x).unwrap().data(), &[1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn sub_and_mul_grads() {
+        let tape = Tape::new();
+        let a = tape.constant(t(&[3.0], [1]));
+        let b = tape.constant(t(&[2.0], [1]));
+        let y = a.sub(&b).mul(&a); // (a-b)*a = a^2 - ab
+        let g = tape.backward(&y.sum_all());
+        assert_eq!(g.wrt(&a).unwrap().item(), 2.0 * 3.0 - 2.0);
+        assert_eq!(g.wrt(&b).unwrap().item(), -3.0);
+    }
+
+    #[test]
+    fn sigmoid_tanh_grads_match_numeric() {
+        let check = |f: &dyn Fn(&Var) -> Var, x0: f32| {
+            let tape = Tape::new();
+            let x = tape.constant(Tensor::scalar(x0));
+            let y = f(&x);
+            let g = tape.backward(&y);
+            let analytic = g.wrt(&x).unwrap().item();
+            let eps = 1e-3;
+            let tape2 = Tape::new();
+            let y1 = f(&tape2.constant(Tensor::scalar(x0 + eps))).value().item();
+            let y0 = f(&tape2.constant(Tensor::scalar(x0 - eps))).value().item();
+            let numeric = (y1 - y0) / (2.0 * eps);
+            assert!(
+                (analytic - numeric).abs() < 1e-3,
+                "analytic {analytic} vs numeric {numeric}"
+            );
+        };
+        check(&|v| v.sigmoid(), 0.3);
+        check(&|v| v.tanh(), -0.7);
+    }
+}

@@ -1,0 +1,137 @@
+//! Learning-rate schedules, composable with any [`crate::optim::Optimizer`].
+
+/// A learning-rate schedule: maps a 0-based step index to a multiplier of
+/// the base learning rate.
+pub trait LrSchedule {
+    /// The LR multiplier at `step`.
+    fn factor(&self, step: usize) -> f32;
+
+    /// Convenience: the absolute LR at `step` for a base rate.
+    fn lr_at(&self, base_lr: f32, step: usize) -> f32 {
+        base_lr * self.factor(step)
+    }
+}
+
+/// Constant learning rate.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Constant;
+
+impl LrSchedule for Constant {
+    fn factor(&self, _step: usize) -> f32 {
+        1.0
+    }
+}
+
+/// Multiply the rate by `gamma` every `every` steps.
+#[derive(Clone, Copy, Debug)]
+pub struct StepDecay {
+    /// Steps between decays.
+    pub every: usize,
+    /// Multiplicative decay factor.
+    pub gamma: f32,
+}
+
+impl LrSchedule for StepDecay {
+    fn factor(&self, step: usize) -> f32 {
+        self.gamma.powi((step / self.every.max(1)) as i32)
+    }
+}
+
+/// Cosine annealing from 1 down to `floor` over `total_steps`.
+#[derive(Clone, Copy, Debug)]
+pub struct CosineAnnealing {
+    /// Steps in one annealing period.
+    pub total_steps: usize,
+    /// Final multiplier.
+    pub floor: f32,
+}
+
+impl LrSchedule for CosineAnnealing {
+    fn factor(&self, step: usize) -> f32 {
+        let t = (step.min(self.total_steps) as f32) / self.total_steps.max(1) as f32;
+        let cos = 0.5 * (1.0 + (std::f32::consts::PI * t).cos());
+        self.floor + (1.0 - self.floor) * cos
+    }
+}
+
+/// Linear warmup for `warmup_steps`, then delegate to an inner schedule
+/// (with the step re-based to the end of warmup).
+#[derive(Clone, Copy, Debug)]
+pub struct Warmup<S> {
+    /// Steps of linear ramp from ~0 to 1.
+    pub warmup_steps: usize,
+    /// Schedule applied after warmup.
+    pub after: S,
+}
+
+impl<S: LrSchedule> LrSchedule for Warmup<S> {
+    fn factor(&self, step: usize) -> f32 {
+        if step < self.warmup_steps {
+            (step + 1) as f32 / self.warmup_steps.max(1) as f32
+        } else {
+            self.after.factor(step - self.warmup_steps)
+        }
+    }
+}
+
+/// Applies a schedule to an optimizer before a step:
+/// `apply_schedule(&mut opt, base, &schedule, step)`.
+pub fn apply_schedule<O: crate::optim::Optimizer>(
+    opt: &mut O,
+    base_lr: f32,
+    schedule: &impl LrSchedule,
+    step: usize,
+) {
+    opt.set_learning_rate(schedule.lr_at(base_lr, step));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Optimizer, Sgd};
+
+    #[test]
+    fn constant_is_one() {
+        assert_eq!(Constant.factor(0), 1.0);
+        assert_eq!(Constant.factor(10_000), 1.0);
+    }
+
+    #[test]
+    fn step_decay_halves() {
+        let s = StepDecay { every: 10, gamma: 0.5 };
+        assert_eq!(s.factor(0), 1.0);
+        assert_eq!(s.factor(9), 1.0);
+        assert_eq!(s.factor(10), 0.5);
+        assert_eq!(s.factor(25), 0.25);
+    }
+
+    #[test]
+    fn cosine_monotone_to_floor() {
+        let s = CosineAnnealing { total_steps: 100, floor: 0.1 };
+        assert!((s.factor(0) - 1.0).abs() < 1e-6);
+        assert!((s.factor(100) - 0.1).abs() < 1e-6);
+        let mut prev = f32::INFINITY;
+        for step in 0..=100 {
+            let f = s.factor(step);
+            assert!(f <= prev + 1e-6, "cosine must be non-increasing");
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn warmup_ramps_then_delegates() {
+        let s = Warmup { warmup_steps: 4, after: StepDecay { every: 2, gamma: 0.5 } };
+        assert!((s.factor(0) - 0.25).abs() < 1e-6);
+        assert!((s.factor(3) - 1.0).abs() < 1e-6);
+        assert_eq!(s.factor(4), 1.0); // step 0 of inner
+        assert_eq!(s.factor(6), 0.5); // step 2 of inner
+    }
+
+    #[test]
+    fn apply_schedule_updates_optimizer() {
+        let mut opt = Sgd::new(0.2);
+        let s = StepDecay { every: 1, gamma: 0.5 };
+        apply_schedule(&mut opt, 0.2, &s, 2);
+        assert!((opt.learning_rate() - 0.05).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,184 @@
+//! The `salient` command-line interface: train, evaluate, and simulate from
+//! the shell.
+//!
+//! ```text
+//! salient train    [--dataset arxiv|products|papers] [--scale F] [--model sage|gat|gin|sage-ri]
+//!                  [--epochs N] [--batch N] [--hidden N] [--lr F] [--ranks N]
+//!                  [--executor baseline|salient] [--save PATH]
+//! salient eval     --load PATH [--dataset ...] [--scale F] [--fanout D]
+//! salient simulate [--gpus N]
+//! salient sample   [--dataset ...] [--scale F] [--batch N]
+//! ```
+
+use salient_repro::core::checkpoint::Checkpoint;
+use salient_repro::core::{train_ddp, ExecutorKind, ModelKindConfig, RunConfig, Trainer};
+use salient_repro::graph::{Dataset, DatasetConfig, DatasetStats};
+use salient_repro::sampler::FastSampler;
+use salient_repro::sim::{
+    scaling_sweep, simulate_epoch, CostModel, EpochConfig, OptLevel,
+};
+use std::sync::Arc;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn flag_or<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> T {
+    flag(args, name).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn build_dataset(args: &[String]) -> Arc<Dataset> {
+    let scale: f64 = flag_or(args, "--scale", 0.15);
+    let name = flag(args, "--dataset").unwrap_or_else(|| "arxiv".into());
+    let mut cfg = match name.as_str() {
+        "products" => DatasetConfig::products_sim(scale),
+        "papers" => DatasetConfig::papers_sim(scale),
+        _ => DatasetConfig::arxiv_sim(scale),
+    };
+    // CLI runs want trainable label densities at sim scale.
+    cfg.split_fracs = (0.5, 0.1, 0.4);
+    let ds = Arc::new(cfg.build());
+    eprintln!(
+        "dataset {}: {} nodes, {} edges, {} classes",
+        ds.name,
+        ds.graph.num_nodes(),
+        ds.graph.num_edges(),
+        ds.num_classes
+    );
+    ds
+}
+
+fn run_config(args: &[String]) -> RunConfig {
+    let model = match flag(args, "--model").as_deref() {
+        Some("gat") => ModelKindConfig::Gat,
+        Some("gin") => ModelKindConfig::Gin,
+        Some("sage-ri") => ModelKindConfig::SageRi,
+        _ => ModelKindConfig::Sage,
+    };
+    let executor = match flag(args, "--executor").as_deref() {
+        Some("baseline") => ExecutorKind::Baseline,
+        _ => ExecutorKind::Salient,
+    };
+    RunConfig {
+        model,
+        executor,
+        num_layers: 3,
+        hidden: flag_or(args, "--hidden", 64),
+        train_fanouts: vec![15, 10, 5],
+        infer_fanouts: vec![20, 20, 20],
+        batch_size: flag_or(args, "--batch", 128),
+        learning_rate: flag_or(args, "--lr", 5e-3),
+        epochs: flag_or(args, "--epochs", 10),
+        num_workers: flag_or(args, "--workers", 2),
+        slots: 4,
+        seed: flag_or(args, "--seed", 0),
+    }
+}
+
+fn cmd_train(args: &[String]) {
+    let ds = build_dataset(args);
+    let cfg = run_config(args);
+    let ranks: usize = flag_or(args, "--ranks", 1);
+    if ranks > 1 {
+        eprintln!("training with {ranks} data-parallel ranks...");
+        let result = train_ddp(&ds, &cfg, ranks);
+        for (e, l) in result.epoch_losses.iter().enumerate() {
+            println!("epoch {e}: loss {l:.4}");
+        }
+        println!("wall: {:.2}s", result.wall_s);
+        if let Some(path) = flag(args, "--save") {
+            Checkpoint::from_model(result.model.as_ref()).save(&path).expect("save failed");
+            println!("saved checkpoint to {path}");
+        }
+        return;
+    }
+    let mut trainer = Trainer::new(Arc::clone(&ds), cfg);
+    for stats in trainer.fit() {
+        println!(
+            "epoch {}: loss {:.4}  ({:.2}s; prep {:.2}s xfer {:.2}s train {:.2}s)",
+            stats.epoch,
+            stats.mean_loss,
+            stats.timings.total_s,
+            stats.timings.prep_s,
+            stats.timings.transfer_s,
+            stats.timings.train_s
+        );
+    }
+    let (val, _) = trainer.evaluate_sampled(&ds.splits.val.clone(), &[20, 20, 20]);
+    let (test, _) = trainer.evaluate_sampled(&ds.splits.test.clone(), &[20, 20, 20]);
+    println!("val accuracy {val:.4}, test accuracy {test:.4}");
+    if let Some(path) = flag(args, "--save") {
+        Checkpoint::from_model(trainer.model()).save(&path).expect("save failed");
+        println!("saved checkpoint to {path}");
+    }
+}
+
+fn cmd_eval(args: &[String]) {
+    let path = flag(args, "--load").expect("--load PATH is required");
+    let ds = build_dataset(args);
+    let cfg = run_config(args);
+    let mut trainer = Trainer::new(Arc::clone(&ds), cfg);
+    let ckpt = Checkpoint::load(&path).expect("cannot read checkpoint");
+    ckpt.apply_to_model(trainer.model_mut()).expect("checkpoint mismatch");
+    let d: usize = flag_or(args, "--fanout", 20);
+    let (acc, _) = trainer.evaluate_sampled(&ds.splits.test.clone(), &[d, d, d]);
+    println!("test accuracy at fanout ({d},{d},{d}): {acc:.4}");
+}
+
+fn cmd_simulate(args: &[String]) {
+    let model = CostModel::paper_hardware();
+    println!("single-GPU ladder (virtual s/epoch):");
+    for stats in DatasetStats::all() {
+        print!("  {:<9}", stats.name);
+        for level in OptLevel::ladder() {
+            let r = simulate_epoch(&EpochConfig::paper_default(stats.clone(), level), &model);
+            print!(" {:>7.2}", r.epoch_s);
+        }
+        println!();
+    }
+    let gpus: usize = flag_or(args, "--gpus", 16);
+    println!("\nscaling to {gpus} GPUs:");
+    for stats in DatasetStats::all() {
+        let base = EpochConfig::paper_default(stats.clone(), OptLevel::Pipelined);
+        let sweep = scaling_sweep(&base, &[1, gpus], &model);
+        println!(
+            "  {:<9} {:>6.2}s -> {:>5.2}s  ({:.2}x)",
+            stats.name,
+            sweep[0].1,
+            sweep[1].1,
+            sweep[0].1 / sweep[1].1
+        );
+    }
+}
+
+fn cmd_sample(args: &[String]) {
+    let ds = build_dataset(args);
+    let batch: usize = flag_or(args, "--batch", 256);
+    let mut sampler = FastSampler::new(flag_or(args, "--seed", 0));
+    let seeds: Vec<u32> = ds.splits.train.iter().copied().take(batch).collect();
+    let mfg = sampler.sample(&ds.graph, &seeds, &[15, 10, 5]);
+    println!("batch of {}: {} nodes, {} edges", seeds.len(), mfg.num_nodes(), mfg.num_edges());
+    for (i, l) in mfg.layers.iter().enumerate() {
+        println!("  layer {i}: {} -> {} rows, {} edges", l.n_src, l.n_dst, l.num_edges());
+    }
+    println!(
+        "  transfer payload: {} KB features (f16) + {} KB structure",
+        mfg.num_nodes() * ds.features.dim() * 2 / 1024,
+        mfg.structure_bytes() / 1024
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("train") => cmd_train(&args),
+        Some("eval") => cmd_eval(&args),
+        Some("simulate") => cmd_simulate(&args),
+        Some("sample") => cmd_sample(&args),
+        _ => {
+            eprintln!("usage: salient <train|eval|simulate|sample> [flags]");
+            eprintln!("see module docs (src/bin/salient.rs) for flags");
+            std::process::exit(2);
+        }
+    }
+}
