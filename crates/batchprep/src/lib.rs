@@ -30,6 +30,8 @@ mod queue;
 mod slice;
 mod stats;
 
+pub mod channel;
+
 pub use pinned::{PinnedPool, PinnedSlot};
 pub use prep::{run_epoch, EpochHandle, PrepConfig, PrepMode, PreparedBatch, SamplerKind};
 pub use queue::{

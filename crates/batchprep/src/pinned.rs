@@ -9,7 +9,7 @@
 //! Here a slot is a pair of host buffers (half-precision features + labels).
 //! Returning a slot to the pool is automatic on drop.
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crate::channel::{bounded, Receiver, Sender};
 use salient_tensor::F16;
 
 #[derive(Debug)]

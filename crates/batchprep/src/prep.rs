@@ -11,11 +11,11 @@
 //!   reproducing the POSIX-shared-memory hop that "effectively halves the
 //!   observed memory bandwidth"; work is also partitioned statically.
 
+use crate::channel::{bounded, Receiver};
 use crate::pinned::{PinnedPool, PinnedSlot};
 use crate::queue::{make_work_items, DynamicQueue, StaticPartition, WorkSource};
 use crate::slice::slice_batch;
 use crate::stats::{EpochPrepStats, PrepTimings};
-use crossbeam::channel::{bounded, Receiver};
 use salient_graph::{Dataset, NodeId};
 use salient_sampler::{FastSampler, MessageFlowGraph, PygSampler};
 use salient_tensor::F16;

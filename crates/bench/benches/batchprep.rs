@@ -1,95 +1,85 @@
-//! Criterion microbenchmarks of batch preparation: serial slicing into
-//! pinned memory, the multiprocessing extra-copy penalty, lock-free dynamic
-//! queue vs static partitioning under contention, and the pinned-pool
-//! recycle path.
+//! Microbenchmarks of batch preparation: serial slicing into pinned memory,
+//! the multiprocessing extra-copy penalty, lock-free dynamic queue vs static
+//! partitioning under contention, and the pinned-pool recycle path.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use salient_bench::harness::{bench, report};
 use salient_batchprep::{
     make_work_items, slice_batch, DynamicQueue, PinnedPool, StaticPartition, WorkSource,
 };
 use salient_graph::{Dataset, DatasetConfig};
 use salient_sampler::FastSampler;
 use salient_tensor::F16;
-use std::hint::black_box;
 
 fn dataset() -> Dataset {
     DatasetConfig::products_sim(0.15).build()
 }
 
-fn bench_slicing(c: &mut Criterion) {
-    let ds = dataset();
+fn bench_slicing(ds: &Dataset) {
     let mfg = FastSampler::new(0).sample(&ds.graph, &ds.splits.train[..256], &[15, 10, 5]);
     let dim = ds.features.dim();
-    let mut group = c.benchmark_group("slicing");
-    group.sample_size(30);
-    group.throughput(criterion::Throughput::Bytes(
-        (mfg.num_nodes() * dim * 2) as u64,
-    ));
 
     // SALIENT: serial slice straight into the staging buffer.
     let mut staged = vec![F16::ZERO; mfg.num_nodes() * dim];
     let mut labels = vec![0u32; mfg.batch_size()];
-    group.bench_function("zero_copy_serial", |b| {
-        b.iter(|| {
-            slice_batch(&ds, &mfg, &mut staged, &mut labels);
-            black_box(staged[0]);
-        })
+    let zero_copy = bench("zero_copy_serial", || {
+        slice_batch(ds, &mfg, &mut staged, &mut labels);
+        staged[0]
     });
 
     // Multiprocessing emulation: slice to private memory, then copy.
+    let mut staged2 = vec![F16::ZERO; mfg.num_nodes() * dim];
+    let mut labels2 = vec![0u32; mfg.batch_size()];
     let mut private = vec![F16::ZERO; mfg.num_nodes() * dim];
-    group.bench_function("slice_plus_shm_copy", |b| {
-        b.iter(|| {
-            slice_batch(&ds, &mfg, &mut private, &mut labels);
-            staged.copy_from_slice(&private);
-            black_box(staged[0]);
-        })
+    let with_copy = bench("slice_plus_shm_copy", || {
+        slice_batch(ds, &mfg, &mut private, &mut labels2);
+        staged2.copy_from_slice(&private);
+        staged2[0]
     });
-    group.finish();
+    let bytes = (mfg.num_nodes() * dim * 2) as f64;
+    println!(
+        "  zero_copy {:.2} GB/s vs copy {:.2} GB/s",
+        zero_copy.per_second(bytes) / 1e9,
+        with_copy.per_second(bytes) / 1e9
+    );
+    report("slicing", &[zero_copy, with_copy]);
 }
 
-fn bench_queues(c: &mut Criterion) {
-    let mut group = c.benchmark_group("work_queue");
-    group.sample_size(20);
+fn bench_queues() {
     let items = make_work_items(100_000, 8);
-    group.bench_function("dynamic_lockfree_drain", |b| {
-        b.iter(|| {
-            let q = DynamicQueue::new(items.clone());
-            let mut n = 0usize;
-            while let Some(item) = q.next(0) {
+    let dynamic = bench("dynamic_lockfree_drain", || {
+        let q = DynamicQueue::new(items.clone());
+        let mut n = 0usize;
+        while let Some(item) = q.next(0) {
+            n += item.end - item.start;
+        }
+        n
+    });
+    let fixed = bench("static_partition_drain", || {
+        let q = StaticPartition::new(items.clone(), 4);
+        let mut n = 0usize;
+        for w in 0..4 {
+            while let Some(item) = q.next(w) {
                 n += item.end - item.start;
             }
-            black_box(n)
-        })
+        }
+        n
     });
-    group.bench_function("static_partition_drain", |b| {
-        b.iter(|| {
-            let q = StaticPartition::new(items.clone(), 4);
-            let mut n = 0usize;
-            for w in 0..4 {
-                while let Some(item) = q.next(w) {
-                    n += item.end - item.start;
-                }
-            }
-            black_box(n)
-        })
-    });
-    group.finish();
+    report("work_queue", &[dynamic, fixed]);
 }
 
-fn bench_pinned_pool(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pinned_pool");
-    group.sample_size(30);
+fn bench_pinned_pool() {
     let pool = PinnedPool::new(4, 4096, 32, 256);
-    group.bench_function("acquire_prepare_release", |b| {
-        b.iter(|| {
-            let mut slot = pool.acquire();
-            slot.prepare(2048, 32, 128);
-            black_box(slot.payload_bytes())
-        })
+    let s = bench("acquire_prepare_release", || {
+        let mut slot = pool.acquire();
+        slot.prepare(2048, 32, 128);
+        slot.payload_bytes()
     });
-    group.finish();
+    report("pinned_pool", &[s]);
 }
 
-criterion_group!(benches, bench_slicing, bench_queues, bench_pinned_pool);
-criterion_main!(benches);
+fn main() {
+    let ds = dataset();
+    bench_slicing(&ds);
+    bench_queues();
+    bench_pinned_pool();
+}

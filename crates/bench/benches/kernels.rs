@@ -1,0 +1,178 @@
+//! The CPU kernel layer benchmark: blocked parallel GEMM vs the seed's
+//! naive triple loop at GNN-typical shapes, plus fused CSR gather/scatter
+//! throughput. Emits `BENCH_kernels.json` at the workspace root.
+//!
+//! The kernel thread pool is sized once per process (`SALIENT_NUM_THREADS`),
+//! so single-thread numbers come from re-running this binary as a child
+//! process with that variable pinned to 1; the child prints `key=value`
+//! lines the parent folds into the JSON report.
+
+use salient_bench::harness::{bench, write_json, Json, Sample};
+use salient_tensor::rng::{Rng, StdRng};
+use salient_tensor::{gemm, gemm_naive, kernels, pool, Tensor};
+use std::collections::HashMap;
+
+/// GNN-typical GEMM shapes: (batch-of-nodes × feature-dim) @ (dim × hidden).
+/// 602 is the padded papers100M-style feature width the issue pins the
+/// acceptance threshold to; 100 is the ogbn-products feature width.
+const SHAPES: [(usize, usize, usize); 3] = [(1024, 602, 256), (1024, 256, 256), (1024, 100, 47)];
+
+fn rand_tensor(r: usize, c: usize, rng: &mut StdRng) -> Tensor {
+    Tensor::from_vec(
+        (0..r * c).map(|_| rng.random_range(-1.0f32..1.0)).collect(),
+        [r, c],
+    )
+}
+
+fn shape_key(m: usize, k: usize, n: usize) -> String {
+    format!("{m}x{k}x{n}")
+}
+
+fn gemm_samples(label_prefix: &str, naive_too: bool) -> Vec<(String, Sample, Sample)> {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut out = Vec::new();
+    for (m, k, n) in SHAPES {
+        let a = rand_tensor(m, k, &mut rng);
+        let b = rand_tensor(k, n, &mut rng);
+        let blocked = bench(&format!("{label_prefix} blocked {m}x{k}x{n}"), || {
+            gemm(&a, &b, false, false)
+        });
+        let naive = if naive_too {
+            bench(&format!("{label_prefix} naive {m}x{k}x{n}"), || {
+                gemm_naive(&a, &b, false, false)
+            })
+        } else {
+            blocked.clone()
+        };
+        out.push((shape_key(m, k, n), naive, blocked));
+    }
+    out
+}
+
+/// Child mode: measure with whatever thread count the env pinned (the parent
+/// sets SALIENT_NUM_THREADS=1) and print machine-readable lines.
+fn run_child() {
+    for (key, naive, blocked) in gemm_samples("1t", true) {
+        println!("naive_{key}={}", naive.p50_s);
+        println!("blocked_{key}={}", blocked.p50_s);
+    }
+}
+
+fn aggregation_section() -> Json {
+    let mut rng = StdRng::seed_from_u64(7);
+    let n_src = 100_000usize;
+    let n_dst = 25_000usize;
+    let cols = 100usize;
+    let n_edges = 500_000usize;
+    let x: Vec<f32> = (0..n_src * cols).map(|_| rng.random_range(-1.0f32..1.0)).collect();
+    let idx: Vec<u32> = (0..n_edges).map(|_| rng.random_range(0..n_src as u32)).collect();
+    let src = idx.clone();
+    let dst: Vec<u32> = (0..n_edges).map(|_| rng.random_range(0..n_dst as u32)).collect();
+    let mut counts = vec![0.0f32; n_dst];
+    for &d in &dst {
+        counts[d as usize] += 1.0;
+    }
+
+    let gather = bench("gather_rows_forward", || {
+        kernels::gather_rows_forward(&x, cols, &idx)
+    });
+    let gather_bwd = bench("gather_rows_backward", || {
+        kernels::gather_rows_backward(&x[..n_edges.min(n_src) * cols], cols, &idx[..n_edges.min(n_src)], n_src)
+    });
+    let scatter_sum = bench("scatter_sum_forward", || {
+        kernels::scatter_reduce_forward(&x, cols, &src, &dst, n_dst, None)
+    });
+    let scatter_mean = bench("scatter_mean_forward", || {
+        kernels::scatter_reduce_forward(&x, cols, &src, &dst, n_dst, Some(&counts))
+    });
+
+    let entry = |s: &Sample, rows: f64| {
+        Json::Obj(vec![
+            ("name".into(), Json::Str(s.name.clone())),
+            ("cols".into(), Json::Num(cols as f64)),
+            ("median_s".into(), Json::Num(s.p50_s)),
+            ("rows_per_s".into(), Json::Num(rows / s.p50_s)),
+        ])
+    };
+    Json::Arr(vec![
+        entry(&gather, idx.len() as f64),
+        entry(&gather_bwd, n_src as f64),
+        entry(&scatter_sum, n_dst as f64),
+        entry(&scatter_mean, n_dst as f64),
+    ])
+}
+
+fn main() {
+    if std::env::args().any(|a| a == "--single-thread") {
+        run_child();
+        return;
+    }
+
+    // Single-thread child run (blocked kernel with the pool pinned to one
+    // thread, plus the naive reference, which is serial regardless).
+    let exe = std::env::current_exe().expect("current exe");
+    let child = std::process::Command::new(exe)
+        .arg("--single-thread")
+        .env("SALIENT_NUM_THREADS", "1")
+        .output()
+        .expect("single-thread child run failed");
+    assert!(child.status.success(), "child bench failed");
+    let mut single: HashMap<String, f64> = HashMap::new();
+    for line in String::from_utf8_lossy(&child.stdout).lines() {
+        if let Some((k, v)) = line.split_once('=') {
+            if let Ok(v) = v.parse::<f64>() {
+                single.insert(k.to_string(), v);
+            }
+        }
+    }
+
+    // Parallel run in this process (pool at its configured width).
+    let parallel = gemm_samples("par", false);
+
+    let mut gemm_entries = Vec::new();
+    for (key, _, blocked_par) in &parallel {
+        let (m, k, n) = {
+            let dims: Vec<usize> = key.split('x').map(|d| d.parse().unwrap()).collect();
+            (dims[0], dims[1], dims[2])
+        };
+        let flops = (2 * m * k * n) as f64;
+        let naive_s = single[&format!("naive_{key}")];
+        let blocked_1t_s = single[&format!("blocked_{key}")];
+        let gflops = |s: f64| flops / s / 1e9;
+        println!(
+            "gemm {key}: naive {:.2} GFLOP/s | blocked 1T {:.2} GFLOP/s ({:.2}x) | blocked {}T {:.2} GFLOP/s ({:.2}x)",
+            gflops(naive_s),
+            gflops(blocked_1t_s),
+            naive_s / blocked_1t_s,
+            pool::num_threads(),
+            gflops(blocked_par.p50_s),
+            naive_s / blocked_par.p50_s,
+        );
+        gemm_entries.push(Json::Obj(vec![
+            ("shape".into(), Json::Str(key.clone())),
+            ("flops_per_iter".into(), Json::Num(flops)),
+            ("naive_1t_gflops".into(), Json::Num(gflops(naive_s))),
+            ("blocked_1t_gflops".into(), Json::Num(gflops(blocked_1t_s))),
+            ("blocked_parallel_gflops".into(), Json::Num(gflops(blocked_par.p50_s))),
+            ("speedup_1t_vs_naive".into(), Json::Num(naive_s / blocked_1t_s)),
+            ("speedup_parallel_vs_naive".into(), Json::Num(naive_s / blocked_par.p50_s)),
+        ]));
+    }
+
+    let doc = Json::Obj(vec![
+        (
+            "config".into(),
+            Json::Obj(vec![
+                ("threads".into(), Json::Num(pool::num_threads() as f64)),
+                ("note".into(), Json::Str(
+                    "median-of-20-batches timings; 1t = SALIENT_NUM_THREADS=1 child run".into(),
+                )),
+            ]),
+        ),
+        ("gemm".into(), Json::Arr(gemm_entries)),
+        ("aggregation".into(), aggregation_section()),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernels.json");
+    write_json(path, &doc).expect("write BENCH_kernels.json");
+    println!("wrote {path}");
+}

@@ -1,95 +1,84 @@
-//! Criterion benchmarks of the pipeline machinery: the event simulator's
-//! own throughput (tasks/second), transfer-model ablations (pinned vs
-//! assertion round trips), and the end-to-end real batch-prep pool.
+//! Benchmarks of the pipeline machinery: the event simulator's own
+//! throughput (tasks/second), transfer-model ablations (pinned vs assertion
+//! round trips), and the end-to-end real batch-prep pool.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use salient_bench::harness::{bench, report};
 use salient_batchprep::{run_epoch, PrepConfig, PrepMode, SamplerKind};
 use salient_graph::{DatasetConfig, DatasetStats};
-use salient_sim::{
-    simulate_epoch, CostModel, EpochConfig, OptLevel, Simulation,
-};
-use std::hint::black_box;
+use salient_sim::{simulate_epoch, CostModel, EpochConfig, OptLevel, Simulation};
 use std::sync::Arc;
 
-fn bench_des_engine(c: &mut Criterion) {
-    let mut group = c.benchmark_group("des");
-    group.sample_size(15);
-    group.bench_function("run_10k_task_pipeline", |b| {
-        b.iter(|| {
-            let mut sim = Simulation::new();
-            let cpu = sim.resource("cpu", 8);
-            let gpu = sim.resource("gpu", 1);
-            let mut prev = None;
-            for i in 0..5_000 {
-                let a = sim.task("a", cpu, 100, vec![]);
-                let deps = match prev {
-                    Some(p) => vec![a, p],
-                    None => vec![a],
-                };
-                prev = Some(sim.task("b", gpu, 80, deps));
-                let _ = i;
-            }
-            black_box(sim.run().makespan)
-        })
+fn bench_des_engine() {
+    let a = bench("run_10k_task_pipeline", || {
+        let mut sim = Simulation::new();
+        let cpu = sim.resource("cpu", 8);
+        let gpu = sim.resource("gpu", 1);
+        let mut prev = None;
+        for _ in 0..5_000 {
+            let t = sim.task("a", cpu, 100, vec![]);
+            let deps = match prev {
+                Some(p) => vec![t, p],
+                None => vec![t],
+            };
+            prev = Some(sim.task("b", gpu, 80, deps));
+        }
+        sim.run().makespan
     });
-    group.bench_function("simulate_products_epoch", |b| {
-        let model = CostModel::paper_hardware();
-        let cfg = EpochConfig::paper_default(DatasetStats::products(), OptLevel::Pipelined);
-        b.iter(|| black_box(simulate_epoch(&cfg, &model).epoch_s))
+    let model = CostModel::paper_hardware();
+    let cfg = EpochConfig::paper_default(DatasetStats::products(), OptLevel::Pipelined);
+    let b = bench("simulate_products_epoch", || {
+        simulate_epoch(&cfg, &model).epoch_s
     });
-    group.finish();
+    report("des", &[a, b]);
 }
 
-fn bench_transfer_model(c: &mut Criterion) {
+fn bench_transfer_model() {
     // Ablation: assertion round trips on/off across the three datasets
     // (the §4.3 optimization), evaluated through the cost model.
     let model = CostModel::paper_hardware();
-    let mut group = c.benchmark_group("transfer_model");
-    group.sample_size(20);
-    group.bench_function("ladder_all_datasets", |b| {
-        b.iter(|| {
-            let mut total = 0.0;
-            for stats in DatasetStats::all() {
-                for level in OptLevel::ladder() {
-                    total += simulate_epoch(&EpochConfig::paper_default(stats.clone(), level), &model)
+    let s = bench("ladder_all_datasets", || {
+        let mut total = 0.0;
+        for stats in DatasetStats::all() {
+            for level in OptLevel::ladder() {
+                total +=
+                    simulate_epoch(&EpochConfig::paper_default(stats.clone(), level), &model)
                         .epoch_s;
-                }
             }
-            black_box(total)
-        })
+        }
+        total
     });
-    group.finish();
+    report("transfer_model", &[s]);
 }
 
-fn bench_real_prep_pool(c: &mut Criterion) {
+fn bench_real_prep_pool() {
     let ds = Arc::new(DatasetConfig::products_sim(0.08).build());
     let order: Vec<u32> = ds.splits.train.clone();
-    let mut group = c.benchmark_group("prep_pool");
-    group.sample_size(10);
+    let mut samples = Vec::new();
     for (label, mode) in [
         ("shared_memory", PrepMode::SharedMemory),
         ("multiprocessing", PrepMode::Multiprocessing),
     ] {
-        group.bench_function(label, |b| {
-            b.iter(|| {
-                let cfg = PrepConfig {
-                    num_workers: 2,
-                    fanouts: vec![10, 5],
-                    batch_size: 64,
-                    slots: 4,
-                    mode,
-                    sampler: SamplerKind::Fast,
-                    seed: 0,
-                };
-                let handle = run_epoch(&ds, &order, &cfg);
-                let n = handle.batches.iter().count();
-                handle.join();
-                black_box(n)
-            })
-        });
+        samples.push(bench(label, || {
+            let cfg = PrepConfig {
+                num_workers: 2,
+                fanouts: vec![10, 5],
+                batch_size: 64,
+                slots: 4,
+                mode,
+                sampler: SamplerKind::Fast,
+                seed: 0,
+            };
+            let handle = run_epoch(&ds, &order, &cfg);
+            let n = handle.batches.iter().count();
+            handle.join();
+            n
+        }));
     }
-    group.finish();
+    report("prep_pool", &samples);
 }
 
-criterion_group!(benches, bench_des_engine, bench_transfer_model, bench_real_prep_pool);
-criterion_main!(benches);
+fn main() {
+    bench_des_engine();
+    bench_transfer_model();
+    bench_real_prep_pool();
+}

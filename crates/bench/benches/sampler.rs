@@ -1,35 +1,32 @@
-//! Criterion microbenchmarks of the neighborhood sampler (Figure 2's
-//! workhorse): the tuned FastSampler vs the PyG-style baseline, key
-//! design-space points, hop-trace replay isolating id-map cost, and an
-//! ablation over fanout sizes (where the array-set's cache advantage lives).
+//! Microbenchmarks of the neighborhood sampler (Figure 2's workhorse): the
+//! tuned FastSampler vs the PyG-style baseline, key design-space points,
+//! hop-trace replay isolating id-map cost, and an ablation over fanout sizes
+//! (where the array-set's cache advantage lives).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use salient_bench::harness::{bench, report};
 use salient_graph::{Dataset, DatasetConfig};
 use salient_sampler::{
     record_trace, replay_trace, FastSampler, FlatIdMap, PygSampler, StdIdMap, VariantConfig,
     VariantSampler,
 };
-use std::hint::black_box;
 
 fn dataset() -> Dataset {
     DatasetConfig::products_sim(0.15).build()
 }
 
-fn bench_samplers(c: &mut Criterion) {
-    let ds = dataset();
+fn bench_samplers(ds: &Dataset) {
     let batch: Vec<u32> = ds.splits.train.iter().copied().take(256).collect();
     let fanouts = [15usize, 10, 5];
-    let mut group = c.benchmark_group("sampler");
-    group.sample_size(20);
+    let mut samples = Vec::new();
 
     let mut fast = FastSampler::new(1);
-    group.bench_function("fast(salient)", |b| {
-        b.iter(|| black_box(fast.sample(&ds.graph, &batch, &fanouts)).num_edges())
-    });
+    samples.push(bench("fast(salient)", || {
+        fast.sample(&ds.graph, &batch, &fanouts).num_edges()
+    }));
     let mut pyg = PygSampler::new(1);
-    group.bench_function("pyg_baseline", |b| {
-        b.iter(|| black_box(pyg.sample(&ds.graph, &batch, &fanouts)).num_edges())
-    });
+    samples.push(bench("pyg_baseline", || {
+        pyg.sample(&ds.graph, &batch, &fanouts).num_edges()
+    }));
     // Two intermediate design-space points: only the map upgraded; only the
     // set upgraded.
     for (label, cfg) in [
@@ -43,38 +40,29 @@ fn bench_samplers(c: &mut Criterion) {
         }),
     ] {
         let mut v = VariantSampler::new(cfg, 1);
-        group.bench_function(label, |b| {
-            b.iter(|| black_box(v.sample(&ds.graph, &batch, &fanouts)).num_edges())
-        });
+        samples.push(bench(label, || {
+            v.sample(&ds.graph, &batch, &fanouts).num_edges()
+        }));
     }
-    group.finish();
+    report("sampler", &samples);
 }
 
-fn bench_trace_replay(c: &mut Criterion) {
+fn bench_trace_replay(ds: &Dataset) {
     // The paper's hop-by-hop microbenchmark: identical sampled neighbors,
     // different id-map implementations.
-    let ds = dataset();
     let batch: Vec<u32> = ds.splits.train.iter().copied().take(256).collect();
     let trace = record_trace(&ds.graph, &batch, &[15, 10, 5], 7);
-    let mut group = c.benchmark_group("trace_replay");
-    group.sample_size(20);
-    group.bench_function("flat_map", |b| {
-        let mut map = FlatIdMap::default();
-        b.iter(|| black_box(replay_trace(&trace, &mut map)).num_edges())
-    });
-    group.bench_function("std_map", |b| {
-        let mut map = StdIdMap::new();
-        b.iter(|| black_box(replay_trace(&trace, &mut map)).num_edges())
-    });
-    group.finish();
+    let mut flat = FlatIdMap::default();
+    let a = bench("flat_map", || replay_trace(&trace, &mut flat).num_edges());
+    let mut std_map = StdIdMap::new();
+    let b = bench("std_map", || replay_trace(&trace, &mut std_map).num_edges());
+    report("trace_replay", &[a, b]);
 }
 
-fn bench_fanout_sweep(c: &mut Criterion) {
+fn bench_fanout_sweep(ds: &Dataset) {
     // Ablation: array set vs hash set as the fanout (set size) grows.
-    let ds = dataset();
     let batch: Vec<u32> = ds.splits.train.iter().copied().take(128).collect();
-    let mut group = c.benchmark_group("fanout_sweep");
-    group.sample_size(12);
+    let mut samples = Vec::new();
     for fanout in [5usize, 20, 50] {
         for (label, set) in [
             ("array", salient_sampler::NeighborSetKind::Array),
@@ -85,19 +73,17 @@ fn bench_fanout_sweep(c: &mut Criterion) {
                 ..VariantConfig::salient()
             };
             let mut v = VariantSampler::new(cfg, 1);
-            group.bench_with_input(
-                BenchmarkId::new(label, fanout),
-                &fanout,
-                |b, &fanout| {
-                    b.iter(|| {
-                        black_box(v.sample(&ds.graph, &batch, &[fanout, fanout])).num_edges()
-                    })
-                },
-            );
+            samples.push(bench(&format!("{label}/{fanout}"), || {
+                v.sample(&ds.graph, &batch, &[fanout, fanout]).num_edges()
+            }));
         }
     }
-    group.finish();
+    report("fanout_sweep", &samples);
 }
 
-criterion_group!(benches, bench_samplers, bench_trace_replay, bench_fanout_sweep);
-criterion_main!(benches);
+fn main() {
+    let ds = dataset();
+    bench_samplers(&ds);
+    bench_trace_replay(&ds);
+    bench_fanout_sweep(&ds);
+}

@@ -1,67 +1,58 @@
-//! Criterion microbenchmarks of the tensor substrate: GEMM kernels at
-//! GNN-typical shapes, scatter aggregation, f16 conversion bandwidth, and a
-//! full forward+backward of one GraphSAGE batch.
+//! Microbenchmarks of the tensor substrate: GEMM kernels at GNN-typical
+//! shapes, scatter aggregation, f16 conversion bandwidth, and a full
+//! forward+backward of one GraphSAGE batch.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::SeedableRng;
+use salient_bench::harness::{bench, report};
 use salient_graph::DatasetConfig;
 use salient_nn::{build_model, Mode, ModelKind};
 use salient_sampler::FastSampler;
+use salient_tensor::rng::StdRng;
 use salient_tensor::{dequantize_into, gemm, quantize, Tape, Tensor};
-use std::hint::black_box;
 
-fn bench_gemm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gemm");
-    group.sample_size(15);
+fn bench_gemm() {
+    let mut samples = Vec::new();
     for (m, k, n) in [(1024usize, 32usize, 64usize), (4096, 64, 64), (256, 64, 47)] {
         let a = Tensor::full([m, k], 0.5);
         let b = Tensor::full([k, n], 0.25);
-        group.throughput(criterion::Throughput::Elements((2 * m * k * n) as u64));
-        group.bench_with_input(
-            BenchmarkId::new("nn", format!("{m}x{k}x{n}")),
-            &(m, k, n),
-            |bench, _| bench.iter(|| black_box(gemm(&a, &b, false, false))),
-        );
+        let s = bench(&format!("gemm {m}x{k}x{n}"), || gemm(&a, &b, false, false));
+        let gflops = s.per_second((2 * m * k * n) as f64) / 1e9;
+        println!("  {} -> {gflops:.2} GFLOP/s", s.name);
+        samples.push(s);
     }
-    group.finish();
+    report("gemm", &samples);
 }
 
-fn bench_scatter(c: &mut Criterion) {
+fn bench_scatter() {
     let ds = DatasetConfig::products_sim(0.1).build();
     let mfg = FastSampler::new(0).sample(&ds.graph, &ds.splits.train[..128], &[15, 10, 5]);
     let layer = &mfg.layers[0];
     let x = Tensor::full([layer.n_src, 32], 1.0);
-    let mut group = c.benchmark_group("aggregation");
-    group.sample_size(20);
-    group.throughput(criterion::Throughput::Elements(layer.num_edges() as u64));
-    group.bench_function("scatter_mean_fwd", |b| {
-        b.iter(|| {
-            let tape = Tape::new();
-            let xv = tape.constant(x.clone());
-            black_box(xv.scatter_mean(&layer.edge_src, &layer.edge_dst, layer.n_dst).value())
-        })
+    let s = bench("scatter_mean_fwd", || {
+        let tape = Tape::new();
+        let xv = tape.constant(x.clone());
+        xv.scatter_mean(&layer.edge_src, &layer.edge_dst, layer.n_dst).value()
     });
-    group.finish();
+    println!(
+        "  {} -> {:.1}M edges/s",
+        s.name,
+        s.per_second(layer.num_edges() as f64) / 1e6
+    );
+    report("aggregation", &[s]);
 }
 
-fn bench_f16(c: &mut Criterion) {
+fn bench_f16() {
     let xs: Vec<f32> = (0..1 << 16).map(|i| (i as f32) * 0.001 - 32.0).collect();
     let halves = quantize(&xs);
     let mut out = vec![0.0f32; xs.len()];
-    let mut group = c.benchmark_group("f16");
-    group.sample_size(30);
-    group.throughput(criterion::Throughput::Bytes((xs.len() * 4) as u64));
-    group.bench_function("quantize_64k", |b| b.iter(|| black_box(quantize(&xs))));
-    group.bench_function("dequantize_64k", |b| {
-        b.iter(|| {
-            dequantize_into(&halves, &mut out);
-            black_box(out[0])
-        })
+    let q = bench("quantize_64k", || quantize(&xs));
+    let d = bench("dequantize_64k", || {
+        dequantize_into(&halves, &mut out);
+        out[0]
     });
-    group.finish();
+    report("f16", &[q, d]);
 }
 
-fn bench_train_step(c: &mut Criterion) {
+fn bench_train_step() {
     let ds = DatasetConfig::products_sim(0.1).build();
     let mfg = FastSampler::new(0).sample(&ds.graph, &ds.splits.train[..128], &[10, 5]);
     let mut model = build_model(ModelKind::Sage, ds.features.dim(), 64, ds.num_classes, 2, 0);
@@ -70,20 +61,20 @@ fn bench_train_step(c: &mut Criterion) {
         .iter()
         .map(|&v| ds.labels[v as usize] as usize)
         .collect();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-    let mut group = c.benchmark_group("train_step");
-    group.sample_size(15);
-    group.bench_function("sage_fwd_bwd_128", |b| {
-        b.iter(|| {
-            let tape = Tape::new();
-            let x = tape.constant(features.clone());
-            let out = model.forward(&tape, x, &mfg, Mode::Train, &mut rng);
-            let loss = out.nll_loss(&targets);
-            black_box(tape.backward(&loss).iter_params().count())
-        })
+    let mut rng = StdRng::seed_from_u64(0);
+    let s = bench("sage_fwd_bwd_128", || {
+        let tape = Tape::new();
+        let x = tape.constant(features.clone());
+        let out = model.forward(&tape, x, &mfg, Mode::Train, &mut rng);
+        let loss = out.nll_loss(&targets);
+        tape.backward(&loss).iter_params().count()
     });
-    group.finish();
+    report("train_step", &[s]);
 }
 
-criterion_group!(benches, bench_gemm, bench_scatter, bench_f16, bench_train_step);
-criterion_main!(benches);
+fn main() {
+    bench_gemm();
+    bench_scatter();
+    bench_f16();
+    bench_train_step();
+}

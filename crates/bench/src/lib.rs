@@ -19,9 +19,12 @@
 //! | `fig5`   | multi-GPU scaling |
 //! | `fig6`   | per-architecture time & accuracy |
 //!
-//! Criterion microbenches (`cargo bench`) cover the sampler variants,
-//! slicing kernels, lock-free queue vs static partitioning, tensor kernels,
-//! f16 conversion, and the DES engine itself.
+//! Microbenches (`cargo bench`, built on the in-repo [`harness`] module)
+//! cover the sampler variants, slicing kernels, lock-free queue vs static
+//! partitioning, tensor kernels, f16 conversion, the CPU kernel layer
+//! (emitting `BENCH_kernels.json`), and the DES engine itself.
+
+pub mod harness;
 
 use std::fmt::Write as _;
 

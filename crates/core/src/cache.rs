@@ -51,10 +51,9 @@ impl FeatureCache {
                 }
             }
             CachePolicy::Random { seed } => {
-                use rand::seq::SliceRandom;
-                use rand::SeedableRng;
+                use salient_tensor::rng::SliceRandom;
                 let mut order: Vec<u32> = (0..n as u32).collect();
-                let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+                let mut rng = salient_tensor::rng::StdRng::seed_from_u64(seed);
                 order.shuffle(&mut rng);
                 for &v in order.iter().take(capacity) {
                     cached[v as usize] = true;

@@ -1,10 +1,9 @@
 //! Run configuration mirroring the paper's Table 5.
 
 use salient_nn::ModelKind;
-use serde::{Deserialize, Serialize};
 
 /// Which execution pipeline to use (the Figure-1 comparison).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ExecutorKind {
     /// Standard PyTorch-style workflow: serial per-batch sample → slice →
     /// transfer → train on the main thread (PyG baseline).
@@ -15,7 +14,7 @@ pub enum ExecutorKind {
 }
 
 /// Hyperparameters of one training run (one row of Table 5).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct RunConfig {
     /// Architecture.
     pub model: ModelKindConfig,
@@ -44,7 +43,7 @@ pub struct RunConfig {
 }
 
 /// Serializable wrapper for [`ModelKind`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum ModelKindConfig {
     /// GraphSAGE.
     Sage,

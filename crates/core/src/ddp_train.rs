@@ -4,9 +4,8 @@
 //! and replicas stay bit-identical.
 
 use crate::config::RunConfig;
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use salient_tensor::rng::StdRng;
+use salient_tensor::rng::SliceRandom;
 use salient_ddp::{average_model_gradients, sync_model, Communicator};
 use salient_graph::{Dataset, NodeId};
 use salient_nn::{build_model, GnnModel, Mode};

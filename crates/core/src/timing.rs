@@ -1,11 +1,10 @@
 //! Per-stage wall-clock accounting (the real-execution analogue of
 //! Table 1's blocking-time columns).
 
-use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
 /// Blocking time per pipeline stage over one epoch.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct StageTimings {
     /// Batch preparation (sampling + slicing) blocking seconds.
     pub prep_s: f64,

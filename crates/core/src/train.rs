@@ -3,21 +3,19 @@
 
 use crate::config::{ExecutorKind, RunConfig};
 use crate::timing::{Stage, StageTimings};
-use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use salient_tensor::rng::StdRng;
+use salient_tensor::rng::SliceRandom;
 use salient_batchprep::{run_epoch, PrepConfig, PrepMode, SamplerKind};
 use salient_graph::{Dataset, NodeId};
 use salient_nn::{build_model, metrics, GnnModel, Mode};
 use salient_sampler::{FastSampler, MessageFlowGraph, PygSampler};
 use salient_tensor::optim::{Adam, Optimizer};
 use salient_tensor::{dequantize_into, F16, Tape, Tensor};
-use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use std::time::Instant;
 
 /// Result of one training epoch.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct EpochStats {
     /// Epoch index (0-based).
     pub epoch: usize,

@@ -7,8 +7,8 @@
 //! `2·(n−1)/n` of the buffer — the same communication volume the simulator's
 //! cost model charges.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
 use salient_tensor::Tensor;
+use std::sync::mpsc::{channel, Receiver, Sender};
 
 /// One rank's endpoint of a ring communicator.
 #[derive(Debug)]
@@ -27,8 +27,10 @@ impl Communicator {
     /// Panics if `world == 0`.
     pub fn ring(world: usize) -> Vec<Communicator> {
         assert!(world > 0, "world size must be positive");
+        // Each ring link has exactly one producer and one consumer, so the
+        // std SPSC channel is sufficient.
         let channels: Vec<(Sender<Vec<f32>>, Receiver<Vec<f32>>)> =
-            (0..world).map(|_| unbounded()).collect();
+            (0..world).map(|_| channel()).collect();
         let mut senders: Vec<Option<Sender<Vec<f32>>>> =
             channels.iter().map(|(s, _)| Some(s.clone())).collect();
         channels

@@ -6,7 +6,6 @@
 //! range) which halves index memory versus `u64` and matches the memory-
 //! bandwidth-sensitive design of the paper's sampler.
 
-use serde::{Deserialize, Serialize};
 
 /// A node identifier in the global input graph.
 pub type NodeId = u32;
@@ -27,7 +26,7 @@ pub type NodeId = u32;
 /// assert_eq!(g.degree(1), 1);
 /// assert_eq!(g.num_edges(), 3);
 /// ```
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CsrGraph {
     indptr: Vec<usize>,
     indices: Vec<NodeId>,

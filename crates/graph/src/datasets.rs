@@ -14,7 +14,6 @@ use crate::features::FeatureMatrix;
 use crate::generate::{chung_lu_communities, ChungLuConfig};
 use crate::labels::{planted_features, PlantedFeatureConfig};
 use crate::split::Splits;
-use serde::{Deserialize, Serialize};
 
 /// Everything needed to train and evaluate on a synthetic dataset.
 #[derive(Clone, Debug)]
@@ -184,7 +183,7 @@ impl Dataset {
 
 /// Published statistics of the paper's benchmark datasets (Table 4), used by
 /// the event simulator to model paper-scale workloads.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct DatasetStats {
     /// Dataset name as used in the paper.
     pub name: &'static str,

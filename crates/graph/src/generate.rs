@@ -7,7 +7,7 @@
 //! datasets) and an R-MAT generator (used for stress tests).
 
 use crate::csr::{CsrGraph, NodeId};
-use rand::{Rng, RngExt};
+use salient_tensor::rng::Rng;
 
 /// Draws `n` expected-degree weights from a discrete Pareto (power-law) with
 /// exponent `alpha`, minimum `d_min` and cap `d_max`.
@@ -93,10 +93,9 @@ pub struct CommunityGraph {
 ///
 /// Panics if `num_communities == 0` or `num_nodes == 0`.
 pub fn chung_lu_communities(cfg: &ChungLuConfig) -> CommunityGraph {
-    use rand::SeedableRng;
     assert!(cfg.num_nodes > 0, "empty graph requested");
     assert!(cfg.num_communities > 0, "need at least one community");
-    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+    let mut rng = salient_tensor::rng::StdRng::seed_from_u64(cfg.seed);
     let n = cfg.num_nodes;
     let weights = power_law_weights(n, cfg.alpha, cfg.d_min, cfg.d_max, &mut rng);
 
@@ -123,7 +122,7 @@ pub fn chung_lu_communities(cfg: &ChungLuConfig) -> CommunityGraph {
     let global_cum = build_cum(&all_ids);
     let member_cum: Vec<Vec<f64>> = members.iter().map(|m| build_cum(m)).collect();
 
-    let sample_from = |cum: &[f64], ids: &[NodeId], rng: &mut rand::rngs::StdRng| -> NodeId {
+    let sample_from = |cum: &[f64], ids: &[NodeId], rng: &mut salient_tensor::rng::StdRng| -> NodeId {
         let total = *cum.last().unwrap();
         let x: f64 = rng.random::<f64>() * total;
         let i = cum.partition_point(|&c| c < x).min(ids.len() - 1);
@@ -186,10 +185,9 @@ impl Default for RmatConfig {
 ///
 /// Panics if the quadrant probabilities exceed 1.
 pub fn rmat(cfg: &RmatConfig) -> CsrGraph {
-    use rand::SeedableRng;
     let d = 1.0 - cfg.a - cfg.b - cfg.c;
     assert!(d >= -1e-9, "quadrant probabilities exceed 1");
-    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+    let mut rng = salient_tensor::rng::StdRng::seed_from_u64(cfg.seed);
     let n = 1usize << cfg.scale;
     let m = n * cfg.edge_factor;
     let mut edges = Vec::with_capacity(m);
@@ -218,8 +216,7 @@ pub fn rmat(cfg: &RmatConfig) -> CsrGraph {
 
 /// Generates an Erdős–Rényi `G(n, m)` graph (directed, duplicates possible).
 pub fn erdos_renyi(num_nodes: usize, num_edges: usize, seed: u64) -> CsrGraph {
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = salient_tensor::rng::StdRng::seed_from_u64(seed);
     let edges: Vec<(NodeId, NodeId)> = (0..num_edges)
         .map(|_| {
             (
@@ -235,11 +232,10 @@ pub fn erdos_renyi(num_nodes: usize, num_edges: usize, seed: u64) -> CsrGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn power_law_respects_bounds() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = salient_tensor::rng::StdRng::seed_from_u64(0);
         let w = power_law_weights(10_000, 2.5, 2.0, 100.0, &mut rng);
         assert!(w.iter().all(|&x| (2.0..=100.0).contains(&x)));
         // Heavy tail: the max should be much larger than the median.

@@ -10,7 +10,7 @@
 //! and saturates once the sample mean stabilizes. This reproduces the
 //! *mechanics* behind Table 6 and Figure 3.
 
-use rand::{Rng, RngExt};
+use salient_tensor::rng::Rng;
 use salient_tensor::Shape;
 
 /// Configuration of the planted feature model.
@@ -54,8 +54,7 @@ fn gaussian(rng: &mut impl Rng) -> f32 {
 ///
 /// Panics if a label is `>= num_classes`.
 pub fn planted_features(labels: &[u32], cfg: &PlantedFeatureConfig) -> Vec<f32> {
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+    let mut rng = salient_tensor::rng::StdRng::seed_from_u64(cfg.seed);
     // Random unit prototypes, one per class.
     let mut prototypes = vec![0.0f32; cfg.num_classes * cfg.dim];
     for p in prototypes.chunks_mut(cfg.dim) {
@@ -93,8 +92,7 @@ pub fn pointwise_prototype_accuracy(
     labels: &[u32],
     cfg: &PlantedFeatureConfig,
 ) -> f64 {
-    use rand::SeedableRng;
-    let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed);
+    let mut rng = salient_tensor::rng::StdRng::seed_from_u64(cfg.seed);
     // Re-derive the same prototypes (same seed, same draw order).
     let mut prototypes = vec![0.0f32; cfg.num_classes * cfg.dim];
     for p in prototypes.chunks_mut(cfg.dim) {

@@ -11,8 +11,7 @@
 //! partition).
 
 use crate::csr::{CsrGraph, NodeId};
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use salient_tensor::rng::SliceRandom;
 
 /// A node-to-partition assignment.
 #[derive(Clone, Debug)]
@@ -83,7 +82,7 @@ pub fn random_partition(graph: &CsrGraph, k: usize, seed: u64) -> Partitioning {
     assert!(k > 0, "need at least one partition");
     let n = graph.num_nodes();
     let mut ids: Vec<u32> = (0..n as u32).collect();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = salient_tensor::rng::StdRng::seed_from_u64(seed);
     ids.shuffle(&mut rng);
     let mut part = vec![0u32; n];
     for (rank, &v) in ids.iter().enumerate() {
@@ -102,7 +101,7 @@ pub fn bfs_partition(graph: &CsrGraph, k: usize, seed: u64) -> Partitioning {
     let target = n.div_ceil(k);
     let mut part = vec![u32::MAX; n];
     let mut order: Vec<u32> = (0..n as u32).collect();
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = salient_tensor::rng::StdRng::seed_from_u64(seed);
     order.shuffle(&mut rng);
     let mut cursor = 0usize;
     let mut queue = std::collections::VecDeque::new();

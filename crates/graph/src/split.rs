@@ -1,15 +1,13 @@
 //! Train / validation / test node splits.
 
 use crate::csr::NodeId;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
+use salient_tensor::rng::SliceRandom;
 
 /// Disjoint train / validation / test node sets.
 ///
 /// Fractions need not cover every node: ogbn-papers100M labels only ~1.4 % of
 /// its 111 M nodes, and the split reflects that.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Splits {
     /// Training node ids.
     pub train: Vec<NodeId>,
@@ -36,7 +34,7 @@ impl Splits {
             "split fractions sum to more than 1"
         );
         let mut ids: Vec<NodeId> = (0..num_nodes as NodeId).collect();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = salient_tensor::rng::StdRng::seed_from_u64(seed);
         ids.shuffle(&mut rng);
         let n_train = (num_nodes as f64 * frac_train).round() as usize;
         let n_val = (num_nodes as f64 * frac_val).round() as usize;

@@ -6,7 +6,7 @@
 
 use crate::batch_norm::BatchNorm1d;
 use crate::linear::Linear;
-use rand::Rng;
+use salient_tensor::rng::Rng;
 use salient_sampler::MfgLayer;
 use salient_tensor::{init, Param, Tape, Var};
 
@@ -233,7 +233,6 @@ impl GinConv {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use salient_tensor::Tensor;
 
     fn hop() -> MfgLayer {
@@ -257,7 +256,7 @@ mod tests {
 
     #[test]
     fn sage_conv_shapes_and_grads() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = salient_tensor::rng::StdRng::seed_from_u64(0);
         let mut conv = SageConv::new("s", 2, 4, &mut rng);
         let tape = Tape::new();
         let (x, xt) = inputs(&tape);
@@ -271,7 +270,7 @@ mod tests {
     #[test]
     fn sage_mean_aggregation_is_correct() {
         // Identity weights make the output self + mean(neigh) directly.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = salient_tensor::rng::StdRng::seed_from_u64(0);
         let mut conv = SageConv::new("s", 2, 2, &mut rng);
         let eye = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], [2, 2]);
         for p in conv.params_mut() {
@@ -289,7 +288,7 @@ mod tests {
 
     #[test]
     fn sage_pool_conv_shapes_and_grads() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let mut rng = salient_tensor::rng::StdRng::seed_from_u64(9);
         let mut conv = SagePoolConv::new("sp", 2, 8, 4, &mut rng);
         let tape = Tape::new();
         let (x, xt) = inputs(&tape);
@@ -303,7 +302,7 @@ mod tests {
 
     #[test]
     fn gat_attention_weights_sum_to_one_per_dst() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = salient_tensor::rng::StdRng::seed_from_u64(3);
         let conv = GatConv::new("g", 2, 3, &mut rng);
         let tape = Tape::new();
         let (x, xt) = inputs(&tape);
@@ -318,7 +317,7 @@ mod tests {
 
     #[test]
     fn gat_gradients_reach_attention_params() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let mut rng = salient_tensor::rng::StdRng::seed_from_u64(4);
         let mut conv = GatConv::new("g", 2, 3, &mut rng);
         let tape = Tape::new();
         let (x, xt) = inputs(&tape);
@@ -332,7 +331,7 @@ mod tests {
 
     #[test]
     fn gin_conv_runs_and_trains() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let mut rng = salient_tensor::rng::StdRng::seed_from_u64(5);
         let mut conv = GinConv::new("gin", 2, 4, &mut rng);
         let tape = Tape::new();
         let (x, xt) = inputs(&tape);

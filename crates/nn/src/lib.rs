@@ -7,7 +7,6 @@
 //! # Example
 //!
 //! ```
-//! use rand::SeedableRng;
 //! use salient_graph::DatasetConfig;
 //! use salient_nn::{build_model, Mode, ModelKind};
 //! use salient_sampler::FastSampler;
@@ -16,7 +15,7 @@
 //! let ds = DatasetConfig::tiny(0).build();
 //! let mfg = FastSampler::new(0).sample(&ds.graph, &ds.splits.train[..8], &[5, 5]);
 //! let mut model = build_model(ModelKind::Sage, ds.features.dim(), 16, ds.num_classes, 2, 0);
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut rng = salient_tensor::rng::StdRng::seed_from_u64(0);
 //! let tape = Tape::new();
 //! let x = tape.constant(ds.features.gather_f32(&mfg.node_ids));
 //! let out = model.forward(&tape, x, &mfg, Mode::Train, &mut rng);

@@ -1,6 +1,6 @@
 //! Dense (fully connected) layer.
 
-use rand::Rng;
+use salient_tensor::rng::Rng;
 use salient_tensor::{init, Param, Tape, Tensor, Var};
 
 /// A linear transform `y = x W (+ b)`.
@@ -72,11 +72,10 @@ impl Linear {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn forward_shape_and_bias() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = salient_tensor::rng::StdRng::seed_from_u64(0);
         let layer = Linear::new("l", 4, 3, true, &mut rng);
         let tape = Tape::new();
         let x = tape.constant(Tensor::ones([2, 4]));
@@ -87,7 +86,7 @@ mod tests {
 
     #[test]
     fn gradients_flow_to_weight_and_bias() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = salient_tensor::rng::StdRng::seed_from_u64(1);
         let mut layer = Linear::new("l", 2, 2, true, &mut rng);
         let tape = Tape::new();
         let x = tape.constant(Tensor::ones([1, 2]));
@@ -101,7 +100,7 @@ mod tests {
 
     #[test]
     fn no_bias_variant() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = salient_tensor::rng::StdRng::seed_from_u64(2);
         let layer = Linear::new("l", 3, 3, false, &mut rng);
         assert_eq!(layer.params().len(), 1);
         assert_eq!(layer.in_features(), 3);

@@ -14,8 +14,7 @@
 use crate::batch_norm::BatchNorm1d;
 use crate::convs::{GatConv, GinConv, SageConv};
 use crate::linear::Linear;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use salient_tensor::rng::StdRng;
 use salient_sampler::MessageFlowGraph;
 use salient_tensor::{Param, Tape, Var};
 

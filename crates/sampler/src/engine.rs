@@ -15,7 +15,7 @@
 
 use crate::mfg::{MessageFlowGraph, MfgLayer};
 use crate::structures::{IdMap, NeighborSet};
-use rand::{Rng, RngExt};
+use salient_tensor::rng::Rng;
 use salient_graph::{CsrGraph, NodeId};
 
 /// Algorithm for drawing `d` distinct neighbor positions out of `n`.
@@ -244,7 +244,6 @@ pub fn sample_with<M: IdMap, S: NeighborSet>(
 mod tests {
     use super::*;
     use crate::structures::{ArrayNeighborSet, FlatIdMap, StdIdMap, StdNeighborSet};
-    use rand::SeedableRng;
     use salient_graph::DatasetConfig;
 
     fn line_graph() -> CsrGraph {
@@ -255,7 +254,7 @@ mod tests {
     #[test]
     fn one_hop_full_fanout_takes_all_neighbors() {
         let g = line_graph();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = salient_tensor::rng::StdRng::seed_from_u64(0);
         let mfg = sample_with(
             &g,
             &[1],
@@ -279,7 +278,7 @@ mod tests {
     #[test]
     fn two_hop_expansion_chains() {
         let g = line_graph();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = salient_tensor::rng::StdRng::seed_from_u64(0);
         let mfg = sample_with(
             &g,
             &[0],
@@ -304,7 +303,7 @@ mod tests {
         let batch: Vec<NodeId> = ds.splits.train[..32].to_vec();
         for algo in [SampleAlgo::Rejection, SampleAlgo::PartialFisherYates] {
             for fused in [true, false] {
-                let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+                let mut rng = salient_tensor::rng::StdRng::seed_from_u64(9);
                 let mfg = sample_with(
                     &ds.graph,
                     &batch,
@@ -351,7 +350,7 @@ mod tests {
     fn sampled_edges_exist_in_graph() {
         let ds = DatasetConfig::tiny(4).build();
         let batch: Vec<NodeId> = ds.splits.train[..16].to_vec();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut rng = salient_tensor::rng::StdRng::seed_from_u64(2);
         let mfg = sample_with(
             &ds.graph,
             &batch,
@@ -386,7 +385,7 @@ mod tests {
             v.sort_unstable();
             v
         };
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = salient_tensor::rng::StdRng::seed_from_u64(0);
         let a = sample_with(
             &ds.graph,
             &batch,
@@ -419,7 +418,7 @@ mod tests {
     #[should_panic(expected = "duplicate node")]
     fn duplicate_batch_rejected() {
         let g = line_graph();
-        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut rng = salient_tensor::rng::StdRng::seed_from_u64(0);
         sample_with(
             &g,
             &[1, 1],
@@ -436,7 +435,7 @@ mod tests {
     fn partial_fy_is_uniform_without_replacement() {
         // Statistical check: sampling 2 of 4 positions ~ each position hit
         // with probability 1/2.
-        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let mut rng = salient_tensor::rng::StdRng::seed_from_u64(11);
         let mut counts = [0usize; 4];
         let mut swaps = Vec::new();
         let trials = 40_000;

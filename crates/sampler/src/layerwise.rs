@@ -13,8 +13,8 @@
 
 use crate::mfg::{MessageFlowGraph, MfgLayer};
 use crate::structures::{FlatIdMap, IdMap};
-use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
+use salient_tensor::rng::StdRng;
+use salient_tensor::rng::Rng;
 use salient_graph::{CsrGraph, NodeId};
 
 /// A layer-wise (LADIES-style) sampler with per-layer node budgets.

@@ -6,8 +6,7 @@
 use crate::engine::{sample_with, EngineOpts, EngineScratch, SampleAlgo};
 use crate::mfg::MessageFlowGraph;
 use crate::structures::{StdIdMap, StdNeighborSet};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use salient_tensor::rng::StdRng;
 use salient_graph::{CsrGraph, NodeId};
 
 /// Reference sampler approximating PyG's C++ `NeighborSampler`.

@@ -9,8 +9,8 @@
 
 use crate::mfg::{MessageFlowGraph, MfgLayer};
 use crate::structures::{FlatIdMap, IdMap};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use salient_tensor::rng::StdRng;
+use salient_tensor::rng::Rng;
 use salient_graph::{CsrGraph, NodeId};
 
 /// A GraphSAINT-style random-walk subgraph sampler.

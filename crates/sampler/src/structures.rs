@@ -380,13 +380,13 @@ mod tests {
 
     #[test]
     fn flat_map_matches_std_on_random_stream() {
-        use rand::{RngExt, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        use salient_tensor::rng::Rng;
+        let mut rng = salient_tensor::rng::StdRng::seed_from_u64(1);
         let mut flat = FlatIdMap::default();
         let mut std = StdIdMap::new();
         let mut next = 0u32;
         for _ in 0..50_000 {
-            let key: u32 = rng.random_range(0..5_000);
+            let key: u32 = rng.random_range(0u32..5_000);
             let (a, new_a) = flat.get_or_insert(key, next);
             let (b, new_b) = std.get_or_insert(key, next);
             assert_eq!(a, b);

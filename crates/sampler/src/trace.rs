@@ -10,8 +10,7 @@
 use crate::engine::{EngineOpts, EngineScratch, SampleAlgo};
 use crate::mfg::{MessageFlowGraph, MfgLayer};
 use crate::structures::{ArrayNeighborSet, FlatIdMap, IdMap};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use salient_tensor::rng::StdRng;
 use salient_graph::{CsrGraph, NodeId};
 
 /// The frozen sampling decisions of one hop: for each destination node of

@@ -13,8 +13,7 @@ use crate::mfg::MessageFlowGraph;
 use crate::structures::{
     ArrayNeighborSet, FlatIdMap, FlatNeighborSet, IdMap, NeighborSet, StdIdMap, StdNeighborSet,
 };
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use salient_tensor::rng::StdRng;
 use salient_graph::{CsrGraph, NodeId};
 
 /// Which global→local id-map implementation to use.

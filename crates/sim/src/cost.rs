@@ -18,10 +18,9 @@
 //! | `mp_copy_bw` | §4.2: multiprocessing hand-off "effectively halves the observed memory bandwidth" |
 
 use crate::workload::BatchWorkload;
-use serde::{Deserialize, Serialize};
 
 /// Which sampler/slicing implementation a stage uses.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Impl {
     /// The tuned PyG baseline (STL structures, DataLoader workers).
     Pyg,
@@ -30,7 +29,7 @@ pub enum Impl {
 }
 
 /// GNN architecture being trained (Figure 6 set).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum GnnArch {
     /// GraphSAGE with mean aggregation.
     Sage,
@@ -76,7 +75,7 @@ impl GnnArch {
 }
 
 /// The calibrated testbed model (one 20-core Xeon 6248 + V100 per GPU slot).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct CostModel {
     /// PyG sampling cost per sampled edge, single thread (ns).
     pub pyg_sample_ns_per_edge: f64,

@@ -10,7 +10,6 @@ use crate::cost::CostModel;
 use crate::des::{Simulation, TaskId};
 use crate::schedules::{EpochConfig, OptLevel};
 use crate::workload::expected_batch;
-use serde::{Deserialize, Serialize};
 
 /// Multi-GPU run configuration.
 #[derive(Clone, Debug)]
@@ -26,7 +25,7 @@ pub struct MultiGpuConfig {
 }
 
 /// Result of a multi-GPU epoch simulation.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct MultiGpuReport {
     /// Virtual epoch seconds.
     pub epoch_s: f64,

@@ -18,10 +18,9 @@ use crate::cost::{CostModel, GnnArch, Impl};
 use crate::des::{Executed, Simulation, TaskId};
 use crate::workload::{expected_batch, BatchWorkload};
 use salient_graph::DatasetStats;
-use serde::{Deserialize, Serialize};
 
 /// Cumulative optimization level (each includes the previous).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum OptLevel {
     /// Tuned PyG baseline ("None (PyG)" in Table 3).
     PygBaseline,
@@ -93,7 +92,7 @@ impl EpochConfig {
 }
 
 /// Blocking-time breakdown of a simulated epoch (the Table-1 columns).
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct EpochReport {
     /// Total epoch wall-clock (seconds, virtual).
     pub epoch_s: f64,

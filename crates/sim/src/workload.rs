@@ -20,7 +20,6 @@
 //! 164 GB transferred per 1179-batch epoch (§3.3) to within ~25 %.
 
 use salient_graph::DatasetStats;
-use serde::{Deserialize, Serialize};
 
 /// Fraction of the graph effectively reachable by multi-hop expansion from a
 /// random batch. Cross-validation against the real sampler on materialized
@@ -29,7 +28,7 @@ use serde::{Deserialize, Serialize};
 const REACH_FRACTION: f64 = 1.0;
 
 /// Expected per-batch MFG statistics.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct BatchWorkload {
     /// Mini-batch (output) size.
     pub batch_size: usize,

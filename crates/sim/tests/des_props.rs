@@ -1,9 +1,12 @@
-//! Property-based tests of the discrete-event simulation engine: random
+//! Property-style tests of the discrete-event simulation engine: random
 //! task DAGs must execute with no server overlap, respected dependencies,
 //! and a makespan bounded by critical path and total-work arguments.
+//!
+//! Cases are generated from the workspace's seeded RNG so failures
+//! reproduce exactly by seed.
 
-use proptest::prelude::*;
 use salient_sim::Simulation;
+use salient_tensor::rng::{Rng, StdRng};
 
 /// A random schedule description: resources with server counts, tasks with
 /// durations, resource assignments, and backward-pointing dependencies.
@@ -13,30 +16,24 @@ struct RandomSchedule {
     tasks: Vec<(usize, u64, Vec<usize>)>, // (resource, duration, deps)
 }
 
-fn schedules() -> impl Strategy<Value = RandomSchedule> {
-    (1usize..4, 1usize..40).prop_flat_map(|(num_res, num_tasks)| {
-        let servers = prop::collection::vec(1usize..4, num_res..=num_res);
-        let tasks = prop::collection::vec(
-            (0usize..num_res, 0u64..200, prop::collection::vec(0usize..1000, 0..3)),
-            num_tasks..=num_tasks,
-        );
-        (servers, tasks).prop_map(|(servers, raw)| {
-            let tasks = raw
-                .into_iter()
-                .enumerate()
-                .map(|(id, (res, dur, deps))| {
-                    // Deps must point to earlier tasks.
-                    let deps: Vec<usize> = deps
-                        .into_iter()
-                        .filter(|_| id > 0)
-                        .map(|d| d % id.max(1))
-                        .collect();
-                    (res, dur, deps)
-                })
+fn random_schedule(rng: &mut StdRng) -> RandomSchedule {
+    let num_res = rng.random_range(1usize..4);
+    let num_tasks = rng.random_range(1usize..40);
+    let servers: Vec<usize> = (0..num_res).map(|_| rng.random_range(1usize..4)).collect();
+    let tasks = (0..num_tasks)
+        .map(|id| {
+            let res = rng.random_range(0..num_res);
+            let dur = rng.random_range(0u64..200);
+            let n_deps = rng.random_range(0usize..3);
+            // Deps must point to earlier tasks.
+            let deps: Vec<usize> = (0..n_deps)
+                .filter(|_| id > 0)
+                .map(|_| rng.random_range(0..1000usize) % id.max(1))
                 .collect();
-            RandomSchedule { servers, tasks }
+            (res, dur, deps)
         })
-    })
+        .collect();
+    RandomSchedule { servers, tasks }
 }
 
 fn build(s: &RandomSchedule) -> Simulation {
@@ -64,25 +61,27 @@ fn critical_path(s: &RandomSchedule) -> u64 {
     finish.into_iter().max().unwrap_or(0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn execution_is_well_formed(s in schedules()) {
+#[test]
+fn execution_is_well_formed() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let s = random_schedule(&mut rng);
         let sim = build(&s);
         let ex = sim.run();
 
         // 1. Dependencies respected.
         for (id, (_, _, deps)) in s.tasks.iter().enumerate() {
             for &d in deps {
-                prop_assert!(ex.start[id] >= ex.end[d],
-                    "task {id} started before dep {d} finished");
+                assert!(
+                    ex.start[id] >= ex.end[d],
+                    "task {id} started before dep {d} finished"
+                );
             }
         }
 
         // 2. Duration honored.
         for (id, (_, dur, _)) in s.tasks.iter().enumerate() {
-            prop_assert_eq!(ex.end[id] - ex.start[id], *dur);
+            assert_eq!(ex.end[id] - ex.start[id], *dur);
         }
 
         // 3. No two tasks overlap on the same (resource, server) lane.
@@ -100,8 +99,10 @@ proptest! {
         for ((res, srv), mut intervals) in lanes {
             intervals.sort_unstable();
             for pair in intervals.windows(2) {
-                prop_assert!(pair[0].1 <= pair[1].0,
-                    "overlap on resource {res} server {srv}: {pair:?}");
+                assert!(
+                    pair[0].1 <= pair[1].0,
+                    "overlap on resource {res} server {srv}: {pair:?}"
+                );
             }
         }
 
@@ -109,9 +110,12 @@ proptest! {
         //    serialized plus the critical path (loose but universal).
         let cp = critical_path(&s);
         let total: u64 = s.tasks.iter().map(|(_, d, _)| *d).sum();
-        prop_assert!(ex.makespan >= cp, "makespan {} < critical path {cp}", ex.makespan);
-        prop_assert!(ex.makespan <= total + cp,
-            "makespan {} > total work {total} + cp {cp}", ex.makespan);
+        assert!(ex.makespan >= cp, "makespan {} < critical path {cp}", ex.makespan);
+        assert!(
+            ex.makespan <= total + cp,
+            "makespan {} > total work {total} + cp {cp}",
+            ex.makespan
+        );
 
         // 5. Busy accounting equals summed durations per resource.
         for (res, _) in s.servers.iter().enumerate() {
@@ -121,30 +125,38 @@ proptest! {
                 .filter(|(r, _, _)| *r == res)
                 .map(|(_, d, _)| *d)
                 .sum();
-            prop_assert_eq!(ex.busy[res], expect);
+            assert_eq!(ex.busy[res], expect);
         }
     }
+}
 
-    #[test]
-    fn more_servers_cannot_double_makespan(s in schedules()) {
-        // Greedy list scheduling is subject to Graham anomalies, so adding
-        // servers may occasionally *increase* the makespan — but never past
-        // Graham's 2x bound relative to the narrower schedule.
+#[test]
+fn more_servers_cannot_double_makespan() {
+    // Greedy list scheduling is subject to Graham anomalies, so adding
+    // servers may occasionally *increase* the makespan — but never past
+    // Graham's 2x bound relative to the narrower schedule.
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(1000 + seed);
+        let s = random_schedule(&mut rng);
         let base = build(&s).run().makespan;
         let mut wider = s.clone();
         for k in &mut wider.servers {
             *k += 4;
         }
         let wide = build(&wider).run().makespan;
-        prop_assert!(wide <= base * 2 + 1, "anomaly beyond Graham bound: {wide} vs {base}");
+        assert!(wide <= base * 2 + 1, "anomaly beyond Graham bound: {wide} vs {base}");
     }
+}
 
-    #[test]
-    fn determinism(s in schedules()) {
+#[test]
+fn determinism() {
+    for seed in 0..64u64 {
+        let mut rng = StdRng::seed_from_u64(2000 + seed);
+        let s = random_schedule(&mut rng);
         let a = build(&s).run();
         let b = build(&s).run();
-        prop_assert_eq!(a.start, b.start);
-        prop_assert_eq!(a.end, b.end);
-        prop_assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.start, b.start);
+        assert_eq!(a.end, b.end);
+        assert_eq!(a.makespan, b.makespan);
     }
 }

@@ -23,7 +23,7 @@ use std::fmt;
 /// assert_eq!(h.to_f32(), 1.5);
 /// assert_eq!(F16::from_f32(f32::INFINITY).to_f32(), f32::INFINITY);
 /// ```
-#[derive(Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Default)]
 pub struct F16(u16);
 
 const EXP_MASK: u16 = 0x7C00;

@@ -5,6 +5,7 @@
 //! (mean for GraphSAGE, sum for GIN, attention-weighted sum for GAT).
 
 use crate::autograd::{Node, Var};
+use crate::kernels;
 use crate::shape::Shape;
 use crate::tensor::Tensor;
 
@@ -31,19 +32,15 @@ impl Var {
     pub fn gather_rows(&self, idx: &[u32]) -> Var {
         let a = self.value();
         let (rows, cols) = (a.rows(), a.cols());
-        let usize_idx: Vec<usize> = idx.iter().map(|&i| i as usize).collect();
-        let out = a.gather_rows(&usize_idx);
+        debug_assert!(idx.iter().all(|&i| (i as usize) < rows), "gather index out of range");
+        let out = kernels::gather_rows_forward(a.data(), cols, idx);
+        let out = Tensor::from_vec(out, Shape::matrix(idx.len(), cols));
         let ia = self.id;
+        let idx = idx.to_vec();
         self.tape().push(Node {
             value: out,
             backward: Some(Box::new(move |g| {
-                let mut dx = vec![0.0f32; rows * cols];
-                for (e, &i) in usize_idx.iter().enumerate() {
-                    let grow = g.row(e);
-                    for (d, v) in dx[i * cols..(i + 1) * cols].iter_mut().zip(grow.iter()) {
-                        *d += v;
-                    }
-                }
+                let dx = kernels::gather_rows_backward(g.data(), cols, &idx, rows);
                 vec![(ia, Tensor::from_vec(dx, Shape::matrix(rows, cols)))]
             })),
             param: None,
@@ -68,43 +65,22 @@ impl Var {
         for &d in dst {
             counts[d as usize] += 1.0;
         }
-        let mut out = vec![0.0f32; n_dst * cols];
-        let ad = a.data();
-        for (&s, &d) in src.iter().zip(dst.iter()) {
-            let (s, d) = (s as usize, d as usize);
-            for (o, v) in out[d * cols..(d + 1) * cols]
-                .iter_mut()
-                .zip(ad[s * cols..(s + 1) * cols].iter())
-            {
-                *o += v;
-            }
-        }
-        for d in 0..n_dst {
-            let c = counts[d];
-            if c > 0.0 {
-                for o in &mut out[d * cols..(d + 1) * cols] {
-                    *o /= c;
-                }
-            }
-        }
+        let out =
+            kernels::scatter_reduce_forward(a.data(), cols, src, dst, n_dst, Some(&counts));
         let ia = self.id;
         let (src, dst) = (src.to_vec(), dst.to_vec());
         let n_src = a.rows();
         self.tape().push(Node {
             value: Tensor::from_vec(out, Shape::matrix(n_dst, cols)),
             backward: Some(Box::new(move |g| {
-                let mut dx = vec![0.0f32; n_src * cols];
-                let gd = g.data();
-                for (&s, &d) in src.iter().zip(dst.iter()) {
-                    let (s, d) = (s as usize, d as usize);
-                    let inv = 1.0 / counts[d];
-                    for (x, v) in dx[s * cols..(s + 1) * cols]
-                        .iter_mut()
-                        .zip(gd[d * cols..(d + 1) * cols].iter())
-                    {
-                        *x += inv * v;
-                    }
-                }
+                let dx = kernels::scatter_reduce_backward(
+                    g.data(),
+                    cols,
+                    &src,
+                    &dst,
+                    n_src,
+                    Some(&counts),
+                );
                 vec![(ia, Tensor::from_vec(dx, Shape::matrix(n_src, cols)))]
             })),
             param: None,
@@ -120,34 +96,15 @@ impl Var {
         let a = self.value();
         let cols = a.cols();
         check_edges(src, dst, a.rows(), n_dst);
-        let mut out = vec![0.0f32; n_dst * cols];
-        let ad = a.data();
-        for (&s, &d) in src.iter().zip(dst.iter()) {
-            let (s, d) = (s as usize, d as usize);
-            for (o, v) in out[d * cols..(d + 1) * cols]
-                .iter_mut()
-                .zip(ad[s * cols..(s + 1) * cols].iter())
-            {
-                *o += v;
-            }
-        }
+        let out = kernels::scatter_reduce_forward(a.data(), cols, src, dst, n_dst, None);
         let ia = self.id;
         let (src, dst) = (src.to_vec(), dst.to_vec());
         let n_src = a.rows();
         self.tape().push(Node {
             value: Tensor::from_vec(out, Shape::matrix(n_dst, cols)),
             backward: Some(Box::new(move |g| {
-                let mut dx = vec![0.0f32; n_src * cols];
-                let gd = g.data();
-                for (&s, &d) in src.iter().zip(dst.iter()) {
-                    let (s, d) = (s as usize, d as usize);
-                    for (x, v) in dx[s * cols..(s + 1) * cols]
-                        .iter_mut()
-                        .zip(gd[d * cols..(d + 1) * cols].iter())
-                    {
-                        *x += v;
-                    }
-                }
+                let dx =
+                    kernels::scatter_reduce_backward(g.data(), cols, &src, &dst, n_src, None);
                 vec![(ia, Tensor::from_vec(dx, Shape::matrix(n_src, cols)))]
             })),
             param: None,

@@ -2,7 +2,7 @@
 
 use crate::shape::Shape;
 use crate::tensor::Tensor;
-use rand::{Rng, RngExt};
+use crate::rng::Rng;
 
 /// Uniform Glorot/Xavier initialization for a `fan_in × fan_out` weight
 /// matrix: entries drawn from `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
@@ -29,8 +29,7 @@ pub fn kaiming_uniform(fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Ten
 /// Standard normal entries scaled by `std`.
 pub fn normal(shape: impl Into<Shape>, std: f32, rng: &mut impl Rng) -> Tensor {
     let shape = shape.into();
-    // Box–Muller transform; `rand` is kept to the uniform primitive so the
-    // sanctioned dependency surface stays minimal.
+    // Box–Muller transform over the crate RNG's uniform primitive.
     let n = shape.len();
     let mut data = Vec::with_capacity(n);
     while data.len() < n {
@@ -56,8 +55,7 @@ pub fn uniform(shape: impl Into<Shape>, lo: f32, hi: f32, rng: &mut impl Rng) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
+    use crate::rng::StdRng;
 
     #[test]
     fn glorot_respects_bound() {

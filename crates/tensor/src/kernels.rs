@@ -1,0 +1,829 @@
+//! The CPU performance kernel layer: cache-blocked parallel GEMM and fused
+//! CSR-style gather/scatter aggregation.
+//!
+//! SALIENT's thesis is that the per-batch hot path must be performance-
+//! engineered end to end; for this CPU reproduction the dense update
+//! (`X @ W`) and the message-passing aggregation (gather / scatter-mean)
+//! are that hot path. Everything here is std-only and runs on the
+//! work-sharing pool in [`crate::pool`].
+//!
+//! Design notes:
+//!
+//! * **GEMM** is blocked (MC×KC×NC) with the `op(B)` panel packed into a
+//!   contiguous buffer once per (K-block, N-block) and `op(A)` packed per
+//!   row block into thread-local scratch, so all four transpose variants
+//!   run the same unit-stride inner kernel. On x86-64 with AVX2 + FMA
+//!   (detected at runtime, no compile-time flags needed) the inner kernel
+//!   is a register-tiled 4-row × 16-column micro-kernel: eight `ymm`
+//!   accumulators stay in registers across the whole K block, so each
+//!   packed-B load feeds four FMAs instead of one. Elsewhere a portable
+//!   4-way K-unrolled loop auto-vectorizes as well as the baseline ISA
+//!   allows.
+//! * **Aggregation** first builds a CSR index over the edge list (stable
+//!   counting sort by destination — or by source for backward passes), then
+//!   computes each output row *fully, in edge order* inside one task. No
+//!   atomics, no per-call allocation churn (index buffers come from a
+//!   thread-local scratch pool), and — because every output element is
+//!   produced by the same serial reduction regardless of how rows are
+//!   chunked — results are bitwise identical for any thread count.
+
+use crate::pool::{parallel_for, SendPtr};
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use std::cell::RefCell;
+
+// ---------------------------------------------------------------------------
+// Thread-local scratch buffers
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct Scratch {
+    u32s: Vec<Vec<u32>>,
+    f32s: Vec<Vec<f32>>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
+/// Checks out a cleared `Vec<u32>` with at least `cap` capacity from the
+/// calling thread's scratch pool (allocating only on first use).
+pub(crate) fn take_u32(cap: usize) -> Vec<u32> {
+    SCRATCH.with(|s| {
+        let mut v = s.borrow_mut().u32s.pop().unwrap_or_default();
+        v.clear();
+        v.reserve(cap);
+        v
+    })
+}
+
+/// Returns a `u32` scratch buffer for reuse.
+pub(crate) fn put_u32(v: Vec<u32>) {
+    SCRATCH.with(|s| s.borrow_mut().u32s.push(v));
+}
+
+/// Checks out a cleared `Vec<f32>` with at least `cap` capacity.
+pub(crate) fn take_f32(cap: usize) -> Vec<f32> {
+    SCRATCH.with(|s| {
+        let mut v = s.borrow_mut().f32s.pop().unwrap_or_default();
+        v.clear();
+        v.reserve(cap);
+        v
+    })
+}
+
+/// Returns an `f32` scratch buffer for reuse.
+pub(crate) fn put_f32(v: Vec<f32>) {
+    SCRATCH.with(|s| s.borrow_mut().f32s.push(v));
+}
+
+// ---------------------------------------------------------------------------
+// GEMM
+// ---------------------------------------------------------------------------
+
+/// Row block assigned to one parallel task.
+const MC: usize = 64;
+/// K (inner-dimension) block; the packed B panel holds KC×NC floats.
+const KC: usize = 256;
+/// Column block: KC×NC×4 bytes = 256 KiB keeps the panel L2-resident.
+const NC: usize = 256;
+
+/// Below this many multiply-adds the blocked/parallel machinery costs more
+/// than it saves; fall back to the straightforward loop.
+const GEMM_SERIAL_FLOP_CUTOFF: usize = 1 << 15;
+
+/// Dense matrix multiply `op(a) * op(b)` where `op` optionally transposes.
+///
+/// Shapes: with `ta = tb = false`, `a` is `m×k`, `b` is `k×n`, result `m×n`.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions do not agree.
+pub fn gemm(a: &Tensor, b: &Tensor, ta: bool, tb: bool) -> Tensor {
+    let (ar, ac) = (a.rows(), a.cols());
+    let (br, bc) = (b.rows(), b.cols());
+    let (m, k1) = if ta { (ac, ar) } else { (ar, ac) };
+    let (k2, n) = if tb { (bc, br) } else { (br, bc) };
+    assert_eq!(
+        k1, k2,
+        "gemm inner dimension mismatch: {}x{} ({}) @ {}x{} ({})",
+        ar, ac, ta, br, bc, tb
+    );
+    let k = k1;
+    let mut out = vec![0.0f32; m * n];
+    gemm_into(&mut out, a.data(), b.data(), ta, tb, m, n, k, ac, bc);
+    Tensor::from_vec(out, Shape::matrix(m, n))
+}
+
+/// The seed's scalar triple-loop GEMM, kept as the correctness / performance
+/// reference for tests and `BENCH_kernels.json`.
+pub fn gemm_naive(a: &Tensor, b: &Tensor, ta: bool, tb: bool) -> Tensor {
+    let (ar, ac) = (a.rows(), a.cols());
+    let (br, bc) = (b.rows(), b.cols());
+    let (m, k1) = if ta { (ac, ar) } else { (ar, ac) };
+    let (k2, n) = if tb { (bc, br) } else { (br, bc) };
+    assert_eq!(k1, k2, "gemm inner dimension mismatch");
+    let k = k1;
+    let mut out = vec![0.0f32; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    let at = |i: usize, p: usize| if ta { ad[p * ac + i] } else { ad[i * ac + p] };
+    let bt = |p: usize, j: usize| if tb { bd[j * bc + p] } else { bd[p * bc + j] };
+    match (ta, tb) {
+        (false, false) => {
+            for i in 0..m {
+                let arow = &ad[i * k..(i + 1) * k];
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (p, &av) in arow.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &bd[p * n..(p + 1) * n];
+                    for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                        *o += av * bv;
+                    }
+                }
+            }
+        }
+        _ => {
+            for i in 0..m {
+                for j in 0..n {
+                    let mut acc = 0.0f32;
+                    for p in 0..k {
+                        acc += at(i, p) * bt(p, j);
+                    }
+                    out[i * n + j] = acc;
+                }
+            }
+        }
+    }
+    Tensor::from_vec(out, Shape::matrix(m, n))
+}
+
+/// Packs `op(b)[pc..pc+kcb, jc..jc+ncb]` row-major into `bpack`.
+#[inline]
+fn pack_b(
+    bpack: &mut Vec<f32>,
+    bd: &[f32],
+    tb: bool,
+    b_cols: usize,
+    pc: usize,
+    kcb: usize,
+    jc: usize,
+    ncb: usize,
+) {
+    bpack.clear();
+    if !tb {
+        for p in 0..kcb {
+            let row = &bd[(pc + p) * b_cols + jc..(pc + p) * b_cols + jc + ncb];
+            bpack.extend_from_slice(row);
+        }
+    } else {
+        // b is n×k physical; op(b)[p][j] = b[j][p].
+        for p in 0..kcb {
+            for j in 0..ncb {
+                bpack.push(bd[(jc + j) * b_cols + (pc + p)]);
+            }
+        }
+    }
+}
+
+/// Packs `op(a)[i0..i0+mb, pc..pc+kcb]` row-major into `apack`.
+#[inline]
+fn pack_a(
+    apack: &mut Vec<f32>,
+    ad: &[f32],
+    ta: bool,
+    a_cols: usize,
+    i0: usize,
+    mb: usize,
+    pc: usize,
+    kcb: usize,
+) {
+    apack.clear();
+    if !ta {
+        for i in 0..mb {
+            let row = &ad[(i0 + i) * a_cols + pc..(i0 + i) * a_cols + pc + kcb];
+            apack.extend_from_slice(row);
+        }
+    } else {
+        // a is k×m physical; op(a)[i][p] = a[p][i].
+        for i in 0..mb {
+            for p in 0..kcb {
+                apack.push(ad[(pc + p) * a_cols + (i0 + i)]);
+            }
+        }
+    }
+}
+
+/// The packed inner kernel: `orow[0..ncb] += Σ_p arow[p] * bpack[p][0..ncb]`
+/// with the K loop 4-way unrolled so the output row is touched once per
+/// four K steps and the j-loop vectorizes to FMA chains.
+#[inline]
+fn kernel_row(arow: &[f32], bpack: &[f32], orow: &mut [f32], kcb: usize, ncb: usize) {
+    debug_assert_eq!(arow.len(), kcb);
+    debug_assert_eq!(orow.len(), ncb);
+    let mut p = 0;
+    while p + 4 <= kcb {
+        let a0 = arow[p];
+        let a1 = arow[p + 1];
+        let a2 = arow[p + 2];
+        let a3 = arow[p + 3];
+        let b0 = &bpack[p * ncb..p * ncb + ncb];
+        let b1 = &bpack[(p + 1) * ncb..(p + 1) * ncb + ncb];
+        let b2 = &bpack[(p + 2) * ncb..(p + 2) * ncb + ncb];
+        let b3 = &bpack[(p + 3) * ncb..(p + 3) * ncb + ncb];
+        for j in 0..ncb {
+            orow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+        }
+        p += 4;
+    }
+    while p < kcb {
+        let a0 = arow[p];
+        let b0 = &bpack[p * ncb..p * ncb + ncb];
+        for j in 0..ncb {
+            orow[j] += a0 * b0[j];
+        }
+        p += 1;
+    }
+}
+
+/// The AVX2 + FMA register-tiled micro-kernel, selected at runtime with
+/// `is_x86_feature_detected!` so the crate still builds (and falls back to
+/// [`kernel_row`]) on the x86-64 baseline target and other architectures.
+#[cfg(target_arch = "x86_64")]
+mod simd {
+    use std::arch::x86_64::*;
+
+    /// One-time CPUID probe for AVX2 + FMA.
+    pub fn available() -> bool {
+        use std::sync::OnceLock;
+        static AVAIL: OnceLock<bool> = OnceLock::new();
+        *AVAIL.get_or_init(|| {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        })
+    }
+
+    /// Mask with the first `rem` (1..=8) lanes enabled, for
+    /// `maskload`/`maskstore` on partial column tiles.
+    #[target_feature(enable = "avx")]
+    unsafe fn tail_mask(rem: usize) -> __m256i {
+        const M: [i32; 16] = [-1, -1, -1, -1, -1, -1, -1, -1, 0, 0, 0, 0, 0, 0, 0, 0];
+        _mm256_loadu_si256(M.as_ptr().add(8 - rem) as *const __m256i)
+    }
+
+    /// `out[0..mb][0..ncb] += apack[mb×kcb] · bpack[kcb×ncb]`, where block
+    /// row `i` lives at `out0 + i*n`.
+    ///
+    /// The main tile is 4 output rows × 16 columns: eight `ymm` accumulators
+    /// live in registers across the entire K loop, so each of the two
+    /// packed-B vector loads per K step is reused by four FMAs (the 1×N
+    /// kernel gets one use per load — this reuse is the entire speedup).
+    /// Remainder rows run a 1×16 tile and remainder columns masked ≤8-wide
+    /// tiles; every path accumulates fused, in the same K order, so an
+    /// output element's value does not depend on how rows were chunked
+    /// across threads.
+    ///
+    /// # Safety
+    ///
+    /// Caller must check [`available`], and the pointers must cover the
+    /// block extents described above.
+    #[target_feature(enable = "avx,avx2,fma")]
+    pub unsafe fn kernel_block(
+        apack: *const f32,
+        bpack: *const f32,
+        out0: *mut f32,
+        n: usize,
+        mb: usize,
+        kcb: usize,
+        ncb: usize,
+    ) {
+        let mut i = 0;
+        while i + 4 <= mb {
+            let a0 = apack.add(i * kcb);
+            let a1 = a0.add(kcb);
+            let a2 = a1.add(kcb);
+            let a3 = a2.add(kcb);
+            let o0 = out0.add(i * n);
+            let o1 = o0.add(n);
+            let o2 = o1.add(n);
+            let o3 = o2.add(n);
+            let mut j = 0;
+            while j + 16 <= ncb {
+                let mut c00 = _mm256_loadu_ps(o0.add(j));
+                let mut c01 = _mm256_loadu_ps(o0.add(j + 8));
+                let mut c10 = _mm256_loadu_ps(o1.add(j));
+                let mut c11 = _mm256_loadu_ps(o1.add(j + 8));
+                let mut c20 = _mm256_loadu_ps(o2.add(j));
+                let mut c21 = _mm256_loadu_ps(o2.add(j + 8));
+                let mut c30 = _mm256_loadu_ps(o3.add(j));
+                let mut c31 = _mm256_loadu_ps(o3.add(j + 8));
+                let mut bp = bpack.add(j);
+                for p in 0..kcb {
+                    let b0 = _mm256_loadu_ps(bp);
+                    let b1 = _mm256_loadu_ps(bp.add(8));
+                    let av0 = _mm256_set1_ps(*a0.add(p));
+                    c00 = _mm256_fmadd_ps(av0, b0, c00);
+                    c01 = _mm256_fmadd_ps(av0, b1, c01);
+                    let av1 = _mm256_set1_ps(*a1.add(p));
+                    c10 = _mm256_fmadd_ps(av1, b0, c10);
+                    c11 = _mm256_fmadd_ps(av1, b1, c11);
+                    let av2 = _mm256_set1_ps(*a2.add(p));
+                    c20 = _mm256_fmadd_ps(av2, b0, c20);
+                    c21 = _mm256_fmadd_ps(av2, b1, c21);
+                    let av3 = _mm256_set1_ps(*a3.add(p));
+                    c30 = _mm256_fmadd_ps(av3, b0, c30);
+                    c31 = _mm256_fmadd_ps(av3, b1, c31);
+                    bp = bp.add(ncb);
+                }
+                _mm256_storeu_ps(o0.add(j), c00);
+                _mm256_storeu_ps(o0.add(j + 8), c01);
+                _mm256_storeu_ps(o1.add(j), c10);
+                _mm256_storeu_ps(o1.add(j + 8), c11);
+                _mm256_storeu_ps(o2.add(j), c20);
+                _mm256_storeu_ps(o2.add(j + 8), c21);
+                _mm256_storeu_ps(o3.add(j), c30);
+                _mm256_storeu_ps(o3.add(j + 8), c31);
+                j += 16;
+            }
+            while j < ncb {
+                let rem = (ncb - j).min(8);
+                let mask = tail_mask(rem);
+                let mut c0 = _mm256_maskload_ps(o0.add(j), mask);
+                let mut c1 = _mm256_maskload_ps(o1.add(j), mask);
+                let mut c2 = _mm256_maskload_ps(o2.add(j), mask);
+                let mut c3 = _mm256_maskload_ps(o3.add(j), mask);
+                let mut bp = bpack.add(j);
+                for p in 0..kcb {
+                    let b = _mm256_maskload_ps(bp, mask);
+                    c0 = _mm256_fmadd_ps(_mm256_set1_ps(*a0.add(p)), b, c0);
+                    c1 = _mm256_fmadd_ps(_mm256_set1_ps(*a1.add(p)), b, c1);
+                    c2 = _mm256_fmadd_ps(_mm256_set1_ps(*a2.add(p)), b, c2);
+                    c3 = _mm256_fmadd_ps(_mm256_set1_ps(*a3.add(p)), b, c3);
+                    bp = bp.add(ncb);
+                }
+                _mm256_maskstore_ps(o0.add(j), mask, c0);
+                _mm256_maskstore_ps(o1.add(j), mask, c1);
+                _mm256_maskstore_ps(o2.add(j), mask, c2);
+                _mm256_maskstore_ps(o3.add(j), mask, c3);
+                j += rem;
+            }
+            i += 4;
+        }
+        while i < mb {
+            let a0 = apack.add(i * kcb);
+            let o0 = out0.add(i * n);
+            let mut j = 0;
+            while j + 16 <= ncb {
+                let mut c0 = _mm256_loadu_ps(o0.add(j));
+                let mut c1 = _mm256_loadu_ps(o0.add(j + 8));
+                let mut bp = bpack.add(j);
+                for p in 0..kcb {
+                    let av = _mm256_set1_ps(*a0.add(p));
+                    c0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(bp), c0);
+                    c1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(bp.add(8)), c1);
+                    bp = bp.add(ncb);
+                }
+                _mm256_storeu_ps(o0.add(j), c0);
+                _mm256_storeu_ps(o0.add(j + 8), c1);
+                j += 16;
+            }
+            while j < ncb {
+                let rem = (ncb - j).min(8);
+                let mask = tail_mask(rem);
+                let mut c = _mm256_maskload_ps(o0.add(j), mask);
+                let mut bp = bpack.add(j);
+                for p in 0..kcb {
+                    let b = _mm256_maskload_ps(bp, mask);
+                    c = _mm256_fmadd_ps(_mm256_set1_ps(*a0.add(p)), b, c);
+                    bp = bp.add(ncb);
+                }
+                _mm256_maskstore_ps(o0.add(j), mask, c);
+                j += rem;
+            }
+            i += 1;
+        }
+    }
+}
+
+/// Blocked, packed, parallel GEMM into a pre-zeroed output buffer.
+///
+/// The loop nest is `jc → pc → (parallel over row blocks) → i`; K blocks
+/// are accumulated in increasing `pc` order for every output element, so
+/// the result is bitwise identical for any thread count.
+#[allow(clippy::too_many_arguments)]
+fn gemm_into(
+    out: &mut [f32],
+    ad: &[f32],
+    bd: &[f32],
+    ta: bool,
+    tb: bool,
+    m: usize,
+    n: usize,
+    k: usize,
+    a_cols: usize,
+    b_cols: usize,
+) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let mut bpack = take_f32(KC * NC.min(n));
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    for jc in (0..n).step_by(NC) {
+        let ncb = NC.min(n - jc);
+        for pc in (0..k).step_by(KC) {
+            let kcb = KC.min(k - pc);
+            pack_b(&mut bpack, bd, tb, b_cols, pc, kcb, jc, ncb);
+            let bp: &[f32] = &bpack;
+            let body = |i0: usize, i1: usize| {
+                let mb = i1 - i0;
+                let mut apack = take_f32(MC * KC);
+                pack_a(&mut apack, ad, ta, a_cols, i0, mb, pc, kcb);
+                // Row blocks are disjoint in i, so chunks never alias.
+                #[cfg(target_arch = "x86_64")]
+                if simd::available() {
+                    unsafe {
+                        let out0 = out_ptr.0.add(i0 * n + jc);
+                        simd::kernel_block(apack.as_ptr(), bp.as_ptr(), out0, n, mb, kcb, ncb);
+                    }
+                    put_f32(apack);
+                    return;
+                }
+                for i in 0..mb {
+                    let arow = &apack[i * kcb..(i + 1) * kcb];
+                    let orow =
+                        unsafe { out_ptr.slice_mut((i0 + i) * n + jc, ncb) };
+                    kernel_row(arow, bp, orow, kcb, ncb);
+                }
+                put_f32(apack);
+            };
+            if 2 * m * ncb * kcb < GEMM_SERIAL_FLOP_CUTOFF {
+                body(0, m);
+            } else {
+                parallel_for(m, MC.min(m), &body);
+            }
+        }
+    }
+    put_f32(bpack);
+}
+
+// ---------------------------------------------------------------------------
+// CSR index over edge lists
+// ---------------------------------------------------------------------------
+
+/// Builds a CSR index over `keys` (stable counting sort) and hands
+/// `(offsets, order)` to `f`: edge ids with key `d` are
+/// `order[offsets[d] as usize .. offsets[d + 1] as usize]`, in their
+/// original edge-list order. The two index buffers live in thread-local
+/// scratch, so steady-state calls allocate nothing.
+pub(crate) fn with_csr<R>(
+    keys: &[u32],
+    n_keys: usize,
+    f: impl FnOnce(&[u32], &[u32]) -> R,
+) -> R {
+    let mut offsets = take_u32(n_keys + 1);
+    let mut order = take_u32(keys.len());
+    offsets.resize(n_keys + 1, 0);
+    for &d in keys {
+        offsets[d as usize + 1] += 1;
+    }
+    for i in 0..n_keys {
+        offsets[i + 1] += offsets[i];
+    }
+    order.resize(keys.len(), 0);
+    let mut cursor = take_u32(n_keys);
+    cursor.extend_from_slice(&offsets[..n_keys]);
+    for (e, &d) in keys.iter().enumerate() {
+        let c = &mut cursor[d as usize];
+        order[*c as usize] = e as u32;
+        *c += 1;
+    }
+    put_u32(cursor);
+    let r = f(&offsets, &order);
+    put_u32(offsets);
+    put_u32(order);
+    r
+}
+
+/// Minimum output rows per parallel chunk for aggregation kernels.
+const AGG_MIN_CHUNK: usize = 16;
+/// Serial cutoff: below this many edge·column products the pool dispatch
+/// overhead dominates.
+const AGG_SERIAL_CUTOFF: usize = 1 << 14;
+
+/// `out[i] = x[idx[i]]` — parallel row gather.
+pub fn gather_rows_forward(xd: &[f32], cols: usize, idx: &[u32]) -> Vec<f32> {
+    let mut out = vec![0.0f32; idx.len() * cols];
+    if idx.len() * cols < AGG_SERIAL_CUTOFF {
+        for (e, &i) in idx.iter().enumerate() {
+            out[e * cols..(e + 1) * cols]
+                .copy_from_slice(&xd[i as usize * cols..(i as usize + 1) * cols]);
+        }
+        return out;
+    }
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    parallel_for(idx.len(), AGG_MIN_CHUNK, &|e0, e1| {
+        let orows = unsafe { out_ptr.slice_mut(e0 * cols, (e1 - e0) * cols) };
+        for (e, orow) in (e0..e1).zip(orows.chunks_exact_mut(cols)) {
+            let i = idx[e] as usize;
+            orow.copy_from_slice(&xd[i * cols..(i + 1) * cols]);
+        }
+    });
+    out
+}
+
+/// Backward of [`gather_rows_forward`]: scatter-adds each gradient row `e`
+/// into `dx[idx[e]]`. Parallelized by *destination* row via a CSR index so
+/// no two tasks write the same row and the per-row reduction order is
+/// fixed (bitwise deterministic for any thread count).
+pub fn gather_rows_backward(gd: &[f32], cols: usize, idx: &[u32], n_src: usize) -> Vec<f32> {
+    let mut dx = vec![0.0f32; n_src * cols];
+    with_csr(idx, n_src, |offsets, order| {
+        let dx_ptr = SendPtr(dx.as_mut_ptr());
+        let body = |r0: usize, r1: usize| {
+            let rows = unsafe { dx_ptr.slice_mut(r0 * cols, (r1 - r0) * cols) };
+            for (r, drow) in (r0..r1).zip(rows.chunks_exact_mut(cols)) {
+                for &e in &order[offsets[r] as usize..offsets[r + 1] as usize] {
+                    let grow = &gd[e as usize * cols..(e as usize + 1) * cols];
+                    for (d, &v) in drow.iter_mut().zip(grow) {
+                        *d += v;
+                    }
+                }
+            }
+        };
+        if idx.len() * cols < AGG_SERIAL_CUTOFF {
+            body(0, n_src);
+        } else {
+            parallel_for(n_src, AGG_MIN_CHUNK, &body);
+        }
+    });
+    dx
+}
+
+/// Fused CSR scatter-aggregation: for each destination `d`,
+/// `out[d] = reduce { x[s] : (s, d) ∈ edges }` where the reduction is a sum,
+/// optionally scaled by `1 / weight[d]` in the same pass (mean), all inside
+/// one task per destination-row chunk.
+///
+/// `dst_weight`: `None` for sum (GIN), `Some(counts)` for mean (SAGE).
+pub fn scatter_reduce_forward(
+    xd: &[f32],
+    cols: usize,
+    src: &[u32],
+    dst: &[u32],
+    n_dst: usize,
+    dst_weight: Option<&[f32]>,
+) -> Vec<f32> {
+    let mut out = vec![0.0f32; n_dst * cols];
+    with_csr(dst, n_dst, |offsets, order| {
+        let out_ptr = SendPtr(out.as_mut_ptr());
+        let body = |d0: usize, d1: usize| {
+            let rows = unsafe { out_ptr.slice_mut(d0 * cols, (d1 - d0) * cols) };
+            for (d, orow) in (d0..d1).zip(rows.chunks_exact_mut(cols)) {
+                let edges = &order[offsets[d] as usize..offsets[d + 1] as usize];
+                for &e in edges {
+                    let s = src[e as usize] as usize;
+                    let xrow = &xd[s * cols..(s + 1) * cols];
+                    for (o, &v) in orow.iter_mut().zip(xrow) {
+                        *o += v;
+                    }
+                }
+                if let Some(w) = dst_weight {
+                    let c = w[d];
+                    if c > 0.0 {
+                        let inv = 1.0 / c;
+                        for o in orow.iter_mut() {
+                            *o *= inv;
+                        }
+                    }
+                }
+            }
+        };
+        if src.len() * cols < AGG_SERIAL_CUTOFF {
+            body(0, n_dst);
+        } else {
+            parallel_for(n_dst, AGG_MIN_CHUNK, &body);
+        }
+    });
+    out
+}
+
+/// Backward of [`scatter_reduce_forward`]: routes `g[dst]` (scaled by
+/// `1 / weight[dst]` for mean) back to each source row. Parallelized by
+/// source row via a CSR index over `src` — again write-disjoint and
+/// order-deterministic.
+pub fn scatter_reduce_backward(
+    gd: &[f32],
+    cols: usize,
+    src: &[u32],
+    dst: &[u32],
+    n_src: usize,
+    dst_weight: Option<&[f32]>,
+) -> Vec<f32> {
+    let mut dx = vec![0.0f32; n_src * cols];
+    with_csr(src, n_src, |offsets, order| {
+        let dx_ptr = SendPtr(dx.as_mut_ptr());
+        let body = |s0: usize, s1: usize| {
+            let rows = unsafe { dx_ptr.slice_mut(s0 * cols, (s1 - s0) * cols) };
+            for (s, drow) in (s0..s1).zip(rows.chunks_exact_mut(cols)) {
+                for &e in &order[offsets[s] as usize..offsets[s + 1] as usize] {
+                    let d = dst[e as usize] as usize;
+                    let grow = &gd[d * cols..(d + 1) * cols];
+                    match dst_weight {
+                        Some(w) => {
+                            let inv = 1.0 / w[d];
+                            for (x, &v) in drow.iter_mut().zip(grow) {
+                                *x += inv * v;
+                            }
+                        }
+                        None => {
+                            for (x, &v) in drow.iter_mut().zip(grow) {
+                                *x += v;
+                            }
+                        }
+                    }
+                }
+            }
+        };
+        if src.len() * cols < AGG_SERIAL_CUTOFF {
+            body(0, n_src);
+        } else {
+            parallel_for(n_src, AGG_MIN_CHUNK, &body);
+        }
+    });
+    dx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::{Rng, StdRng};
+
+    fn rand_tensor(r: usize, c: usize, rng: &mut StdRng) -> Tensor {
+        Tensor::from_vec(
+            (0..r * c).map(|_| rng.random_range(-2.0f32..2.0)).collect(),
+            Shape::matrix(r, c),
+        )
+    }
+
+    fn max_rel_diff(a: &Tensor, b: &Tensor) -> f32 {
+        a.data()
+            .iter()
+            .zip(b.data())
+            .map(|(x, y)| (x - y).abs() / x.abs().max(y.abs()).max(1.0))
+            .fold(0.0, f32::max)
+    }
+
+    #[test]
+    fn blocked_gemm_matches_naive_over_random_shapes() {
+        let mut rng = StdRng::seed_from_u64(0xB10C);
+        for case in 0..60 {
+            let m = rng.random_range(1usize..90);
+            let k = rng.random_range(1usize..90);
+            let n = rng.random_range(1usize..90);
+            let (ta, tb) = (case % 2 == 1, (case / 2) % 2 == 1);
+            let a = if ta { rand_tensor(k, m, &mut rng) } else { rand_tensor(m, k, &mut rng) };
+            let b = if tb { rand_tensor(n, k, &mut rng) } else { rand_tensor(k, n, &mut rng) };
+            let fast = gemm(&a, &b, ta, tb);
+            let slow = gemm_naive(&a, &b, ta, tb);
+            let diff = max_rel_diff(&fast, &slow);
+            assert!(
+                diff < 1e-4,
+                "case {case} ({m}x{k}x{n}, ta={ta}, tb={tb}): rel diff {diff}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_gemm_exercises_multiple_blocks() {
+        // Shapes straddling the MC/KC/NC boundaries.
+        let mut rng = StdRng::seed_from_u64(7);
+        for (m, k, n) in [(MC + 3, KC + 5, NC + 1), (2 * MC, 2 * KC, 7), (1, KC * 2 + 3, NC)] {
+            let a = rand_tensor(m, k, &mut rng);
+            let b = rand_tensor(k, n, &mut rng);
+            let diff = max_rel_diff(&gemm(&a, &b, false, false), &gemm_naive(&a, &b, false, false));
+            assert!(diff < 1e-4, "{m}x{k}x{n}: rel diff {diff}");
+        }
+    }
+
+    #[test]
+    fn csr_index_is_stable_and_complete() {
+        let keys = [2u32, 0, 2, 1, 0, 2];
+        with_csr(&keys, 4, |offsets, order| {
+            assert_eq!(offsets, &[0, 2, 3, 6, 6]);
+            // Stability: edge ids with equal keys keep edge-list order.
+            assert_eq!(&order[0..2], &[1, 4]); // key 0
+            assert_eq!(&order[2..3], &[3]); // key 1
+            assert_eq!(&order[3..6], &[0, 2, 5]); // key 2
+        });
+    }
+
+    #[test]
+    fn scatter_kernels_match_serial_edge_walk() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let n_src = rng.random_range(1usize..200);
+            let n_dst = rng.random_range(1usize..150);
+            let cols = rng.random_range(1usize..40);
+            let n_edges = rng.random_range(0usize..800);
+            let src: Vec<u32> = (0..n_edges).map(|_| rng.random_range(0..n_src as u32)).collect();
+            let dst: Vec<u32> = (0..n_edges).map(|_| rng.random_range(0..n_dst as u32)).collect();
+            let x: Vec<f32> = (0..n_src * cols).map(|_| rng.random_range(-1.0f32..1.0)).collect();
+
+            // Reference: naive edge walk.
+            let mut expect = vec![0.0f32; n_dst * cols];
+            for (&s, &d) in src.iter().zip(&dst) {
+                for c in 0..cols {
+                    expect[d as usize * cols + c] += x[s as usize * cols + c];
+                }
+            }
+            let got = scatter_reduce_forward(&x, cols, &src, &dst, n_dst, None);
+            for (g, e) in got.iter().zip(&expect) {
+                assert!((g - e).abs() < 1e-4, "scatter_add mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_chunking_are_bitwise_identical() {
+        // The determinism claim: because each output row is reduced in CSR
+        // edge order inside exactly one chunk, chunk boundaries (and hence
+        // thread count) cannot change the result. Compare the pool-parallel
+        // path against a forced single-chunk evaluation of the same kernel.
+        let mut rng = StdRng::seed_from_u64(99);
+        let n_src = 500;
+        let n_dst = 300;
+        let cols = 64; // big enough to clear AGG_SERIAL_CUTOFF
+        let n_edges = 4000;
+        let src: Vec<u32> = (0..n_edges).map(|_| rng.random_range(0..n_src as u32)).collect();
+        let dst: Vec<u32> = (0..n_edges).map(|_| rng.random_range(0..n_dst as u32)).collect();
+        let x: Vec<f32> = (0..n_src * cols).map(|_| rng.random_range(-1.0f32..1.0)).collect();
+        let mut counts = vec![0.0f32; n_dst];
+        for &d in &dst {
+            counts[d as usize] += 1.0;
+        }
+
+        let parallel = scatter_reduce_forward(&x, cols, &src, &dst, n_dst, Some(&counts));
+        // Serial reference with the *identical* per-row reduction.
+        let mut serial = vec![0.0f32; n_dst * cols];
+        with_csr(&dst, n_dst, |offsets, order| {
+            for d in 0..n_dst {
+                let orow = &mut serial[d * cols..(d + 1) * cols];
+                for &e in &order[offsets[d] as usize..offsets[d + 1] as usize] {
+                    let s = src[e as usize] as usize;
+                    for (o, &v) in orow.iter_mut().zip(&x[s * cols..(s + 1) * cols]) {
+                        *o += v;
+                    }
+                }
+                if counts[d] > 0.0 {
+                    let inv = 1.0 / counts[d];
+                    for o in orow.iter_mut() {
+                        *o *= inv;
+                    }
+                }
+            }
+        });
+        assert_eq!(parallel, serial, "bitwise determinism across chunkings");
+
+        let g: Vec<f32> = (0..n_dst * cols).map(|_| rng.random_range(-1.0f32..1.0)).collect();
+        let parallel_bwd =
+            scatter_reduce_backward(&g, cols, &src, &dst, n_src, Some(&counts));
+        let mut serial_bwd = vec![0.0f32; n_src * cols];
+        with_csr(&src, n_src, |offsets, order| {
+            for s in 0..n_src {
+                let drow = &mut serial_bwd[s * cols..(s + 1) * cols];
+                for &e in &order[offsets[s] as usize..offsets[s + 1] as usize] {
+                    let d = dst[e as usize] as usize;
+                    let inv = 1.0 / counts[d];
+                    for (o, &v) in drow.iter_mut().zip(&g[d * cols..(d + 1) * cols]) {
+                        *o += inv * v;
+                    }
+                }
+            }
+        });
+        assert_eq!(parallel_bwd, serial_bwd);
+    }
+
+    #[test]
+    fn gather_forward_and_backward() {
+        let x: Vec<f32> = (0..6).map(|v| v as f32).collect(); // 3 rows × 2 cols
+        let idx = [2u32, 0, 2];
+        let out = gather_rows_forward(&x, 2, &idx);
+        assert_eq!(out, vec![4.0, 5.0, 0.0, 1.0, 4.0, 5.0]);
+        let g = vec![1.0f32; 6];
+        let dx = gather_rows_backward(&g, 2, &idx, 3);
+        assert_eq!(dx, vec![1.0, 1.0, 0.0, 0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn gemm_determinism_across_repeated_calls() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let a = rand_tensor(300, 500, &mut rng);
+        let b = rand_tensor(500, 200, &mut rng);
+        let first = gemm(&a, &b, false, false);
+        for _ in 0..3 {
+            assert_eq!(first.data(), gemm(&a, &b, false, false).data());
+        }
+    }
+}

@@ -14,15 +14,20 @@
 //! * [`Param`] — trainable parameters with stable identities, usable across
 //!   tapes and threads;
 //! * [`optim`] — SGD and Adam;
-//! * [`init`] — Glorot/Kaiming/normal initializers.
+//! * [`init`] — Glorot/Kaiming/normal initializers;
+//! * [`kernels`] — the CPU performance layer: cache-blocked parallel GEMM
+//!   and fused CSR gather/scatter aggregation;
+//! * [`pool`] — the std-only work-sharing thread pool those kernels run on
+//!   (sized by `SALIENT_NUM_THREADS` or the machine's parallelism);
+//! * [`rng`] — the workspace's dependency-free xoshiro256** RNG.
 //!
 //! # Example
 //!
 //! ```
 //! use salient_tensor::{init, optim::{Adam, Optimizer}, Param, Tape, Tensor};
-//! use rand::SeedableRng;
+//! use salient_tensor::rng::StdRng;
 //!
-//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut rng = StdRng::seed_from_u64(0);
 //! let mut w = Param::new("w", init::glorot_uniform(2, 2, &mut rng));
 //! let mut opt = Adam::new(1e-2);
 //!
@@ -48,12 +53,15 @@ mod shape;
 mod tensor;
 
 pub mod init;
+pub mod kernels;
 pub mod optim;
+pub mod pool;
+pub mod rng;
 pub mod schedule;
 
 pub use autograd::{Gradients, Param, ParamId, Tape, Var};
 pub use f16::{dequantize_into, quantize, F16};
+pub use kernels::{gemm, gemm_naive};
 pub use norm::column_stats;
-pub use ops::gemm;
 pub use shape::Shape;
 pub use tensor::Tensor;

@@ -2,99 +2,15 @@
 //!
 //! Every method on [`Var`] appends a node whose backward closure produces the
 //! gradient contributions for its parents. Raw (non-differentiable) kernels
-//! such as [`gemm`] are exposed for optimizer / communication code.
+//! such as [`gemm`] live in [`crate::kernels`] and are re-exported here for
+//! optimizer / communication code.
 
 use crate::autograd::{Node, Var};
 use crate::shape::Shape;
 use crate::tensor::Tensor;
-use rand::{Rng, RngExt};
+use crate::rng::Rng;
 
-/// Dense matrix multiply `op(a) * op(b)` where `op` optionally transposes.
-///
-/// Shapes: with `ta = tb = false`, `a` is `m×k`, `b` is `k×n`, result `m×n`.
-/// The kernel uses i-k-j loop order so the innermost loop streams rows of `b`
-/// (cache-friendly for row-major data).
-///
-/// # Panics
-///
-/// Panics if the inner dimensions do not agree.
-pub fn gemm(a: &Tensor, b: &Tensor, ta: bool, tb: bool) -> Tensor {
-    let (ar, ac) = (a.rows(), a.cols());
-    let (br, bc) = (b.rows(), b.cols());
-    let (m, k1) = if ta { (ac, ar) } else { (ar, ac) };
-    let (k2, n) = if tb { (bc, br) } else { (br, bc) };
-    assert_eq!(
-        k1, k2,
-        "gemm inner dimension mismatch: {}x{} ({}) @ {}x{} ({})",
-        ar, ac, ta, br, bc, tb
-    );
-    let k = k1;
-    let mut out = vec![0.0f32; m * n];
-    let ad = a.data();
-    let bd = b.data();
-    match (ta, tb) {
-        (false, false) => {
-            for i in 0..m {
-                let arow = &ad[i * k..(i + 1) * k];
-                let orow = &mut out[i * n..(i + 1) * n];
-                for (p, &av) in arow.iter().enumerate() {
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let brow = &bd[p * n..(p + 1) * n];
-                    for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                        *o += av * bv;
-                    }
-                }
-            }
-        }
-        (true, false) => {
-            // a is k×m stored row-major; a^T[i][p] = a[p][i].
-            for p in 0..k {
-                let arow = &ad[p * m..(p + 1) * m];
-                let brow = &bd[p * n..(p + 1) * n];
-                for (i, &av) in arow.iter().enumerate() {
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let orow = &mut out[i * n..(i + 1) * n];
-                    for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                        *o += av * bv;
-                    }
-                }
-            }
-        }
-        (false, true) => {
-            // b is n×k stored row-major; out[i][j] = dot(a[i], b[j]).
-            for i in 0..m {
-                let arow = &ad[i * k..(i + 1) * k];
-                let orow = &mut out[i * n..(i + 1) * n];
-                for (j, o) in orow.iter_mut().enumerate() {
-                    let brow = &bd[j * k..(j + 1) * k];
-                    let mut acc = 0.0f32;
-                    for (&av, &bv) in arow.iter().zip(brow.iter()) {
-                        acc += av * bv;
-                    }
-                    *o = acc;
-                }
-            }
-        }
-        (true, true) => {
-            // out[i][j] = sum_p a[p][i] * b[j][p].
-            for i in 0..m {
-                let orow = &mut out[i * n..(i + 1) * n];
-                for (j, o) in orow.iter_mut().enumerate() {
-                    let mut acc = 0.0f32;
-                    for p in 0..k {
-                        acc += ad[p * m + i] * bd[j * k + p];
-                    }
-                    *o = acc;
-                }
-            }
-        }
-    }
-    Tensor::from_vec(out, Shape::matrix(m, n))
-}
+pub use crate::kernels::gemm;
 
 /// Broadcasts `grad` (shape `r×c`) down to `shape` by summing over rows when
 /// `shape` is a row vector / scalar. Used by the backward pass of broadcast
@@ -620,7 +536,7 @@ mod tests {
 
     #[test]
     fn dropout_eval_is_identity() {
-        let mut rng = rand::rng();
+        let mut rng = crate::rng::rng();
         let tape = Tape::new();
         let x = tape.constant(t(&[1.0, 2.0, 3.0], [3]));
         let y = x.dropout(0.5, false, &mut rng);
@@ -629,8 +545,7 @@ mod tests {
 
     #[test]
     fn dropout_train_preserves_expectation_roughly() {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = crate::rng::StdRng::seed_from_u64(7);
         let tape = Tape::new();
         let x = tape.constant(Tensor::ones([10_000]));
         let y = x.dropout(0.5, true, &mut rng).value();

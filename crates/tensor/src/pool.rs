@@ -1,0 +1,323 @@
+//! A std-only work-sharing thread pool for the CPU kernel layer.
+//!
+//! One process-wide pool (lazily created, reused across calls) executes
+//! data-parallel kernels: a job is a closure over a chunk index, and workers
+//! pull chunk indices from a shared atomic counter until the range is
+//! exhausted. This is the classic "self-scheduling" loop — the same dynamic
+//! load balancing SALIENT's batch-prep queue uses (§4.2), applied at the
+//! kernel level — so an unlucky chunk (e.g. a high-degree destination range
+//! in a scatter) does not stall the other workers.
+//!
+//! Sizing: `SALIENT_NUM_THREADS` if set, else
+//! `std::thread::available_parallelism()`. A size of 1 runs every job inline
+//! on the caller with zero synchronization, which — together with kernels
+//! that partition *output* rows disjointly — makes 1-thread and N-thread
+//! results bitwise identical.
+//!
+//! Safety: jobs borrow caller data. The submitting thread participates in
+//! the job and does not return until every worker has retired the job, so
+//! the erased `'static` borrow handed to workers never outlives the call.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+
+/// A borrowed parallel job: closure plus the chunk range to cover.
+struct Job {
+    /// Type-erased `&(dyn Fn(usize) + Sync)` with the lifetime erased.
+    task: *const (dyn Fn(usize) + Sync),
+    /// Next chunk index to claim.
+    next: AtomicUsize,
+    /// One-past-last chunk index.
+    n_chunks: usize,
+    /// Set if any chunk panicked; the submitter re-raises.
+    panicked: std::sync::atomic::AtomicBool,
+}
+
+// The raw pointer is only dereferenced while the submitting call frame is
+// alive (it waits for all workers); the pointee is Sync.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+struct PoolState {
+    /// Monotone job sequence number; bumped on submit.
+    epoch: u64,
+    /// The current job, if one is active.
+    job: Option<std::sync::Arc<Job>>,
+}
+
+/// The process-wide kernel thread pool.
+pub struct ThreadPool {
+    threads: usize,
+    state: Mutex<PoolState>,
+    /// Signals workers that a new job epoch exists.
+    work_cv: Condvar,
+    /// Counts workers still inside the current job; the submitter waits on
+    /// this reaching zero.
+    active: AtomicUsize,
+    done_lock: Mutex<()>,
+    done_cv: Condvar,
+    /// Serializes submissions (one job at a time).
+    submit: Mutex<()>,
+}
+
+fn configured_threads() -> usize {
+    if let Ok(v) = std::env::var("SALIENT_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+static POOL: OnceLock<&'static ThreadPool> = OnceLock::new();
+
+/// The process-wide pool, created on first use.
+pub fn global() -> &'static ThreadPool {
+    *POOL.get_or_init(|| ThreadPool::new(configured_threads()))
+}
+
+/// Number of threads the global pool runs (including the caller).
+pub fn num_threads() -> usize {
+    global().threads()
+}
+
+impl ThreadPool {
+    /// Builds a pool that executes jobs on `threads` threads total: the
+    /// submitting thread plus `threads - 1` persistent workers.
+    fn new(threads: usize) -> &'static ThreadPool {
+        let pool = Box::leak(Box::new(ThreadPool {
+            threads: threads.max(1),
+            state: Mutex::new(PoolState { epoch: 0, job: None }),
+            work_cv: Condvar::new(),
+            active: AtomicUsize::new(0),
+            done_lock: Mutex::new(()),
+            done_cv: Condvar::new(),
+            submit: Mutex::new(()),
+        }));
+        for w in 1..pool.threads {
+            let p: &'static ThreadPool = pool;
+            std::thread::Builder::new()
+                .name(format!("salient-kernel-{w}"))
+                .spawn(move || p.worker_loop())
+                .expect("failed to spawn kernel worker");
+        }
+        pool
+    }
+
+    /// Total threads participating in jobs (workers + submitter).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn worker_loop(&'static self) {
+        let mut seen_epoch = 0u64;
+        loop {
+            let job = {
+                let mut st = self.state.lock().unwrap();
+                loop {
+                    if st.epoch != seen_epoch {
+                        if let Some(job) = st.job.clone() {
+                            seen_epoch = st.epoch;
+                            break job;
+                        }
+                        seen_epoch = st.epoch;
+                    }
+                    st = self.work_cv.wait(st).unwrap();
+                }
+            };
+            self.drain(&job);
+            // Last participant out signals the submitter.
+            if self.active.fetch_sub(1, Ordering::AcqRel) == 1 {
+                let _g = self.done_lock.lock().unwrap();
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    /// Claims and runs chunks until the job's range is exhausted. A panic in
+    /// a chunk is caught (so the pool's accounting stays consistent) and
+    /// re-raised on the submitting thread.
+    fn drain(&self, job: &Job) {
+        let task = unsafe { &*job.task };
+        loop {
+            let i = job.next.fetch_add(1, Ordering::Relaxed);
+            if i >= job.n_chunks {
+                return;
+            }
+            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(i))).is_err() {
+                // Poison the job: skip remaining chunks fast.
+                job.next.store(job.n_chunks, Ordering::Relaxed);
+                job.panicked.store(true, Ordering::Release);
+            }
+        }
+    }
+
+    /// Runs `task(chunk)` for every `chunk in 0..n_chunks`, distributing
+    /// chunks dynamically over the pool. Returns when all chunks are done.
+    ///
+    /// The closure must partition writes disjointly by chunk index; with
+    /// that discipline results are identical for any thread count.
+    pub fn run(&'static self, n_chunks: usize, task: &(dyn Fn(usize) + Sync)) {
+        if n_chunks == 0 {
+            return;
+        }
+        if self.threads == 1 || n_chunks == 1 {
+            for i in 0..n_chunks {
+                task(i);
+            }
+            return;
+        }
+        let _submit = self.submit.lock().unwrap();
+        // Erase the borrow; workers only touch it before `run` returns.
+        let erased: *const (dyn Fn(usize) + Sync) =
+            unsafe { std::mem::transmute::<_, &'static (dyn Fn(usize) + Sync)>(task) };
+        let job = std::sync::Arc::new(Job {
+            task: erased,
+            next: AtomicUsize::new(0),
+            n_chunks,
+            panicked: std::sync::atomic::AtomicBool::new(false),
+        });
+        // Every worker participates in every job epoch (a worker finding the
+        // chunk counter already exhausted just signs off); this keeps the
+        // `active` accounting exact without per-worker handshakes.
+        self.active.store(self.threads, Ordering::Release);
+        {
+            let mut st = self.state.lock().unwrap();
+            st.epoch += 1;
+            st.job = Some(std::sync::Arc::clone(&job));
+            self.work_cv.notify_all();
+        }
+        // The submitter is a participant too.
+        self.drain(&job);
+        if self.active.fetch_sub(1, Ordering::AcqRel) != 1 {
+            let mut g = self.done_lock.lock().unwrap();
+            while self.active.load(Ordering::Acquire) != 0 {
+                g = self.done_cv.wait(g).unwrap();
+            }
+        }
+        // Retire the job: the chunk counter is exhausted, but clearing drops
+        // the erased borrow reference eagerly.
+        self.state.lock().unwrap().job = None;
+        if job.panicked.load(Ordering::Acquire) {
+            panic!("a parallel kernel chunk panicked");
+        }
+    }
+}
+
+/// Runs `body(chunk_start, chunk_end)` over `0..len` split into contiguous
+/// chunks of at least `min_chunk`, in parallel on the global pool.
+///
+/// Chunk boundaries depend only on `len` and `min_chunk` (not the thread
+/// count), so any kernel whose chunks write disjoint output is bitwise
+/// deterministic regardless of parallelism.
+pub fn parallel_for(len: usize, min_chunk: usize, body: &(dyn Fn(usize, usize) + Sync)) {
+    if len == 0 {
+        return;
+    }
+    let min_chunk = min_chunk.max(1);
+    let pool = global();
+    // Aim for ~4 chunks per thread for load balance, floored by min_chunk.
+    let target = pool.threads() * 4;
+    let chunk = (len.div_ceil(target)).max(min_chunk);
+    let n_chunks = len.div_ceil(chunk);
+    if n_chunks <= 1 {
+        body(0, len);
+        return;
+    }
+    pool.run(n_chunks, &|i| {
+        let start = i * chunk;
+        let end = (start + chunk).min(len);
+        body(start, end);
+    });
+}
+
+/// A `Send + Sync` wrapper for a raw mutable pointer handed to disjoint
+/// parallel writers. The caller must guarantee chunks write non-overlapping
+/// regions.
+#[derive(Clone, Copy)]
+pub(crate) struct SendPtr<T>(pub *mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+
+impl<T> SendPtr<T> {
+    /// Reborrows `len` elements starting at `offset` as a mutable slice.
+    ///
+    /// # Safety
+    ///
+    /// The region must be in-bounds and not aliased by any other live
+    /// borrow for the duration of use.
+    #[inline]
+    pub unsafe fn slice_mut(&self, offset: usize, len: usize) -> &mut [T] {
+        std::slice::from_raw_parts_mut(self.0.add(offset), len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn covers_every_chunk_exactly_once() {
+        let hits: Vec<AtomicUsize> = (0..1000).map(|_| AtomicUsize::new(0)).collect();
+        global().run(1000, &|i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn parallel_for_covers_range() {
+        let sum = AtomicU64::new(0);
+        parallel_for(10_001, 64, &|s, e| {
+            let local: u64 = (s as u64..e as u64).sum();
+            sum.fetch_add(local, Ordering::Relaxed);
+        });
+        assert_eq!(sum.load(Ordering::Relaxed), 10_001 * 10_000 / 2);
+    }
+
+    #[test]
+    fn sequential_jobs_reuse_pool() {
+        for round in 0..50 {
+            let count = AtomicUsize::new(0);
+            global().run(round + 1, &|_| {
+                count.fetch_add(1, Ordering::Relaxed);
+            });
+            assert_eq!(count.load(Ordering::Relaxed), round + 1);
+        }
+    }
+
+    #[test]
+    fn concurrent_submitters_serialize_safely() {
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..20 {
+                        let n = AtomicUsize::new(0);
+                        global().run(37, &|_| {
+                            n.fetch_add(1, Ordering::Relaxed);
+                        });
+                        assert_eq!(n.load(Ordering::Relaxed), 37);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn disjoint_writes_through_sendptr() {
+        let mut data = vec![0u32; 512];
+        let ptr = SendPtr(data.as_mut_ptr());
+        parallel_for(512, 8, &|s, e| {
+            let out = unsafe { ptr.slice_mut(s, e - s) };
+            for (k, o) in out.iter_mut().enumerate() {
+                *o = (s + k) as u32;
+            }
+        });
+        for (i, &v) in data.iter().enumerate() {
+            assert_eq!(v, i as u32);
+        }
+    }
+}

@@ -18,7 +18,7 @@ use std::fmt;
 /// assert_eq!(s.rank(), 2);
 /// assert_eq!(s.dims(), &[3, 4]);
 /// ```
-#[derive(Clone, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
 pub struct Shape(Vec<usize>);
 
 impl Shape {

@@ -21,7 +21,7 @@ use std::sync::Arc;
 /// assert_eq!(t.at(&[1, 0]), 3.0);
 /// assert_eq!(t.sum(), 10.0);
 /// ```
-#[derive(Clone, serde::Serialize, serde::Deserialize)]
+#[derive(Clone)]
 pub struct Tensor {
     data: Arc<Vec<f32>>,
     shape: Shape,

@@ -5,7 +5,7 @@
 //! differences. This is the definitive correctness test for the autograd
 //! engine that trains every model in the reproduction.
 
-use rand::{RngExt, SeedableRng};
+use salient_tensor::rng::{Rng, StdRng};
 use salient_tensor::{Tape, Tensor, Var};
 
 /// Central-difference gradient of `f` at `x0`, compared elementwise against
@@ -38,7 +38,7 @@ fn gradcheck(name: &str, x0: &[f32], shape: &[usize], f: &dyn Fn(&Var) -> Var, t
 }
 
 fn random_input(n: usize, seed: u64) -> Vec<f32> {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = StdRng::seed_from_u64(seed);
     (0..n).map(|_| rng.random_range(-1.5f32..1.5)).collect()
 }
 
@@ -217,7 +217,7 @@ fn batch_norm_train_full_path() {
 #[test]
 fn dropout_eval_passthrough_grad() {
     let x0 = random_input(5, 10);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut rng = StdRng::seed_from_u64(0);
     let tape = Tape::new();
     let x = tape.constant(Tensor::from_vec(x0, [5]));
     let y = x.dropout(0.5, false, &mut rng).sum_all();
@@ -229,7 +229,7 @@ fn dropout_eval_passthrough_grad() {
 fn dropout_train_mask_consistency() {
     // In training mode the same mask must be applied forward and backward:
     // grad is nonzero exactly where the output is nonzero.
-    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let mut rng = StdRng::seed_from_u64(42);
     let tape = Tape::new();
     let x = tape.constant(Tensor::full([64], 2.0));
     let y = x.dropout(0.5, true, &mut rng);

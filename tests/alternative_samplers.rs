@@ -2,7 +2,6 @@
 //! layer-wise (FastGCN/LADIES-style) and subgraph (GraphSAINT-style)
 //! sampling, exercised through the full model stack.
 
-use rand::SeedableRng;
 use salient_repro::graph::DatasetConfig;
 use salient_repro::nn::{build_model, Mode, ModelKind};
 use salient_repro::sampler::{FastSampler, LayerwiseSampler, SaintSampler};
@@ -14,7 +13,7 @@ fn models_can_train_on_saint_subgraphs() {
     let roots = &ds.splits.train[..8];
     let mfg = SaintSampler::new(1, 4).sample(&ds.graph, roots, 2);
     let mut model = build_model(ModelKind::Sage, ds.features.dim(), 16, ds.num_classes, 2, 0);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut rng = salient_tensor::rng::StdRng::seed_from_u64(0);
     let tape = Tape::new();
     let x = tape.constant(ds.features.gather_f32(&mfg.node_ids));
     let out = model.forward(&tape, x, &mfg, Mode::Train, &mut rng);
@@ -38,7 +37,7 @@ fn models_can_train_on_layerwise_mfgs() {
     let mfg = LayerwiseSampler::new(3).sample(&ds.graph, batch, &[48, 24]);
     mfg.validate().unwrap();
     let mut model = build_model(ModelKind::Sage, ds.features.dim(), 16, ds.num_classes, 2, 0);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut rng = salient_tensor::rng::StdRng::seed_from_u64(0);
     let tape = Tape::new();
     let x = tape.constant(ds.features.gather_f32(&mfg.node_ids));
     let out = model.forward(&tape, x, &mfg, Mode::Train, &mut rng);

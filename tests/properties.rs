@@ -1,53 +1,69 @@
-//! Property-based tests over core invariants, spanning crates.
+//! Property-style tests over core invariants, spanning crates.
+//!
+//! Each test sweeps dozens of randomized cases from the workspace's seeded
+//! RNG, so failures reproduce exactly by seed. (This replaced an external
+//! property-testing dependency; the invariants are unchanged.)
 
-use proptest::prelude::*;
 use salient_repro::graph::{generate, CsrGraph};
 use salient_repro::sampler::{FastSampler, PygSampler};
+use salient_repro::tensor::rng::{Rng, StdRng};
 use salient_repro::tensor::{gemm, F16, Tensor};
 
-/// Strategy: a random directed edge list over `n` nodes.
-fn edges(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
-    prop::collection::vec((0..n, 0..n), 0..max_edges)
+/// A random directed edge list over `n` nodes with up to `max_edges` edges.
+fn edges(rng: &mut StdRng, n: u32, max_edges: usize) -> Vec<(u32, u32)> {
+    let count = rng.random_range(0..=max_edges);
+    (0..count)
+        .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn rand_vec(rng: &mut StdRng, len: usize, lo: f32, hi: f32) -> Vec<f32> {
+    (0..len).map(|_| rng.random_range(lo..hi)).collect()
+}
 
-    #[test]
-    fn csr_round_trips_edge_lists(es in edges(40, 200)) {
+#[test]
+fn csr_round_trips_edge_lists() {
+    for seed in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let es = edges(&mut rng, 40, 200);
         let g = CsrGraph::from_edges(40, &es);
-        prop_assert_eq!(g.num_edges(), es.len());
+        assert_eq!(g.num_edges(), es.len());
         // Every edge is findable and degrees sum to the edge count.
         let total: usize = (0..40).map(|v| g.degree(v)).sum();
-        prop_assert_eq!(total, es.len());
+        assert_eq!(total, es.len());
         for &(u, v) in &es {
-            prop_assert!(g.neighbors(u).contains(&v));
+            assert!(g.neighbors(u).contains(&v));
         }
     }
+}
 
-    #[test]
-    fn undirected_is_symmetric_and_deduped(es in edges(30, 150)) {
+#[test]
+fn undirected_is_symmetric_and_deduped() {
+    for seed in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(100 + seed);
+        let es = edges(&mut rng, 30, 150);
         let u = CsrGraph::from_edges(30, &es).to_undirected();
-        prop_assert!(u.is_undirected());
-        prop_assert!(u.is_sorted());
+        assert!(u.is_undirected());
+        assert!(u.is_sorted());
         // No self loops and no duplicates.
         for v in 0..30u32 {
             let ns = u.neighbors(v);
-            prop_assert!(ns.windows(2).all(|w| w[0] < w[1]), "strictly sorted = deduped");
-            prop_assert!(!ns.contains(&v), "no self loops");
+            assert!(ns.windows(2).all(|w| w[0] < w[1]), "strictly sorted = deduped");
+            assert!(!ns.contains(&v), "no self loops");
         }
     }
+}
 
-    #[test]
-    fn sampler_respects_fanout_and_locality(
-        es in edges(60, 400),
-        fanout in 1usize..8,
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn sampler_respects_fanout_and_locality() {
+    for seed in 0..48u64 {
+        let mut rng = StdRng::seed_from_u64(200 + seed);
+        let es = edges(&mut rng, 60, 400);
+        let fanout = rng.random_range(1usize..8);
         let g = CsrGraph::from_edges(60, &es).to_undirected();
         let batch: Vec<u32> = (0..8).collect();
         let mfg = FastSampler::new(seed).sample(&g, &batch, &[fanout, fanout]);
-        prop_assert!(mfg.validate().is_ok());
+        assert!(mfg.validate().is_ok());
         // Fanout bound per destination per hop.
         for layer in &mfg.layers {
             let mut counts = vec![0usize; layer.n_dst];
@@ -56,24 +72,27 @@ proptest! {
             }
             for (d, &c) in counts.iter().enumerate() {
                 let global = mfg.node_ids[d];
-                prop_assert!(c <= fanout.min(g.degree(global)),
-                    "dst {d} sampled {c} > fanout {fanout}");
+                assert!(
+                    c <= fanout.min(g.degree(global)),
+                    "dst {d} sampled {c} > fanout {fanout}"
+                );
             }
             // Every edge must exist in the input graph.
             for (&s, &d) in layer.edge_src.iter().zip(layer.edge_dst.iter()) {
                 let (gs, gd) = (mfg.node_ids[s as usize], mfg.node_ids[d as usize]);
-                prop_assert!(g.neighbors(gd).binary_search(&gs).is_ok());
+                assert!(g.neighbors(gd).binary_search(&gs).is_ok());
             }
         }
     }
+}
 
-    #[test]
-    fn fast_and_pyg_samplers_agree_on_full_expansion(
-        es in edges(40, 250),
-        seed in 0u64..100,
-    ) {
+#[test]
+fn fast_and_pyg_samplers_agree_on_full_expansion() {
+    for seed in 0..32u64 {
         // With fanout >= max degree both samplers enumerate the exact
         // 2-hop neighborhood (node sets equal as sets).
+        let mut rng = StdRng::seed_from_u64(300 + seed);
+        let es = edges(&mut rng, 40, 250);
         let g = CsrGraph::from_edges(40, &es).to_undirected();
         let batch: Vec<u32> = (0..4).collect();
         let big = [1000usize, 1000];
@@ -81,64 +100,81 @@ proptest! {
         let mut b = PygSampler::new(seed + 1).sample(&g, &batch, &big).node_ids;
         a.sort_unstable();
         b.sort_unstable();
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b);
     }
+}
 
-    #[test]
-    fn f16_round_trip_within_half_ulp(x in -60000.0f32..60000.0) {
+#[test]
+fn f16_round_trip_within_half_ulp() {
+    let mut rng = StdRng::seed_from_u64(400);
+    for _ in 0..2000 {
+        let x = rng.random_range(-60000.0f32..60000.0);
         let h = F16::from_f32(x).to_f32();
         // Round-to-nearest: relative error ≤ 2^-11 for normals, absolute
         // error ≤ 2^-25 near zero.
         let bound = x.abs() * (2.0f32).powi(-11) + (2.0f32).powi(-24);
-        prop_assert!((h - x).abs() <= bound, "{x} -> {h}");
+        assert!((h - x).abs() <= bound, "{x} -> {h}");
     }
+}
 
-    #[test]
-    fn f16_order_preserving(a in -1000.0f32..1000.0, b in -1000.0f32..1000.0) {
+#[test]
+fn f16_order_preserving() {
+    let mut rng = StdRng::seed_from_u64(500);
+    for _ in 0..2000 {
+        let a = rng.random_range(-1000.0f32..1000.0);
+        let b = rng.random_range(-1000.0f32..1000.0);
         let (ha, hb) = (F16::from_f32(a), F16::from_f32(b));
         if a <= b {
-            prop_assert!(ha.to_f32() <= hb.to_f32(), "monotone quantization");
+            assert!(ha.to_f32() <= hb.to_f32(), "monotone quantization");
         }
     }
+}
 
-    #[test]
-    fn gemm_matches_reference(m in 1usize..6, k in 1usize..6, n in 1usize..6,
-                              seed in 0u64..50) {
-        use rand::{RngExt, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let mut rand_t = |r: usize, c: usize| {
-            Tensor::from_vec((0..r * c).map(|_| rng.random_range(-2.0f32..2.0)).collect(), [r, c])
-        };
-        let a = rand_t(m, k);
-        let b = rand_t(k, n);
+#[test]
+fn gemm_matches_reference() {
+    for seed in 0..50u64 {
+        let mut rng = StdRng::seed_from_u64(600 + seed);
+        let m = rng.random_range(1usize..6);
+        let k = rng.random_range(1usize..6);
+        let n = rng.random_range(1usize..6);
+        let a = Tensor::from_vec(rand_vec(&mut rng, m * k, -2.0, 2.0), [m, k]);
+        let b = Tensor::from_vec(rand_vec(&mut rng, k * n, -2.0, 2.0), [k, n]);
         let c = gemm(&a, &b, false, false);
         for i in 0..m {
             for j in 0..n {
                 let expect: f32 = (0..k).map(|p| a.at(&[i, p]) * b.at(&[p, j])).sum();
-                prop_assert!((c.at(&[i, j]) - expect).abs() < 1e-4);
+                assert!((c.at(&[i, j]) - expect).abs() < 1e-4);
             }
         }
     }
+}
 
-    #[test]
-    fn gemm_transposes_are_consistent(m in 1usize..5, k in 1usize..5, n in 1usize..5,
-                                      seed in 0u64..30) {
-        use rand::{RngExt, SeedableRng};
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let mut rand_vec = |len: usize| -> Vec<f32> {
-            (0..len).map(|_| rng.random_range(-1.0f32..1.0)).collect()
-        };
-        let a = Tensor::from_vec(rand_vec(m * k), [m, k]);
-        let b = Tensor::from_vec(rand_vec(k * n), [k, n]);
+#[test]
+fn gemm_transposes_are_consistent() {
+    for seed in 0..30u64 {
+        let mut rng = StdRng::seed_from_u64(700 + seed);
+        let m = rng.random_range(1usize..5);
+        let k = rng.random_range(1usize..5);
+        let n = rng.random_range(1usize..5);
+        let a = Tensor::from_vec(rand_vec(&mut rng, m * k, -1.0, 1.0), [m, k]);
+        let b = Tensor::from_vec(rand_vec(&mut rng, k * n, -1.0, 1.0), [k, n]);
         // Materialize transposes.
         let at = {
             let mut v = vec![0.0; m * k];
-            for i in 0..m { for p in 0..k { v[p * m + i] = a.at(&[i, p]); } }
+            for i in 0..m {
+                for p in 0..k {
+                    v[p * m + i] = a.at(&[i, p]);
+                }
+            }
             Tensor::from_vec(v, [k, m])
         };
         let bt = {
             let mut v = vec![0.0; k * n];
-            for p in 0..k { for j in 0..n { v[j * k + p] = b.at(&[p, j]); } }
+            for p in 0..k {
+                for j in 0..n {
+                    v[j * k + p] = b.at(&[p, j]);
+                }
+            }
             Tensor::from_vec(v, [n, k])
         };
         let reference = gemm(&a, &b, false, false);
@@ -148,38 +184,44 @@ proptest! {
             (true, true, &at, &bt),
         ] {
             let got = gemm(lhs, rhs, ta, tb);
-            prop_assert!(reference.max_abs_diff(&got) < 1e-4);
+            assert!(reference.max_abs_diff(&got) < 1e-4);
         }
     }
+}
 
-    #[test]
-    fn power_law_weights_bounded(n in 1usize..500, alpha in 1.5f64..3.5,
-                                 seed in 0u64..20) {
-        use rand::SeedableRng;
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+#[test]
+fn power_law_weights_bounded() {
+    for seed in 0..20u64 {
+        let mut rng = StdRng::seed_from_u64(800 + seed);
+        let n = rng.random_range(1usize..500);
+        let alpha = rng.random_range(1.5f64..3.5);
         let w = generate::power_law_weights(n, alpha, 2.0, 50.0, &mut rng);
-        prop_assert_eq!(w.len(), n);
-        prop_assert!(w.iter().all(|&x| (2.0..=50.0).contains(&x)));
+        assert_eq!(w.len(), n);
+        assert!(w.iter().all(|&x| (2.0..=50.0).contains(&x)));
     }
+}
 
-    #[test]
-    fn autograd_sum_of_products_gradient(xs in prop::collection::vec(-3.0f32..3.0, 2..10)) {
-        // loss = sum(x * x); dloss/dx = 2x elementwise.
-        use salient_repro::tensor::Tape;
+#[test]
+fn autograd_sum_of_products_gradient() {
+    // loss = sum(x * x); dloss/dx = 2x elementwise.
+    use salient_repro::tensor::Tape;
+    for seed in 0..32u64 {
+        let mut rng = StdRng::seed_from_u64(900 + seed);
+        let len = rng.random_range(2usize..10);
+        let xs = rand_vec(&mut rng, len, -3.0, 3.0);
         let tape = Tape::new();
         let x = tape.constant(Tensor::from_vec(xs.clone(), [xs.len()]));
         let loss = x.mul(&x).sum_all();
         let grads = tape.backward(&loss);
         let g = grads.wrt(&x).unwrap();
         for (gi, xi) in g.data().iter().zip(xs.iter()) {
-            prop_assert!((gi - 2.0 * xi).abs() < 1e-5);
+            assert!((gi - 2.0 * xi).abs() < 1e-5);
         }
     }
 }
 
 /// Ring all-reduce equals the arithmetic mean for arbitrary world sizes and
-/// buffer lengths (threaded, so kept outside the proptest! macro with a
-/// small hand-rolled case sweep).
+/// buffer lengths.
 #[test]
 fn all_reduce_mean_equals_mean_for_many_shapes() {
     use salient_repro::ddp::Communicator;
