@@ -213,12 +213,23 @@ impl<T> Clone for Receiver<T> {
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        let mut st = self.inner.state.lock().unwrap();
-        st.receivers -= 1;
-        if st.receivers == 0 {
-            // Senders blocked on a full buffer must observe disconnect.
-            self.inner.not_full.notify_all();
-        }
+        let buffered = {
+            let mut st = self.inner.state.lock().unwrap();
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                // No receiver can ever take these messages; drop them now so
+                // resources they own (e.g. pinned staging slots) are released
+                // immediately rather than when the last *sender* departs.
+                // Senders blocked on a full buffer must observe disconnect.
+                self.inner.not_full.notify_all();
+                std::mem::take(&mut st.queue)
+            } else {
+                VecDeque::new()
+            }
+        };
+        // Run the queued messages' destructors outside the channel lock:
+        // they may send on other channels (slot-return paths).
+        drop(buffered);
     }
 }
 
@@ -335,6 +346,20 @@ mod tests {
             (0..4).flat_map(|p| (0..250).map(move |i| p * 1000 + i)).collect();
         expected.sort_unstable();
         assert_eq!(all, expected);
+    }
+
+    #[test]
+    fn queued_messages_drop_when_last_receiver_departs() {
+        let (tx, rx) = bounded(4);
+        let token = std::sync::Arc::new(());
+        tx.send(std::sync::Arc::clone(&token)).unwrap();
+        tx.send(std::sync::Arc::clone(&token)).unwrap();
+        assert_eq!(std::sync::Arc::strong_count(&token), 3);
+        drop(rx);
+        // The buffered messages were destroyed eagerly, not parked until the
+        // sender also departs.
+        assert_eq!(std::sync::Arc::strong_count(&token), 1);
+        assert!(tx.send(std::sync::Arc::clone(&token)).is_err());
     }
 
     #[test]

@@ -33,9 +33,12 @@ mod stats;
 pub mod channel;
 
 pub use pinned::{PinnedPool, PinnedSlot};
-pub use prep::{run_epoch, EpochHandle, PrepConfig, PrepMode, PreparedBatch, SamplerKind};
+pub use prep::{
+    run_epoch, BatchResult, EpochHandle, PrepConfig, PrepMode, PreparedBatch, SamplerKind,
+};
 pub use queue::{
-    make_work_items, CompletionCounter, DynamicQueue, StaticPartition, WorkItem, WorkSource,
+    make_work_items, CompletionCounter, DynamicQueue, RetryQueue, StaticPartition, WorkItem,
+    WorkSource,
 };
 pub use slice::{slice_batch, slice_labels, sliced_bytes};
-pub use stats::{EpochPrepStats, PrepTimings};
+pub use stats::{EpochPrepStats, FaultStats, PrepTimings};

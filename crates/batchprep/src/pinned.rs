@@ -159,6 +159,45 @@ impl PinnedPool {
             used_labels: 0,
         })
     }
+
+    /// Checks out a slot, waiting until one frees or `cancel` is observed
+    /// set; returns `None` on cancellation.
+    ///
+    /// The wait is a condvar sleep, not a spin: cancelling an epoch drops
+    /// the prepared-batch receiver, which destroys any parked batches and
+    /// returns their slots to the pool — waking this waiter promptly. The
+    /// internal timeout slice only bounds the pathological case where no
+    /// slot ever returns.
+    pub fn acquire_cancellable(
+        &self,
+        cancel: &std::sync::atomic::AtomicBool,
+    ) -> Option<PinnedSlot> {
+        use std::sync::atomic::Ordering;
+        const SLICE: std::time::Duration = std::time::Duration::from_millis(50);
+        loop {
+            if cancel.load(Ordering::Acquire) {
+                return None;
+            }
+            match self.rx.recv_timeout(SLICE) {
+                Ok(buffers) => {
+                    let slot = PinnedSlot {
+                        buffers: Some(buffers),
+                        home: self.tx.clone(),
+                        used_features: 0,
+                        used_labels: 0,
+                    };
+                    if cancel.load(Ordering::Acquire) {
+                        // Cancelled while waiting: hand the slot straight
+                        // back (via drop) and report cancellation.
+                        return None;
+                    }
+                    return Some(slot);
+                }
+                Err(crate::channel::RecvTimeoutError::Timeout) => continue,
+                Err(crate::channel::RecvTimeoutError::Disconnected) => return None,
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -203,6 +242,31 @@ mod tests {
         // Buffer reuse is an implementation detail; what matters is the pool
         // refilled.
         assert_eq!(pool.available(), 1);
+    }
+
+    #[test]
+    fn cancellable_acquire_returns_on_cancel() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        use std::sync::Arc;
+        let pool = PinnedPool::new(1, 1, 1, 1);
+        let held = pool.acquire(); // exhaust the pool
+        let cancel = Arc::new(AtomicBool::new(false));
+        let pool2 = pool.clone();
+        let cancel2 = Arc::clone(&cancel);
+        let waiter = std::thread::spawn(move || pool2.acquire_cancellable(&cancel2).is_none());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        cancel.store(true, Ordering::Release);
+        assert!(waiter.join().unwrap(), "cancelled acquire must yield None");
+        drop(held);
+        assert_eq!(pool.available(), 1, "no slot may leak through cancellation");
+    }
+
+    #[test]
+    fn cancellable_acquire_gets_slot_when_free() {
+        use std::sync::atomic::AtomicBool;
+        let pool = PinnedPool::new(1, 1, 1, 1);
+        let cancel = AtomicBool::new(false);
+        assert!(pool.acquire_cancellable(&cancel).is_some());
     }
 
     #[test]

@@ -10,15 +10,32 @@
 //!   worker slices into a private buffer and then *copies* it into the slot,
 //!   reproducing the POSIX-shared-memory hop that "effectively halves the
 //!   observed memory bandwidth"; work is also partitioned statically.
+//!
+//! # Failure model
+//!
+//! Preparation is supervised. A panic while preparing one work item is
+//! caught on the worker, the item is requeued with a bounded retry budget
+//! (the retry sampler is re-seeded from the batch id and attempt so retries
+//! are deterministic no matter which worker picks them up), and a batch that
+//! exhausts its budget is reported as a terminal
+//! [`BatchResult::Failed`] marker — the consumer never waits on a batch that
+//! will not arrive, and the staging slot always returns to the pool. A panic
+//! that kills a whole worker thread is observed by the epoch supervisor,
+//! which respawns a replacement (up to [`PrepConfig::respawn_budget`]) or,
+//! when the worker set collapses, finishes the epoch with inline
+//! preparation on the supervisor thread. Per-epoch fault activity is
+//! surfaced as [`FaultStats`] next to [`EpochPrepStats`].
 
-use crate::channel::{bounded, Receiver};
+use crate::channel::{bounded, Receiver, Sender};
 use crate::pinned::{PinnedPool, PinnedSlot};
-use crate::queue::{make_work_items, DynamicQueue, StaticPartition, WorkSource};
+use crate::queue::{make_work_items, DynamicQueue, RetryQueue, StaticPartition, WorkItem, WorkSource};
 use crate::slice::slice_batch;
-use crate::stats::{EpochPrepStats, PrepTimings};
+use crate::stats::{EpochPrepStats, FaultStats, PrepTimings};
+use salient_fault as fault;
 use salient_graph::{Dataset, NodeId};
 use salient_sampler::{FastSampler, MessageFlowGraph, PygSampler};
 use salient_tensor::F16;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -59,6 +76,12 @@ pub struct PrepConfig {
     pub sampler: SamplerKind,
     /// Base RNG seed (each worker derives its own stream).
     pub seed: u64,
+    /// Extra attempts granted to a work item whose preparation panicked
+    /// (0 = fail immediately on the first panic).
+    pub retry_budget: u32,
+    /// Replacement worker threads the supervisor may spawn in one epoch
+    /// after whole-worker deaths.
+    pub respawn_budget: usize,
 }
 
 impl Default for PrepConfig {
@@ -71,6 +94,8 @@ impl Default for PrepConfig {
             mode: PrepMode::SharedMemory,
             sampler: SamplerKind::Fast,
             seed: 0,
+            retry_budget: 1,
+            respawn_budget: 1,
         }
     }
 }
@@ -89,12 +114,53 @@ pub struct PreparedBatch {
     pub timings: PrepTimings,
 }
 
+/// One message on the prepared-batch stream: either a usable batch or a
+/// terminal failure marker, so consumers tracking batch ids never wait on a
+/// batch that will not arrive.
+#[derive(Debug)]
+pub enum BatchResult {
+    /// The batch was prepared successfully.
+    Ready(PreparedBatch),
+    /// The batch's preparation panicked on every attempt.
+    Failed {
+        /// Sequential batch index within the epoch.
+        batch_id: usize,
+        /// Total attempts consumed (1 + retries).
+        attempts: u32,
+    },
+}
+
+impl BatchResult {
+    /// The batch id this message concerns.
+    pub fn batch_id(&self) -> usize {
+        match self {
+            BatchResult::Ready(b) => b.batch_id,
+            BatchResult::Failed { batch_id, .. } => *batch_id,
+        }
+    }
+
+    /// Unwraps a prepared batch, discarding failure markers.
+    pub fn ready(self) -> Option<PreparedBatch> {
+        match self {
+            BatchResult::Ready(b) => Some(b),
+            BatchResult::Failed { .. } => None,
+        }
+    }
+}
+
 enum AnySampler {
     Fast(FastSampler),
     Pyg(PygSampler),
 }
 
 impl AnySampler {
+    fn new(kind: SamplerKind, seed: u64) -> AnySampler {
+        match kind {
+            SamplerKind::Fast => AnySampler::Fast(FastSampler::new(seed)),
+            SamplerKind::Pyg => AnySampler::Pyg(PygSampler::new(seed)),
+        }
+    }
+
     fn sample(
         &mut self,
         graph: &salient_graph::CsrGraph,
@@ -108,14 +174,88 @@ impl AnySampler {
     }
 }
 
+/// Fault counters shared by workers and the supervisor (lock-free updates,
+/// snapshotted into [`FaultStats`] at epoch end).
+#[derive(Debug, Default)]
+struct SharedFaultStats {
+    item_panics: AtomicUsize,
+    retries: AtomicUsize,
+    failed_batches: AtomicUsize,
+    worker_panics: AtomicUsize,
+    respawns: AtomicUsize,
+    degraded_inline: AtomicBool,
+}
+
+impl SharedFaultStats {
+    fn snapshot(&self) -> FaultStats {
+        FaultStats {
+            item_panics: self.item_panics.load(Ordering::Acquire),
+            retries: self.retries.load(Ordering::Acquire),
+            failed_batches: self.failed_batches.load(Ordering::Acquire),
+            worker_panics: self.worker_panics.load(Ordering::Acquire),
+            respawns: self.respawns.load(Ordering::Acquire),
+            degraded_inline: self.degraded_inline.load(Ordering::Acquire),
+        }
+    }
+}
+
+/// Everything a worker (or the inline fallback) needs, shared by Arc so the
+/// supervisor can respawn workers with identical context.
+struct WorkerCtx {
+    dataset: Arc<Dataset>,
+    order: Arc<Vec<NodeId>>,
+    source: Arc<dyn WorkSource>,
+    retries: Arc<RetryQueue>,
+    pool: PinnedPool,
+    tx: Sender<BatchResult>,
+    cfg: PrepConfig,
+    cancel: Arc<AtomicBool>,
+    faults: Arc<SharedFaultStats>,
+}
+
+/// Exit notifications workers send the supervisor. Clean exits carry the
+/// worker's stats; panics are reported by a drop guard during unwind.
+enum WorkerMsg {
+    Clean { id: usize, stats: EpochPrepStats },
+    Panicked { id: usize },
+}
+
+/// Reports a worker death to the supervisor if the thread unwinds before
+/// the guard is disarmed.
+struct ExitGuard {
+    id: usize,
+    tx: Sender<WorkerMsg>,
+    armed: bool,
+}
+
+impl Drop for ExitGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            let _ = self.tx.send(WorkerMsg::Panicked { id: self.id });
+        }
+    }
+}
+
+fn worker_seed(cfg_seed: u64, worker: usize) -> u64 {
+    cfg_seed ^ (worker as u64) << 32
+}
+
+fn retry_seed(cfg_seed: u64, batch_id: usize, attempt: u32) -> u64 {
+    // Independent of which worker runs the retry: attempt n of batch b is
+    // the same sample stream on every run and every schedule.
+    cfg_seed ^ 0x5EED_0000 ^ ((batch_id as u64) << 8) ^ u64::from(attempt)
+}
+
 /// Handle to an in-flight epoch of batch preparation: iterate the receiver
 /// to consume batches, then call [`EpochHandle::join`] for worker stats.
 #[derive(Debug)]
 pub struct EpochHandle {
-    /// Channel of prepared batches, in completion order.
-    pub batches: Receiver<PreparedBatch>,
-    handles: Vec<std::thread::JoinHandle<EpochPrepStats>>,
-    cancel: Arc<std::sync::atomic::AtomicBool>,
+    /// Channel of prepared batches (and failure markers), in completion
+    /// order.
+    pub batches: Receiver<BatchResult>,
+    supervisor: std::thread::JoinHandle<(EpochPrepStats, FaultStats)>,
+    cancel: Arc<AtomicBool>,
+    pool: PinnedPool,
 }
 
 impl EpochHandle {
@@ -126,16 +266,31 @@ impl EpochHandle {
     ///
     /// # Panics
     ///
-    /// Panics if a worker thread panicked.
+    /// Panics only if the supervisor thread itself panicked (worker panics
+    /// are supervised, counted, and survived).
     pub fn join(self) -> EpochPrepStats {
-        self.cancel
-            .store(true, std::sync::atomic::Ordering::Release);
+        self.join_detailed().0
+    }
+
+    /// Like [`EpochHandle::join`], additionally returning the epoch's
+    /// fault-handling activity.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the supervisor thread itself panicked.
+    pub fn join_detailed(self) -> (EpochPrepStats, FaultStats) {
+        self.cancel.store(true, Ordering::Release);
+        // Dropping the receiver destroys parked batches, returning their
+        // slots to the pool and waking any worker blocked on acquire.
         drop(self.batches);
-        let mut total = EpochPrepStats::default();
-        for h in self.handles {
-            total.merge(&h.join().expect("batch-prep worker panicked"));
-        }
-        total
+        self.supervisor.join().expect("epoch supervisor panicked")
+    }
+
+    /// The staging-slot pool backing this epoch (diagnostics: after the
+    /// epoch is fully consumed and joined, `pool().available()` must equal
+    /// `pool().capacity()` — anything less is a leaked slot).
+    pub fn pool(&self) -> &PinnedPool {
+        &self.pool
     }
 }
 
@@ -163,99 +318,252 @@ pub fn run_epoch(dataset: &Arc<Dataset>, order: &[NodeId], cfg: &PrepConfig) -> 
     let expansion: usize = cfg.fanouts.iter().map(|f| f + 1).product();
     let nodes_hint = cfg.batch_size * expansion.min(256);
     let pool = PinnedPool::new(cfg.slots, nodes_hint, dataset.features.dim(), cfg.batch_size);
-    let (tx, rx) = bounded::<PreparedBatch>(cfg.slots);
-    let order: Arc<Vec<NodeId>> = Arc::new(order.to_vec());
-    let cancel = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let (tx, rx) = bounded::<BatchResult>(cfg.slots);
+    let cancel = Arc::new(AtomicBool::new(false));
 
-    let mut handles = Vec::with_capacity(cfg.num_workers);
-    for w in 0..cfg.num_workers {
-        let dataset = Arc::clone(dataset);
-        let order = Arc::clone(&order);
-        let source = Arc::clone(&source);
-        let pool = pool.clone();
-        let tx = tx.clone();
-        let cfg = cfg.clone();
-        let cancel = Arc::clone(&cancel);
-        handles.push(std::thread::spawn(move || {
-            let mut sampler = match cfg.sampler {
-                SamplerKind::Fast => AnySampler::Fast(FastSampler::new(cfg.seed ^ (w as u64) << 32)),
-                SamplerKind::Pyg => AnySampler::Pyg(PygSampler::new(cfg.seed ^ (w as u64) << 32)),
-            };
-            let mut private: Vec<F16> = Vec::new();
-            let mut private_labels: Vec<u32> = Vec::new();
-            let mut stats = EpochPrepStats::default();
-            let dim = dataset.features.dim();
-            'work: while let Some(item) = source.next(w) {
-                use std::sync::atomic::Ordering;
-                if cancel.load(Ordering::Acquire) {
-                    break;
+    let ctx = Arc::new(WorkerCtx {
+        dataset: Arc::clone(dataset),
+        order: Arc::new(order.to_vec()),
+        source,
+        retries: Arc::new(RetryQueue::new()),
+        pool: pool.clone(),
+        tx,
+        cfg: cfg.clone(),
+        cancel: Arc::clone(&cancel),
+        faults: Arc::new(SharedFaultStats::default()),
+    });
+
+    let supervisor = {
+        let ctx = Arc::clone(&ctx);
+        std::thread::Builder::new()
+            .name("salient-prep-supervisor".to_string())
+            .spawn(move || supervise_epoch(&ctx))
+            .expect("failed to spawn epoch supervisor")
+    };
+
+    EpochHandle {
+        batches: rx,
+        supervisor,
+        cancel,
+        pool,
+    }
+}
+
+/// Spawns one (possibly replacement) worker with `id`.
+fn spawn_worker(
+    ctx: &Arc<WorkerCtx>,
+    exit_tx: &Sender<WorkerMsg>,
+    id: usize,
+) -> std::thread::JoinHandle<()> {
+    let ctx = Arc::clone(ctx);
+    let exit_tx = exit_tx.clone();
+    std::thread::Builder::new()
+        .name(format!("salient-prep-{id}"))
+        .spawn(move || {
+            let mut guard = ExitGuard { id, tx: exit_tx, armed: true };
+            let stats = worker_loop(&ctx, id, false);
+            guard.armed = false;
+            let _ = guard.tx.send(WorkerMsg::Clean { id, stats });
+        })
+        .expect("failed to spawn batch-prep worker")
+}
+
+/// Runs the epoch's worker set to completion, respawning dead workers up to
+/// the budget and degrading to inline preparation if the set collapses.
+fn supervise_epoch(ctx: &Arc<WorkerCtx>) -> (EpochPrepStats, FaultStats) {
+    let n = ctx.cfg.num_workers;
+    // Every worker lifetime sends exactly one exit message; size the channel
+    // so no exit send can ever block.
+    let (exit_tx, exit_rx) = bounded::<WorkerMsg>(n + ctx.cfg.respawn_budget + 1);
+    let mut handles: Vec<Option<std::thread::JoinHandle<()>>> = Vec::with_capacity(n);
+    for id in 0..n {
+        handles.push(Some(spawn_worker(ctx, &exit_tx, id)));
+    }
+
+    let mut total = EpochPrepStats::default();
+    let mut live = n;
+    let mut respawns_used = 0usize;
+    while live > 0 {
+        let Ok(msg) = exit_rx.recv() else { break };
+        match msg {
+            WorkerMsg::Clean { id, stats } => {
+                total.merge(&stats);
+                if let Some(h) = handles.get_mut(id).and_then(Option::take) {
+                    let _ = h.join();
                 }
-                let batch_nodes = &order[item.start..item.end];
-
-                let t0 = Instant::now();
-                let mfg = sampler.sample(&dataset.graph, batch_nodes, &cfg.fanouts);
-                let sample = t0.elapsed();
-
-                // Slots can all be parked in unconsumed batches of a
-                // cancelled epoch; poll with a timeout so cancellation is
-                // observed instead of deadlocking on `acquire`.
-                let mut slot = loop {
-                    if cancel.load(Ordering::Acquire) {
-                        break 'work;
-                    }
-                    match pool.acquire_timeout(std::time::Duration::from_millis(20)) {
-                        Some(s) => break s,
-                        None => continue,
-                    }
-                };
-                slot.prepare(mfg.num_nodes(), dim, mfg.batch_size());
-
-                let t1 = Instant::now();
-                let mut copy = std::time::Duration::ZERO;
-                match cfg.mode {
-                    PrepMode::SharedMemory => {
-                        // Zero-copy: slice straight into the pinned slot.
-                        slice_batch_into(&dataset, &mfg, &mut slot);
-                    }
-                    PrepMode::Multiprocessing => {
-                        // Slice into worker-private memory…
-                        private.resize(mfg.num_nodes() * dim, F16::ZERO);
-                        private_labels.resize(mfg.batch_size(), 0);
-                        slice_batch(&dataset, &mfg, &mut private, &mut private_labels);
-                        // …then pay the shared-memory copy.
-                        let t2 = Instant::now();
-                        slot.features_mut().copy_from_slice(&private);
-                        slot.labels_mut().copy_from_slice(&private_labels);
-                        copy = t2.elapsed();
-                    }
+                live -= 1;
+            }
+            WorkerMsg::Panicked { id } => {
+                ctx.faults.worker_panics.fetch_add(1, Ordering::AcqRel);
+                if let Some(h) = handles.get_mut(id).and_then(Option::take) {
+                    let _ = h.join(); // reap; the payload was already counted
                 }
-                let slice = t1.elapsed() - copy;
+                let work_left =
+                    ctx.source.remaining() > 0 || !ctx.retries.is_empty();
+                if work_left
+                    && !ctx.cancel.load(Ordering::Acquire)
+                    && respawns_used < ctx.cfg.respawn_budget
+                {
+                    respawns_used += 1;
+                    ctx.faults.respawns.fetch_add(1, Ordering::AcqRel);
+                    // Reuse the dead worker's id: under static partitioning
+                    // the id *is* the partition, so the replacement inherits
+                    // the orphaned items.
+                    handles[id] = Some(spawn_worker(ctx, &exit_tx, id));
+                } else {
+                    live -= 1;
+                }
+            }
+        }
+    }
+    drop(exit_tx);
 
-                let timings = PrepTimings { sample, slice, copy };
-                stats.add(
-                    mfg.num_nodes(),
-                    mfg.num_edges(),
-                    slot.payload_bytes(),
-                    timings,
-                );
-                let prepared = PreparedBatch {
-                    batch_id: item.batch_id,
-                    mfg,
-                    slot,
-                    timings,
-                };
-                if tx.send(prepared).is_err() {
+    // The whole worker set is gone. If unclaimed work remains (collapse
+    // before the queue drained), finish the epoch inline on this thread so
+    // the consumer still sees every batch (prepared or failed).
+    if !ctx.cancel.load(Ordering::Acquire)
+        && (ctx.source.remaining() > 0 || !ctx.retries.is_empty())
+    {
+        ctx.faults.degraded_inline.store(true, Ordering::Release);
+        let stats = worker_loop(ctx, 0, true);
+        total.merge(&stats);
+    }
+
+    (total, ctx.faults.snapshot())
+}
+
+/// Claims the next unit of work: pending retries first, then the shared
+/// source. The inline fallback polls every partition so statically
+/// partitioned items orphaned by dead workers are still prepared.
+fn next_work(ctx: &WorkerCtx, worker: usize, inline: bool) -> Option<(WorkItem, u32)> {
+    if let Some(pending) = ctx.retries.pop() {
+        return Some(pending);
+    }
+    if inline {
+        (0..ctx.cfg.num_workers).find_map(|w| ctx.source.next(w).map(|i| (i, 0)))
+    } else {
+        ctx.source.next(worker).map(|i| (i, 0))
+    }
+}
+
+/// The per-worker epoch loop. Item preparation runs under `catch_unwind`;
+/// a panicking item is retried (with a re-seeded sampler) until its budget
+/// is spent and then reported as [`BatchResult::Failed`].
+fn worker_loop(ctx: &WorkerCtx, worker: usize, inline: bool) -> EpochPrepStats {
+    if !inline {
+        // Whole-worker fault site: kills the thread itself, exercising the
+        // supervisor rather than the per-item guard.
+        fault::fire(fault::sites::PREP_WORKER, worker as u64);
+    }
+    let mut sampler = AnySampler::new(ctx.cfg.sampler, worker_seed(ctx.cfg.seed, worker));
+    let mut private: Vec<F16> = Vec::new();
+    let mut private_labels: Vec<u32> = Vec::new();
+    let mut stats = EpochPrepStats::default();
+    while !ctx.cancel.load(Ordering::Acquire) {
+        let Some((item, attempt)) = next_work(ctx, worker, inline) else {
+            break;
+        };
+        // Retries get a fresh sampler seeded from the batch and attempt so
+        // the retry is deterministic regardless of scheduling; attempt 0
+        // uses the worker's persistent sampler (the fast path).
+        let mut retry_sampler = (attempt > 0)
+            .then(|| AnySampler::new(ctx.cfg.sampler, retry_seed(ctx.cfg.seed, item.batch_id, attempt)));
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let s = retry_sampler.as_mut().unwrap_or(&mut sampler);
+            prepare_item(ctx, s, &item, &mut private, &mut private_labels, &mut stats)
+        }));
+        match outcome {
+            Ok(Some(prepared)) => {
+                if fault::fire(fault::sites::PREP_SEND, item.batch_id as u64) {
+                    // Injected message drop: the batch is lost, but its slot
+                    // returns to the pool as `prepared` drops here.
+                    continue;
+                }
+                if ctx.tx.send(BatchResult::Ready(prepared)).is_err() {
                     break; // consumer hung up: stop early
                 }
             }
-            stats
-        }));
+            Ok(None) => break, // cancelled while waiting for a slot
+            Err(_panic) => {
+                ctx.faults.item_panics.fetch_add(1, Ordering::AcqRel);
+                // The shared sampler may have been mid-update when it
+                // unwound; rebuild it before touching another batch.
+                if retry_sampler.is_none() {
+                    sampler = AnySampler::new(ctx.cfg.sampler, worker_seed(ctx.cfg.seed, worker));
+                }
+                if attempt < ctx.cfg.retry_budget {
+                    ctx.faults.retries.fetch_add(1, Ordering::AcqRel);
+                    ctx.retries.push(item, attempt + 1);
+                } else {
+                    ctx.faults.failed_batches.fetch_add(1, Ordering::AcqRel);
+                    let failed = BatchResult::Failed {
+                        batch_id: item.batch_id,
+                        attempts: attempt + 1,
+                    };
+                    if ctx.tx.send(failed).is_err() {
+                        break;
+                    }
+                }
+            }
+        }
     }
-    EpochHandle {
-        batches: rx,
-        handles,
-        cancel,
+    stats
+}
+
+/// Prepares one batch end-to-end. Returns `None` if the epoch was cancelled
+/// while waiting for a staging slot.
+fn prepare_item(
+    ctx: &WorkerCtx,
+    sampler: &mut AnySampler,
+    item: &WorkItem,
+    private: &mut Vec<F16>,
+    private_labels: &mut Vec<u32>,
+    stats: &mut EpochPrepStats,
+) -> Option<PreparedBatch> {
+    let dim = ctx.dataset.features.dim();
+    let batch_nodes = &ctx.order[item.start..item.end];
+
+    let t0 = Instant::now();
+    fault::fire(fault::sites::PREP_SAMPLE, item.batch_id as u64);
+    let mfg = sampler.sample(&ctx.dataset.graph, batch_nodes, &ctx.cfg.fanouts);
+    let sample = t0.elapsed();
+
+    // Slots can all be parked in unconsumed batches of a cancelled epoch;
+    // the cancellable acquire sleeps on the pool and is woken either by a
+    // freed slot or by cancellation draining the batch channel.
+    let mut slot = ctx.pool.acquire_cancellable(&ctx.cancel)?;
+    slot.prepare(mfg.num_nodes(), dim, mfg.batch_size());
+
+    let t1 = Instant::now();
+    fault::fire(fault::sites::PREP_SLICE, item.batch_id as u64);
+    let mut copy = std::time::Duration::ZERO;
+    match ctx.cfg.mode {
+        PrepMode::SharedMemory => {
+            // Zero-copy: slice straight into the pinned slot.
+            slice_batch_into(&ctx.dataset, &mfg, &mut slot);
+        }
+        PrepMode::Multiprocessing => {
+            // Slice into worker-private memory…
+            private.resize(mfg.num_nodes() * dim, F16::ZERO);
+            private_labels.resize(mfg.batch_size(), 0);
+            slice_batch(&ctx.dataset, &mfg, private, private_labels);
+            // …then pay the shared-memory copy.
+            let t2 = Instant::now();
+            slot.features_mut().copy_from_slice(private);
+            slot.labels_mut().copy_from_slice(private_labels);
+            copy = t2.elapsed();
+        }
     }
+    let slice = t1.elapsed() - copy;
+
+    let timings = PrepTimings { sample, slice, copy };
+    stats.add(mfg.num_nodes(), mfg.num_edges(), slot.payload_bytes(), timings);
+    Some(PreparedBatch {
+        batch_id: item.batch_id,
+        mfg,
+        slot,
+        timings,
+    })
 }
 
 /// Slices a batch directly into a pinned slot (borrow-splitting helper).
@@ -286,14 +594,20 @@ mod tests {
             mode,
             sampler: SamplerKind::Fast,
             seed: 1,
+            ..PrepConfig::default()
         };
         let order = ds.splits.train.clone();
         let handle = run_epoch(&ds, &order, &cfg);
-        let mut ids: Vec<usize> = handle.batches.iter().map(|b| {
-            b.mfg.validate().unwrap();
-            assert_eq!(b.slot.labels().len(), b.mfg.batch_size());
-            b.batch_id
-        }).collect();
+        let mut ids: Vec<usize> = handle
+            .batches
+            .iter()
+            .filter_map(BatchResult::ready)
+            .map(|b| {
+                b.mfg.validate().unwrap();
+                assert_eq!(b.slot.labels().len(), b.mfg.batch_size());
+                b.batch_id
+            })
+            .collect();
         let stats = handle.join();
         ids.sort_unstable();
         (ids, stats)
@@ -329,10 +643,11 @@ mod tests {
             mode: PrepMode::SharedMemory,
             sampler: SamplerKind::Fast,
             seed: 5,
+            ..PrepConfig::default()
         };
         let order: Vec<NodeId> = ds.splits.train[..32].to_vec();
         let handle = run_epoch(&ds, &order, &cfg);
-        for b in handle.batches.iter() {
+        for b in handle.batches.iter().filter_map(BatchResult::ready) {
             let dim = ds.features.dim();
             for (i, &v) in b.mfg.node_ids.iter().enumerate() {
                 assert_eq!(&b.slot.features()[i * dim..(i + 1) * dim], ds.features.row(v));
@@ -354,7 +669,7 @@ mod tests {
             ..Default::default()
         };
         let handle = run_epoch(&ds, &ds.splits.train.clone(), &cfg);
-        let n = handle.batches.iter().count();
+        let n = handle.batches.iter().filter_map(BatchResult::ready).count();
         let stats = handle.join();
         assert_eq!(n, stats.batches);
         assert!(stats.nodes > 0);
@@ -372,5 +687,22 @@ mod tests {
         let _first = handle.batches.recv().unwrap();
         // Dropping the handle (and receiver) must not deadlock the workers.
         let _ = handle.join();
+    }
+
+    #[test]
+    fn clean_epoch_reports_no_faults() {
+        let ds = dataset();
+        let cfg = PrepConfig {
+            batch_size: 32,
+            fanouts: vec![5, 3],
+            ..Default::default()
+        };
+        let handle = run_epoch(&ds, &ds.splits.train.clone(), &cfg);
+        let pool = handle.pool().clone();
+        let n = handle.batches.iter().filter_map(BatchResult::ready).count();
+        let (stats, faults) = handle.join_detailed();
+        assert_eq!(n, stats.batches);
+        assert!(!faults.any(), "clean run must report zero fault activity: {faults:?}");
+        assert_eq!(pool.available(), pool.capacity(), "no slot may stay checked out");
     }
 }

@@ -41,6 +41,10 @@ pub fn make_work_items(n: usize, batch_size: usize) -> Vec<WorkItem> {
 pub trait WorkSource: Send + Sync {
     /// Next item for worker `worker`; `None` when the worker is done.
     fn next(&self, worker: usize) -> Option<WorkItem>;
+
+    /// Items not yet claimed by any worker. The epoch supervisor uses this
+    /// to decide whether a collapsed worker set left work behind.
+    fn remaining(&self) -> usize;
 }
 
 /// Lock-free dynamic load balancing (SALIENT): all workers pop from one
@@ -76,6 +80,10 @@ impl WorkSource for DynamicQueue {
         let i = self.cursor.fetch_add(1, Ordering::Relaxed);
         self.items.get(i).cloned()
     }
+
+    fn remaining(&self) -> usize {
+        DynamicQueue::remaining(self)
+    }
 }
 
 /// Static round-robin partitioning (the PyTorch DataLoader scheme): batch
@@ -108,6 +116,52 @@ impl WorkSource for StaticPartition {
         let (items, cursor) = &self.per_worker[worker % self.per_worker.len()];
         let i = cursor.fetch_add(1, Ordering::Relaxed);
         items.get(i).cloned()
+    }
+
+    fn remaining(&self) -> usize {
+        self.per_worker
+            .iter()
+            .map(|(items, cursor)| {
+                items.len().saturating_sub(cursor.load(Ordering::Acquire))
+            })
+            .sum()
+    }
+}
+
+/// Work items requeued after a caught worker panic, tagged with the attempt
+/// number already consumed. Workers drain retries before claiming fresh
+/// items so a failed batch is re-prepared promptly (and deterministically:
+/// the retry sampler is re-seeded from the batch id and attempt, not from
+/// whichever worker picks it up).
+#[derive(Debug, Default)]
+pub struct RetryQueue {
+    items: std::sync::Mutex<std::collections::VecDeque<(WorkItem, u32)>>,
+}
+
+impl RetryQueue {
+    /// Creates an empty retry queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requeues `item` whose attempt number `attempt` just failed.
+    pub fn push(&self, item: WorkItem, attempt: u32) {
+        self.items.lock().unwrap().push_back((item, attempt));
+    }
+
+    /// Claims the oldest pending retry, if any.
+    pub fn pop(&self) -> Option<(WorkItem, u32)> {
+        self.items.lock().unwrap().pop_front()
+    }
+
+    /// Retries currently pending.
+    pub fn len(&self) -> usize {
+        self.items.lock().unwrap().len()
+    }
+
+    /// Whether no retries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -186,6 +240,33 @@ mod tests {
                 assert_eq!(item.batch_id % 3, w, "batch pinned to wrong worker");
             }
         }
+    }
+
+    #[test]
+    fn remaining_tracks_both_sources() {
+        let q = DynamicQueue::new(make_work_items(10, 2));
+        assert_eq!(WorkSource::remaining(&*q), 5);
+        q.next(0);
+        assert_eq!(WorkSource::remaining(&*q), 4);
+
+        let p = StaticPartition::new(make_work_items(10, 2), 2);
+        assert_eq!(p.remaining(), 5);
+        p.next(0);
+        p.next(1);
+        assert_eq!(p.remaining(), 3);
+    }
+
+    #[test]
+    fn retry_queue_is_fifo() {
+        let r = RetryQueue::new();
+        assert!(r.is_empty());
+        r.push(WorkItem { batch_id: 7, start: 0, end: 4 }, 1);
+        r.push(WorkItem { batch_id: 2, start: 4, end: 8 }, 2);
+        assert_eq!(r.len(), 2);
+        let (first, attempt) = r.pop().unwrap();
+        assert_eq!((first.batch_id, attempt), (7, 1));
+        assert_eq!(r.pop().unwrap().0.batch_id, 2);
+        assert!(r.pop().is_none());
     }
 
     #[test]

@@ -69,9 +69,45 @@ impl EpochPrepStats {
     }
 }
 
+/// Fault-handling activity observed during one epoch of batch preparation,
+/// reported by the epoch supervisor alongside [`EpochPrepStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Per-item panics caught inside workers (each either retried or
+    /// terminally failed).
+    pub item_panics: usize,
+    /// Work items requeued for another attempt.
+    pub retries: usize,
+    /// Batches that exhausted their retry budget and were reported as
+    /// `BatchResult::Failed`.
+    pub failed_batches: usize,
+    /// Worker threads that died (panicked outside the per-item guard).
+    pub worker_panics: usize,
+    /// Replacement workers spawned by the supervisor.
+    pub respawns: usize,
+    /// Whether the worker set collapsed and the supervisor finished the
+    /// epoch with inline preparation.
+    pub degraded_inline: bool,
+}
+
+impl FaultStats {
+    /// Whether any fault activity was observed at all.
+    pub fn any(&self) -> bool {
+        *self != FaultStats::default()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fault_stats_any() {
+        let mut f = FaultStats::default();
+        assert!(!f.any());
+        f.retries = 1;
+        assert!(f.any());
+    }
 
     #[test]
     fn add_and_merge() {

@@ -67,6 +67,7 @@ fn bench_real_prep_pool() {
                 mode,
                 sampler: SamplerKind::Fast,
                 seed: 0,
+                ..PrepConfig::default()
             };
             let handle = run_epoch(&ds, &order, &cfg);
             let n = handle.batches.iter().count();

@@ -6,13 +6,15 @@
 use crate::config::RunConfig;
 use salient_tensor::rng::StdRng;
 use salient_tensor::rng::SliceRandom;
-use salient_ddp::{average_model_gradients, sync_model, Communicator};
+use salient_ddp::{average_model_gradients, sync_model, CommError, Communicator};
+use salient_fault as fault;
 use salient_graph::{Dataset, NodeId};
 use salient_nn::{build_model, GnnModel, Mode};
 use salient_sampler::FastSampler;
 use salient_tensor::optim::{zero_grads, Adam, Optimizer};
 use salient_tensor::Tape;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Result of a distributed training run.
 pub struct DdpRunResult {
@@ -24,18 +26,66 @@ pub struct DdpRunResult {
     pub wall_s: f64,
 }
 
+/// Why a distributed run could not finish.
+#[derive(Debug)]
+pub enum DdpError {
+    /// A rank thread died (panicked outside the collectives).
+    RankPanicked {
+        /// The dead rank.
+        rank: usize,
+    },
+    /// A ring collective failed — typically a peer died or stalled past the
+    /// step deadline, so the failure carries the rank, step, and phase.
+    Comm(CommError),
+}
+
+impl std::fmt::Display for DdpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DdpError::RankPanicked { rank } => write!(f, "ddp rank {rank} panicked"),
+            DdpError::Comm(e) => write!(f, "ddp collective failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DdpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DdpError::Comm(e) => Some(e),
+            DdpError::RankPanicked { .. } => None,
+        }
+    }
+}
+
+impl From<CommError> for DdpError {
+    fn from(e: CommError) -> Self {
+        DdpError::Comm(e)
+    }
+}
+
 /// Trains with `ranks` data-parallel replicas (threads). Each rank processes
 /// `config.batch_size` nodes per iteration, so the effective batch is
 /// `ranks × batch_size` — exactly the paper's multi-GPU scaling regime.
 ///
+/// # Errors
+///
+/// Returns [`DdpError`] if a rank dies or a collective times out; the
+/// surviving ranks observe the dead peer through their step deadline
+/// ([`RunConfig::comm_timeout_ms`]) instead of hanging.
+///
 /// # Panics
 ///
-/// Panics if `ranks == 0` or a rank thread panics.
-pub fn train_ddp(dataset: &Arc<Dataset>, config: &RunConfig, ranks: usize) -> DdpRunResult {
+/// Panics if `ranks == 0`.
+pub fn train_ddp(
+    dataset: &Arc<Dataset>,
+    config: &RunConfig,
+    ranks: usize,
+) -> Result<DdpRunResult, DdpError> {
     assert!(ranks > 0, "need at least one rank");
     config.validate();
     let start = std::time::Instant::now();
-    let comms = Communicator::ring(ranks);
+    let timeout = Duration::from_millis(config.comm_timeout_ms);
+    let comms = Communicator::ring_with_timeout(ranks, timeout);
     let mut handles = Vec::with_capacity(ranks);
     for (rank, comm) in comms.into_iter().enumerate() {
         let dataset = Arc::clone(dataset);
@@ -44,16 +94,32 @@ pub fn train_ddp(dataset: &Arc<Dataset>, config: &RunConfig, ranks: usize) -> Dd
             rank_loop(rank, ranks, comm, dataset, config)
         }));
     }
-    let mut results: Vec<(Box<dyn GnnModel>, Vec<f64>)> = handles
-        .into_iter()
-        .map(|h| h.join().expect("rank thread panicked"))
-        .collect();
+    let mut results: Vec<(Box<dyn GnnModel>, Vec<f64>)> = Vec::with_capacity(ranks);
+    let mut first_err: Option<DdpError> = None;
+    for (rank, h) in handles.into_iter().enumerate() {
+        match h.join() {
+            Err(_) => {
+                // A dead rank outranks the secondary timeouts its peers
+                // report when its ring link goes silent.
+                first_err = Some(DdpError::RankPanicked { rank });
+            }
+            Ok(Err(comm)) => {
+                if first_err.is_none() {
+                    first_err = Some(DdpError::Comm(comm));
+                }
+            }
+            Ok(Ok(r)) => results.push(r),
+        }
+    }
+    if let Some(err) = first_err {
+        return Err(err);
+    }
     let (model, epoch_losses) = results.remove(0);
-    DdpRunResult {
+    Ok(DdpRunResult {
         model,
         epoch_losses,
         wall_s: start.elapsed().as_secs_f64(),
-    }
+    })
 }
 
 fn rank_loop(
@@ -62,7 +128,10 @@ fn rank_loop(
     comm: Communicator,
     dataset: Arc<Dataset>,
     config: RunConfig,
-) -> (Box<dyn GnnModel>, Vec<f64>) {
+) -> Result<(Box<dyn GnnModel>, Vec<f64>), CommError> {
+    // Whole-rank fault site: a Panic here kills the rank thread, and its
+    // peers' step deadlines convert the silence into typed errors.
+    fault::fire(fault::sites::DDP_RANK, rank as u64);
     // Same seed everywhere: replicas start identical. The broadcast is a
     // belt-and-suspenders guarantee (and exercises the collective).
     let mut model = build_model(
@@ -73,7 +142,7 @@ fn rank_loop(
         config.num_layers,
         config.seed,
     );
-    sync_model(&comm, model.as_mut());
+    sync_model(&comm, model.as_mut())?;
     let mut opt = Adam::new(config.learning_rate);
     let mut sampler = FastSampler::new(config.seed ^ (rank as u64) << 40);
     let mut dropout_rng = StdRng::seed_from_u64(config.seed ^ (rank as u64) << 24);
@@ -100,7 +169,7 @@ fn rank_loop(
             if shard.is_empty() {
                 // Keep collectives aligned: participate with a zero grad.
                 zero_grads(model.params_mut().into_iter());
-                average_model_gradients(&comm, model.as_mut());
+                average_model_gradients(&comm, model.as_mut())?;
                 opt.step(model.params_mut().into_iter());
                 steps += 1;
                 continue;
@@ -118,16 +187,16 @@ fn rank_loop(
             let grads = tape.backward(&loss);
             zero_grads(model.params_mut().into_iter());
             grads.apply_to(model.params_mut());
-            average_model_gradients(&comm, model.as_mut());
+            average_model_gradients(&comm, model.as_mut())?;
             opt.step(model.params_mut().into_iter());
             steps += 1;
         }
         // Average the epoch loss across ranks for reporting.
         let mut l = [(loss_sum / steps.max(1) as f64) as f32];
-        comm.all_reduce_mean(&mut l);
+        comm.all_reduce_mean(&mut l)?;
         epoch_losses.push(l[0] as f64);
     }
-    (model, epoch_losses)
+    Ok((model, epoch_losses))
 }
 
 #[cfg(test)]
@@ -149,7 +218,7 @@ mod tests {
     #[test]
     fn ddp_reduces_loss_with_two_ranks() {
         let (ds, cfg) = setup();
-        let result = train_ddp(&ds, &cfg, 2);
+        let result = train_ddp(&ds, &cfg, 2).unwrap();
         assert_eq!(result.epoch_losses.len(), 3);
         assert!(
             result.epoch_losses.last().unwrap() < result.epoch_losses.first().unwrap(),
@@ -162,7 +231,7 @@ mod tests {
     fn ddp_model_predicts_above_chance() {
         let (ds, mut cfg) = setup();
         cfg.epochs = 8;
-        let mut result = train_ddp(&ds, &cfg, 2);
+        let mut result = train_ddp(&ds, &cfg, 2).unwrap();
         // Evaluate rank 0's model with a quick sampled pass.
         let mut sampler = FastSampler::new(5);
         let nodes = &ds.splits.val;
@@ -194,7 +263,7 @@ mod tests {
                     let ds = Arc::clone(&ds);
                     let cfg = cfg.clone();
                     s.spawn(move || {
-                        let (model, _) = rank_loop(rank, 3, comm, ds, cfg);
+                        let (model, _) = rank_loop(rank, 3, comm, ds, cfg).unwrap();
                         model
                             .params()
                             .iter()

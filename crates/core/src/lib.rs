@@ -37,7 +37,8 @@ pub mod cache;
 pub mod checkpoint;
 pub mod infer;
 
+pub use checkpoint::{Checkpoint, CheckpointError};
 pub use config::{ExecutorKind, ModelKindConfig, RunConfig};
-pub use ddp_train::{train_ddp, DdpRunResult};
+pub use ddp_train::{train_ddp, DdpError, DdpRunResult};
 pub use timing::{Stage, StageTimings};
 pub use train::{EpochStats, Trainer};

@@ -5,7 +5,7 @@ use crate::config::{ExecutorKind, RunConfig};
 use crate::timing::{Stage, StageTimings};
 use salient_tensor::rng::StdRng;
 use salient_tensor::rng::SliceRandom;
-use salient_batchprep::{run_epoch, PrepConfig, PrepMode, SamplerKind};
+use salient_batchprep::{run_epoch, BatchResult, PrepConfig, PrepMode, SamplerKind};
 use salient_graph::{Dataset, NodeId};
 use salient_nn::{build_model, metrics, GnnModel, Mode};
 use salient_sampler::{FastSampler, MessageFlowGraph, PygSampler};
@@ -23,6 +23,9 @@ pub struct EpochStats {
     pub mean_loss: f64,
     /// Number of batches processed.
     pub batches: usize,
+    /// Batches whose preparation exhausted its retry budget and was skipped
+    /// (always 0 unless fault injection or real faults occurred).
+    pub failed_batches: usize,
     /// Blocking-time breakdown.
     pub timings: StageTimings,
 }
@@ -195,6 +198,7 @@ impl Trainer {
             epoch: self.epoch,
             mean_loss: total_loss / batches.max(1) as f64,
             batches,
+            failed_batches: 0,
             timings,
         }
     }
@@ -211,18 +215,30 @@ impl Trainer {
             mode: PrepMode::SharedMemory,
             sampler: SamplerKind::Fast,
             seed: self.config.seed ^ (self.epoch as u64) << 16,
+            retry_budget: self.config.prep_retry_budget,
+            respawn_budget: self.config.prep_respawn_budget,
         };
         let handle = run_epoch(&self.dataset, order, &prep_cfg);
         let dim = self.dataset.features.dim();
         let mut timings = StageTimings::default();
         let mut total_loss = 0.0;
         let mut batches = 0usize;
+        let mut failed_batches = 0usize;
         loop {
             let t0 = Instant::now();
-            let Ok(batch) = handle.batches.recv() else {
+            let Ok(result) = handle.batches.recv() else {
                 break;
             };
             timings.add(Stage::Prep, t0.elapsed()); // blocking wait only
+            let batch = match result {
+                BatchResult::Ready(batch) => batch,
+                BatchResult::Failed { .. } => {
+                    // Terminal marker: preparation exhausted its retry
+                    // budget. The epoch proceeds on the surviving batches.
+                    failed_batches += 1;
+                    continue;
+                }
+            };
 
             let t1 = Instant::now();
             let mut wide = vec![0.0f32; batch.mfg.num_nodes() * dim];
@@ -242,6 +258,7 @@ impl Trainer {
             epoch: self.epoch,
             mean_loss: total_loss / batches.max(1) as f64,
             batches,
+            failed_batches,
             timings,
         }
     }

@@ -6,26 +6,126 @@
 //! followed by `n − 1` all-gather steps, so each rank sends and receives
 //! `2·(n−1)/n` of the buffer — the same communication volume the simulator's
 //! cost model charges.
+//!
+//! Every ring receive is bounded by a configurable deadline: a dead or
+//! dropped peer surfaces as a typed [`CommError`] naming the rank, step, and
+//! phase where the collective stalled, instead of deadlocking the ring on a
+//! blocking `recv`. Fault injection hooks ([`salient_fault::sites::DDP_SEND`]
+//! / [`salient_fault::sites::DDP_RECV`]) allow tests to drop links and delay
+//! ranks deterministically.
 
+use salient_fault::{self as fault, FaultAction};
 use salient_tensor::Tensor;
-use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::time::Duration;
+
+/// Which phase of a collective an error occurred in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommPhase {
+    /// The reduce-scatter half of an all-reduce.
+    ReduceScatter,
+    /// The all-gather half of an all-reduce.
+    AllGather,
+    /// A broadcast from rank 0.
+    Broadcast,
+}
+
+impl std::fmt::Display for CommPhase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CommPhase::ReduceScatter => "reduce-scatter",
+            CommPhase::AllGather => "all-gather",
+            CommPhase::Broadcast => "broadcast",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Why a collective failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommErrorKind {
+    /// No message arrived from the previous rank within the deadline.
+    Timeout(Duration),
+    /// A peer's endpoint was dropped (its thread died).
+    Disconnected,
+}
+
+/// A failed collective: which rank observed it, at which ring step, in which
+/// phase. Replaces the ring's previous behavior of blocking forever (or
+/// panicking) when a peer dies.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommError {
+    /// The rank that observed the failure.
+    pub rank: usize,
+    /// The communicator's monotone ring-step counter at the failure.
+    pub step: u64,
+    /// The collective phase that stalled.
+    pub phase: CommPhase,
+    /// Timeout or disconnect.
+    pub kind: CommErrorKind,
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            CommErrorKind::Timeout(d) => write!(
+                f,
+                "rank {} timed out after {:?} at ring step {} ({})",
+                self.rank, d, self.step, self.phase
+            ),
+            CommErrorKind::Disconnected => write!(
+                f,
+                "rank {} lost its ring peer at step {} ({})",
+                self.rank, self.step, self.phase
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Default per-step receive deadline (override per-ring with
+/// [`Communicator::ring_with_timeout`] or globally with
+/// `SALIENT_COMM_TIMEOUT_MS`).
+pub const DEFAULT_STEP_TIMEOUT: Duration = Duration::from_secs(5);
+
+fn default_timeout() -> Duration {
+    std::env::var("SALIENT_COMM_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .map(Duration::from_millis)
+        .unwrap_or(DEFAULT_STEP_TIMEOUT)
+}
 
 /// One rank's endpoint of a ring communicator.
 #[derive(Debug)]
 pub struct Communicator {
     rank: usize,
     world: usize,
+    timeout: Duration,
+    steps: AtomicU64,
     to_next: Sender<Vec<f32>>,
     from_prev: Receiver<Vec<f32>>,
 }
 
 impl Communicator {
-    /// Creates a ring of `world` connected communicators.
+    /// Creates a ring of `world` connected communicators with the default
+    /// step deadline.
     ///
     /// # Panics
     ///
     /// Panics if `world == 0`.
     pub fn ring(world: usize) -> Vec<Communicator> {
+        Self::ring_with_timeout(world, default_timeout())
+    }
+
+    /// Creates a ring whose receives give up after `timeout` per step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world == 0`.
+    pub fn ring_with_timeout(world: usize, timeout: Duration) -> Vec<Communicator> {
         assert!(world > 0, "world size must be positive");
         // Each ring link has exactly one producer and one consumer, so the
         // std SPSC channel is sufficient.
@@ -45,6 +145,8 @@ impl Communicator {
                 Communicator {
                     rank,
                     world,
+                    timeout,
+                    steps: AtomicU64::new(0),
                     to_next,
                     from_prev: rx,
                 }
@@ -62,6 +164,16 @@ impl Communicator {
         self.world
     }
 
+    /// The per-step receive deadline.
+    pub fn step_timeout(&self) -> Duration {
+        self.timeout
+    }
+
+    /// Ring steps completed by this endpoint (diagnostic).
+    pub fn steps(&self) -> u64 {
+        self.steps.load(Ordering::Relaxed)
+    }
+
     fn chunk_bounds(len: usize, world: usize, chunk: usize) -> (usize, usize) {
         let base = len / world;
         let rem = len % world;
@@ -70,16 +182,62 @@ impl Communicator {
         (start, start + size)
     }
 
+    fn err(&self, phase: CommPhase, kind: CommErrorKind) -> CommError {
+        CommError {
+            rank: self.rank,
+            step: self.steps.load(Ordering::Relaxed),
+            phase,
+            kind,
+        }
+    }
+
+    /// One ring step: send `payload` to the next rank (unless an injected
+    /// fault drops the link) and receive the previous rank's payload within
+    /// the deadline.
+    fn step(&self, payload: Vec<f32>, phase: CommPhase) -> Result<Vec<f32>, CommError> {
+        self.steps.fetch_add(1, Ordering::Relaxed);
+        match fault::point(fault::sites::DDP_SEND, self.rank as u64) {
+            FaultAction::Proceed => {
+                if self.to_next.send(payload).is_err() {
+                    return Err(self.err(phase, CommErrorKind::Disconnected));
+                }
+            }
+            FaultAction::Drop => {} // link down: the next rank will time out
+            FaultAction::Delay(d) => {
+                std::thread::sleep(d);
+                if self.to_next.send(payload).is_err() {
+                    return Err(self.err(phase, CommErrorKind::Disconnected));
+                }
+            }
+            FaultAction::Panic => {
+                panic!("injected fault: panic at ddp.send (rank {})", self.rank)
+            }
+        }
+        if let FaultAction::Delay(d) = fault::point(fault::sites::DDP_RECV, self.rank as u64) {
+            std::thread::sleep(d);
+        }
+        match self.from_prev.recv_timeout(self.timeout) {
+            Ok(v) => Ok(v),
+            Err(RecvTimeoutError::Timeout) => {
+                Err(self.err(phase, CommErrorKind::Timeout(self.timeout)))
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(self.err(phase, CommErrorKind::Disconnected))
+            }
+        }
+    }
+
     /// In-place ring all-reduce (sum) over a flat buffer. Every rank must
     /// call this with a buffer of identical length.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if a peer disconnected mid-collective.
-    pub fn all_reduce_sum(&self, data: &mut [f32]) {
+    /// Returns a [`CommError`] if a peer disconnected or stalled past the
+    /// step deadline; the buffer contents are unspecified on error.
+    pub fn all_reduce_sum(&self, data: &mut [f32]) -> Result<(), CommError> {
         let n = self.world;
         if n == 1 {
-            return;
+            return Ok(());
         }
         let len = data.len();
         // Reduce-scatter: after step s, rank r owns the full sum of chunk
@@ -87,12 +245,9 @@ impl Communicator {
         let mut send_chunk = self.rank;
         for _ in 0..n - 1 {
             let (s, e) = Self::chunk_bounds(len, n, send_chunk);
-            self.to_next
-                .send(data[s..e].to_vec())
-                .expect("ring peer disconnected");
+            let incoming = self.step(data[s..e].to_vec(), CommPhase::ReduceScatter)?;
             let recv_chunk = (send_chunk + n - 1) % n;
             let (rs, re) = Self::chunk_bounds(len, n, recv_chunk);
-            let incoming = self.from_prev.recv().expect("ring peer disconnected");
             debug_assert_eq!(incoming.len(), re - rs);
             for (d, v) in data[rs..re].iter_mut().zip(incoming) {
                 *d += v;
@@ -102,56 +257,87 @@ impl Communicator {
         // All-gather: circulate the completed chunks.
         for _ in 0..n - 1 {
             let (s, e) = Self::chunk_bounds(len, n, send_chunk);
-            self.to_next
-                .send(data[s..e].to_vec())
-                .expect("ring peer disconnected");
+            let incoming = self.step(data[s..e].to_vec(), CommPhase::AllGather)?;
             let recv_chunk = (send_chunk + n - 1) % n;
             let (rs, re) = Self::chunk_bounds(len, n, recv_chunk);
-            let incoming = self.from_prev.recv().expect("ring peer disconnected");
             data[rs..re].copy_from_slice(&incoming);
             send_chunk = recv_chunk;
         }
+        Ok(())
     }
 
     /// In-place all-reduce that averages instead of summing.
-    pub fn all_reduce_mean(&self, data: &mut [f32]) {
-        self.all_reduce_sum(data);
+    ///
+    /// # Errors
+    ///
+    /// See [`Communicator::all_reduce_sum`].
+    pub fn all_reduce_mean(&self, data: &mut [f32]) -> Result<(), CommError> {
+        self.all_reduce_sum(data)?;
         let inv = 1.0 / self.world as f32;
         for d in data {
             *d *= inv;
         }
+        Ok(())
     }
 
     /// Averages a tensor across ranks in place.
-    pub fn all_reduce_mean_tensor(&self, t: &mut Tensor) {
-        self.all_reduce_mean(t.data_mut());
+    ///
+    /// # Errors
+    ///
+    /// See [`Communicator::all_reduce_sum`].
+    pub fn all_reduce_mean_tensor(&self, t: &mut Tensor) -> Result<(), CommError> {
+        self.all_reduce_mean(t.data_mut())
     }
 
     /// Broadcast from rank 0: every rank ends with rank 0's buffer.
-    pub fn broadcast(&self, data: &mut [f32]) {
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CommError`] if the chain stalls or a peer disconnected.
+    pub fn broadcast(&self, data: &mut [f32]) -> Result<(), CommError> {
         if self.world == 1 {
-            return;
+            return Ok(());
         }
-        // Pass the buffer around the ring n-1 times starting at rank 0.
+        self.steps.fetch_add(1, Ordering::Relaxed);
+        // Pass the buffer down the ring n-1 times starting at rank 0.
         if self.rank == 0 {
-            self.to_next
-                .send(data.to_vec())
-                .expect("ring peer disconnected");
+            if fault::fire(fault::sites::DDP_SEND, self.rank as u64) {
+                return Ok(()); // dropped: downstream ranks will time out
+            }
+            if self.to_next.send(data.to_vec()).is_err() {
+                return Err(self.err(CommPhase::Broadcast, CommErrorKind::Disconnected));
+            }
         } else {
-            let incoming = self.from_prev.recv().expect("ring peer disconnected");
+            let incoming = match self.from_prev.recv_timeout(self.timeout) {
+                Ok(v) => v,
+                Err(RecvTimeoutError::Timeout) => {
+                    return Err(self.err(CommPhase::Broadcast, CommErrorKind::Timeout(self.timeout)))
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(self.err(CommPhase::Broadcast, CommErrorKind::Disconnected))
+                }
+            };
             data.copy_from_slice(&incoming);
             if self.rank != self.world - 1 {
-                self.to_next
-                    .send(data.to_vec())
-                    .expect("ring peer disconnected");
+                if fault::fire(fault::sites::DDP_SEND, self.rank as u64) {
+                    return Ok(());
+                }
+                if self.to_next.send(data.to_vec()).is_err() {
+                    return Err(self.err(CommPhase::Broadcast, CommErrorKind::Disconnected));
+                }
             }
         }
+        Ok(())
     }
 
     /// Synchronization barrier (an all-reduce of a scalar).
-    pub fn barrier(&self) {
+    ///
+    /// # Errors
+    ///
+    /// See [`Communicator::all_reduce_sum`].
+    pub fn barrier(&self) -> Result<(), CommError> {
         let mut token = [0.0f32];
-        self.all_reduce_sum(&mut token);
+        self.all_reduce_sum(&mut token)
     }
 }
 
@@ -178,7 +364,7 @@ mod tests {
     fn all_reduce_sum_across_4_ranks() {
         let results = run_ranks(4, |r, comm| {
             let mut data: Vec<f32> = (0..10).map(|i| (r * 10 + i) as f32).collect();
-            comm.all_reduce_sum(&mut data);
+            comm.all_reduce_sum(&mut data).unwrap();
             data
         });
         // Sum over ranks of (10r + i) = 60 + 4i.
@@ -193,7 +379,7 @@ mod tests {
     fn all_reduce_mean_equals_average() {
         let results = run_ranks(3, |r, comm| {
             let mut data = vec![r as f32; 7];
-            comm.all_reduce_mean(&mut data);
+            comm.all_reduce_mean(&mut data).unwrap();
             data
         });
         for data in results {
@@ -205,7 +391,7 @@ mod tests {
     fn buffer_shorter_than_world_still_works() {
         let results = run_ranks(4, |r, comm| {
             let mut data = vec![r as f32 + 1.0];
-            comm.all_reduce_sum(&mut data);
+            comm.all_reduce_sum(&mut data).unwrap();
             data
         });
         for data in results {
@@ -217,7 +403,7 @@ mod tests {
     fn broadcast_from_rank_zero() {
         let results = run_ranks(4, |r, comm| {
             let mut data = if r == 0 { vec![3.5; 5] } else { vec![0.0; 5] };
-            comm.broadcast(&mut data);
+            comm.broadcast(&mut data).unwrap();
             data
         });
         for data in results {
@@ -229,16 +415,48 @@ mod tests {
     fn single_rank_is_identity() {
         let comms = Communicator::ring(1);
         let mut data = vec![1.0, 2.0];
-        comms[0].all_reduce_mean(&mut data);
+        comms[0].all_reduce_mean(&mut data).unwrap();
         assert_eq!(data, vec![1.0, 2.0]);
-        comms[0].barrier();
+        comms[0].barrier().unwrap();
     }
 
     #[test]
     fn barrier_completes() {
         run_ranks(5, |_, comm| {
-            comm.barrier();
+            comm.barrier().unwrap();
             vec![]
         });
+    }
+
+    #[test]
+    fn dead_peer_times_out_with_typed_error() {
+        // Rank 1 never participates: its communicator is dropped, so rank 0
+        // observes a disconnect (closed channel) or times out, instead of
+        // blocking forever.
+        let mut comms = Communicator::ring_with_timeout(2, Duration::from_millis(50));
+        let c1 = comms.pop().unwrap();
+        let c0 = comms.pop().unwrap();
+        drop(c1);
+        let err = c0.all_reduce_sum(&mut [1.0, 2.0]).unwrap_err();
+        assert_eq!(err.rank, 0);
+        assert_eq!(err.phase, CommPhase::ReduceScatter);
+        assert!(matches!(
+            err.kind,
+            CommErrorKind::Timeout(_) | CommErrorKind::Disconnected
+        ));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn silent_peer_times_out_with_typed_error() {
+        // Rank 1 stays alive but never sends: rank 0 must time out (the
+        // channel is open, so only the deadline can save it).
+        let comms = Communicator::ring_with_timeout(2, Duration::from_millis(40));
+        let mut it = comms.into_iter();
+        let c0 = it.next().unwrap();
+        let _c1 = it.next().unwrap(); // held alive, silent
+        let err = c0.all_reduce_sum(&mut [1.0]).unwrap_err();
+        assert_eq!(err.kind, CommErrorKind::Timeout(Duration::from_millis(40)));
+        assert_eq!(err.rank, 0);
     }
 }

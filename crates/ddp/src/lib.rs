@@ -16,19 +16,25 @@
 //!     for (r, comm) in comms.into_iter().enumerate() {
 //!         s.spawn(move || {
 //!             let mut grad = vec![r as f32 + 1.0];
-//!             comm.all_reduce_mean(&mut grad);
+//!             comm.all_reduce_mean(&mut grad).unwrap();
 //!             assert_eq!(grad[0], 1.5);
 //!         });
 //!     }
 //! });
 //! ```
+//!
+//! Collectives are fallible: a dead or stalled peer surfaces as a typed
+//! [`CommError`] (rank, step, phase) after a bounded `recv_timeout` instead
+//! of deadlocking the ring.
 
 #![warn(missing_docs)]
 
 mod comm;
 mod trainer;
 
-pub use comm::Communicator;
+pub use comm::{
+    CommError, CommErrorKind, CommPhase, Communicator, DEFAULT_STEP_TIMEOUT,
+};
 pub use trainer::{
     average_gradients, average_model_gradients, replicas_equal, sync_model, sync_parameters,
 };

@@ -1,7 +1,7 @@
 //! Distributed data-parallel model utilities: replica synchronization and
 //! gradient averaging (the work PyTorch DDP does for SALIENT).
 
-use crate::comm::Communicator;
+use crate::comm::{CommError, Communicator};
 use salient_nn::GnnModel;
 use salient_tensor::Param;
 
@@ -9,33 +9,54 @@ use salient_tensor::Param;
 ///
 /// All ranks must call this with parameters in the same order — guaranteed
 /// when each rank builds the same architecture.
-pub fn average_gradients(comm: &Communicator, params: &mut [&mut Param]) {
+///
+/// # Errors
+///
+/// Propagates the first [`CommError`] (dead or stalled peer).
+pub fn average_gradients(comm: &Communicator, params: &mut [&mut Param]) -> Result<(), CommError> {
     for p in params.iter_mut() {
-        comm.all_reduce_mean_tensor(p.grad_mut());
+        comm.all_reduce_mean_tensor(p.grad_mut())?;
     }
+    Ok(())
 }
 
 /// Broadcasts rank 0's parameter values to every rank, making replicas
 /// bit-identical before training starts.
-pub fn sync_parameters(comm: &Communicator, params: &mut [&mut Param]) {
+///
+/// # Errors
+///
+/// Propagates the first [`CommError`] (dead or stalled peer).
+pub fn sync_parameters(comm: &Communicator, params: &mut [&mut Param]) -> Result<(), CommError> {
     for p in params.iter_mut() {
         let mut buf = p.value().data().to_vec();
-        comm.broadcast(&mut buf);
+        comm.broadcast(&mut buf)?;
         let shape = p.value().shape().clone();
         p.set_value(salient_tensor::Tensor::from_vec(buf, shape));
     }
+    Ok(())
 }
 
 /// Broadcasts a model's parameters from rank 0 (convenience wrapper).
-pub fn sync_model(comm: &Communicator, model: &mut dyn GnnModel) {
+///
+/// # Errors
+///
+/// Propagates the first [`CommError`] (dead or stalled peer).
+pub fn sync_model(comm: &Communicator, model: &mut dyn GnnModel) -> Result<(), CommError> {
     let mut params = model.params_mut();
-    sync_parameters(comm, &mut params);
+    sync_parameters(comm, &mut params)
 }
 
 /// Averages a model's gradients across ranks (convenience wrapper).
-pub fn average_model_gradients(comm: &Communicator, model: &mut dyn GnnModel) {
+///
+/// # Errors
+///
+/// Propagates the first [`CommError`] (dead or stalled peer).
+pub fn average_model_gradients(
+    comm: &Communicator,
+    model: &mut dyn GnnModel,
+) -> Result<(), CommError> {
     let mut params = model.params_mut();
-    average_gradients(comm, &mut params);
+    average_gradients(comm, &mut params)
 }
 
 /// Verifies two parameter sets are element-wise equal (test helper for the
@@ -64,7 +85,7 @@ mod tests {
                     s.spawn(move || {
                         let mut p = Param::new("w", Tensor::zeros([4]));
                         p.accumulate_grad(&Tensor::full([4], r as f32));
-                        average_gradients(&comm, &mut [&mut p]);
+                        average_gradients(&comm, &mut [&mut p]).unwrap();
                         p.grad().data().to_vec()
                     })
                 })
@@ -91,7 +112,7 @@ mod tests {
                         // Different seeds => different initial replicas.
                         let mut model =
                             build_model(ModelKind::Sage, 8, 4, 3, 2, 100 + r as u64);
-                        sync_model(&comm, model.as_mut());
+                        sync_model(&comm, model.as_mut()).unwrap();
                         model
                             .params()
                             .iter()

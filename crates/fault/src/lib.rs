@@ -1,0 +1,619 @@
+//! Deterministic, dependency-free fault injection.
+//!
+//! Production pipelines survive panicking workers, straggler threads, and
+//! dropped messages; this workspace is single-core and dependency-free, so
+//! the only way to *test* those paths is to inject the faults
+//! deterministically. This crate provides:
+//!
+//! * a registry of named injection sites ([`sites`]) threaded through
+//!   `batchprep`, `ddp`, and `core::checkpoint`;
+//! * a seeded [`FaultPlan`] mapping `(site, occurrence)` to a
+//!   [`FaultAction`] — the same seed always produces the identical fault
+//!   schedule, independent of thread interleaving;
+//! * a process-global install point with an atomic fast path: with no plan
+//!   installed, [`point`] is one relaxed load and a predictable branch, so
+//!   instrumented hot paths are behaviorally identical to uninstrumented
+//!   ones.
+//!
+//! # Occurrence indices
+//!
+//! Every call site passes a *logical* occurrence id rather than a wall-clock
+//! or arrival index, so a plan fires on the same logical event no matter
+//! which worker thread happens to execute it:
+//!
+//! | site | occurrence |
+//! |------|------------|
+//! | `prep.sample`, `prep.slice`, `prep.send` | batch id |
+//! | `prep.worker` | worker id |
+//! | `ddp.send`, `ddp.recv`, `ddp.rank` | rank id |
+//! | `ckpt.write` | entry index |
+//!
+//! # Example
+//!
+//! ```
+//! use salient_fault::{self as fault, FaultAction, FaultPlan};
+//!
+//! let plan = FaultPlan::new(42).panic_at(fault::sites::PREP_SAMPLE, 3);
+//! assert_eq!(plan.decide(fault::sites::PREP_SAMPLE, 3), FaultAction::Panic);
+//! assert_eq!(plan.decide(fault::sites::PREP_SAMPLE, 4), FaultAction::Proceed);
+//!
+//! // Nothing installed globally: every point is a no-op.
+//! assert!(!fault::enabled());
+//! assert_eq!(fault::point(fault::sites::PREP_SAMPLE, 3), FaultAction::Proceed);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// The registry of named injection sites instrumented in the workspace.
+pub mod sites {
+    /// Batch-prep worker, inside neighborhood sampling (occ = batch id).
+    pub const PREP_SAMPLE: &str = "prep.sample";
+    /// Batch-prep worker, inside feature/label slicing (occ = batch id).
+    pub const PREP_SLICE: &str = "prep.slice";
+    /// Batch-prep worker, just before publishing a batch (occ = batch id).
+    pub const PREP_SEND: &str = "prep.send";
+    /// Batch-prep worker loop itself — kills the whole thread, exercising
+    /// supervision rather than per-item retry (occ = worker id).
+    pub const PREP_WORKER: &str = "prep.worker";
+    /// DDP ring step, before sending to the next rank (occ = rank id).
+    pub const DDP_SEND: &str = "ddp.send";
+    /// DDP ring step, before receiving from the previous rank (occ = rank id).
+    pub const DDP_RECV: &str = "ddp.recv";
+    /// DDP rank training loop (occ = rank id).
+    pub const DDP_RANK: &str = "ddp.rank";
+    /// Checkpoint serialization, before writing an entry (occ = entry index).
+    pub const CKPT_WRITE: &str = "ckpt.write";
+
+    /// Every known site, for spec validation and documentation.
+    pub const ALL: &[&str] = &[
+        PREP_SAMPLE,
+        PREP_SLICE,
+        PREP_SEND,
+        PREP_WORKER,
+        DDP_SEND,
+        DDP_RECV,
+        DDP_RANK,
+        CKPT_WRITE,
+    ];
+}
+
+/// What a triggered site should do.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic at the site (a crashing worker / rank).
+    Panic,
+    /// Sleep at the site (a straggler).
+    Delay(Duration),
+    /// Suppress the site's message or effect (a dropped message).
+    Drop,
+}
+
+/// The decision returned by [`FaultPlan::decide`] / [`point`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultAction {
+    /// No fault: run the site normally.
+    Proceed,
+    /// Panic at the site.
+    Panic,
+    /// Sleep for the given duration, then proceed.
+    Delay(Duration),
+    /// Suppress the message/effect guarded by the site.
+    Drop,
+}
+
+/// When a spec fires.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Trigger {
+    /// Fire on exactly this occurrence id.
+    Once(u64),
+    /// Fire on every occurrence.
+    Always,
+    /// Fire pseudo-randomly with this probability, derived from the plan
+    /// seed and the occurrence id (deterministic per `(seed, site, occ)`).
+    Prob(f64),
+}
+
+/// One injection rule: a site, a trigger, and the fault to apply.
+#[derive(Clone, Debug)]
+pub struct FaultSpec {
+    /// The named site this rule instruments.
+    pub site: String,
+    /// The fault applied when the trigger fires.
+    pub kind: FaultKind,
+    /// When the rule fires.
+    pub trigger: Trigger,
+    /// Maximum number of firings (`None` = unlimited). Consumed across
+    /// threads with a shared atomic counter.
+    pub budget: Option<u64>,
+}
+
+#[derive(Debug)]
+struct SpecState {
+    spec: FaultSpec,
+    fired: AtomicU64,
+}
+
+#[derive(Debug)]
+struct PlanInner {
+    seed: u64,
+    specs: Vec<SpecState>,
+}
+
+/// A seeded, shareable fault schedule. Cloning shares firing budgets.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    inner: Arc<PlanInner>,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+impl FaultPlan {
+    /// Creates an empty plan with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            inner: Arc::new(PlanInner { seed, specs: Vec::new() }),
+        }
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.inner.seed
+    }
+
+    /// The plan's rules, in matching order.
+    pub fn specs(&self) -> Vec<FaultSpec> {
+        self.inner.specs.iter().map(|s| s.spec.clone()).collect()
+    }
+
+    fn push(mut self, spec: FaultSpec) -> Self {
+        inner_mut(&mut self.inner).specs.push(SpecState {
+            spec,
+            fired: AtomicU64::new(0),
+        });
+        self
+    }
+
+    /// Adds an arbitrary rule.
+    pub fn with_spec(self, spec: FaultSpec) -> Self {
+        self.push(spec)
+    }
+
+    /// Panic at `site` on occurrence `occ` (once).
+    pub fn panic_at(self, site: &str, occ: u64) -> Self {
+        self.push(FaultSpec {
+            site: site.to_string(),
+            kind: FaultKind::Panic,
+            trigger: Trigger::Once(occ),
+            budget: Some(1),
+        })
+    }
+
+    /// Sleep `delay` at `site` on occurrence `occ` (once).
+    pub fn delay_at(self, site: &str, occ: u64, delay: Duration) -> Self {
+        self.push(FaultSpec {
+            site: site.to_string(),
+            kind: FaultKind::Delay(delay),
+            trigger: Trigger::Once(occ),
+            budget: Some(1),
+        })
+    }
+
+    /// Drop the message at `site` on every hit of occurrence `occ`.
+    ///
+    /// Unlike [`FaultPlan::panic_at`], this is unbudgeted: a dropped rank
+    /// stays dropped for every ring step it would have participated in.
+    pub fn drop_at(self, site: &str, occ: u64) -> Self {
+        self.push(FaultSpec {
+            site: site.to_string(),
+            kind: FaultKind::Drop,
+            trigger: Trigger::Once(occ),
+            budget: None,
+        })
+    }
+
+    /// Apply `kind` at `site` with seeded probability `p` per occurrence.
+    pub fn prob(self, site: &str, kind: FaultKind, p: f64) -> Self {
+        self.push(FaultSpec {
+            site: site.to_string(),
+            kind,
+            trigger: Trigger::Prob(p),
+            budget: None,
+        })
+    }
+
+    /// Decides what happens at `(site, occ)`. The first matching rule whose
+    /// trigger fires (and whose budget is not exhausted) wins.
+    ///
+    /// For a given plan seed the decision is a pure function of
+    /// `(site, occ)` up to budget exhaustion, so schedules are reproducible
+    /// regardless of thread interleaving.
+    pub fn decide(&self, site: &str, occ: u64) -> FaultAction {
+        for st in &self.inner.specs {
+            if st.spec.site != site {
+                continue;
+            }
+            let hit = match st.spec.trigger {
+                Trigger::Once(k) => occ == k,
+                Trigger::Always => true,
+                Trigger::Prob(p) => {
+                    let h = splitmix64(self.inner.seed ^ fnv1a(site) ^ occ.wrapping_mul(0x9E37));
+                    // Map the top 53 bits to [0, 1).
+                    ((h >> 11) as f64) * (1.0 / (1u64 << 53) as f64) < p
+                }
+            };
+            if !hit {
+                continue;
+            }
+            if let Some(budget) = st.spec.budget {
+                // Claim one firing; back off if the budget is spent.
+                if st.fired.fetch_add(1, Ordering::AcqRel) >= budget {
+                    continue;
+                }
+            }
+            return match st.spec.kind {
+                FaultKind::Panic => FaultAction::Panic,
+                FaultKind::Delay(d) => FaultAction::Delay(d),
+                FaultKind::Drop => FaultAction::Drop,
+            };
+        }
+        FaultAction::Proceed
+    }
+
+    /// Builds a plan from `SALIENT_FAULT_SEED` / `SALIENT_FAULT_SPEC`.
+    ///
+    /// Returns `None` when `SALIENT_FAULT_SPEC` is unset or empty (a bare
+    /// seed does nothing by itself).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed clause.
+    pub fn from_env() -> Result<Option<FaultPlan>, String> {
+        let spec = match std::env::var("SALIENT_FAULT_SPEC") {
+            Ok(s) if !s.trim().is_empty() => s,
+            _ => return Ok(None),
+        };
+        let seed = std::env::var("SALIENT_FAULT_SEED")
+            .ok()
+            .map(|s| {
+                s.trim()
+                    .parse::<u64>()
+                    .map_err(|_| format!("SALIENT_FAULT_SEED is not a u64: {s:?}"))
+            })
+            .transpose()?
+            .unwrap_or(0);
+        Self::parse(seed, &spec).map(Some)
+    }
+
+    /// Parses a spec string into a plan.
+    ///
+    /// Grammar (clauses separated by `;`):
+    ///
+    /// * `site=panic@K` — panic once, on occurrence `K`
+    /// * `site=delay:MSms@K` — sleep `MS` milliseconds on occurrence `K`
+    /// * `site=drop@K` — drop every message with occurrence `K`
+    /// * `site=panic%P` / `site=drop%P` / `site=delay:MSms%P` — fire with
+    ///   seeded probability `P` per occurrence
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed clause or unknown site.
+    pub fn parse(seed: u64, spec: &str) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::new(seed);
+        for clause in spec.split(';') {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            let (site, rule) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("fault clause missing '=': {clause:?}"))?;
+            let site = site.trim();
+            if !sites::ALL.contains(&site) {
+                return Err(format!(
+                    "unknown fault site {site:?} (known: {})",
+                    sites::ALL.join(", ")
+                ));
+            }
+            let (kind_str, trigger) = if let Some((k, occ)) = rule.split_once('@') {
+                let occ: u64 = occ
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad occurrence in clause {clause:?}"))?;
+                (k.trim(), Trigger::Once(occ))
+            } else if let Some((k, p)) = rule.split_once('%') {
+                let p: f64 = p
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad probability in clause {clause:?}"))?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(format!("probability out of [0,1] in clause {clause:?}"));
+                }
+                (k.trim(), Trigger::Prob(p))
+            } else {
+                (rule.trim(), Trigger::Always)
+            };
+            let kind = if kind_str == "panic" {
+                FaultKind::Panic
+            } else if kind_str == "drop" {
+                FaultKind::Drop
+            } else if let Some(ms) = kind_str
+                .strip_prefix("delay:")
+                .and_then(|d| d.strip_suffix("ms"))
+            {
+                let ms: u64 = ms
+                    .parse()
+                    .map_err(|_| format!("bad delay in clause {clause:?}"))?;
+                FaultKind::Delay(Duration::from_millis(ms))
+            } else {
+                return Err(format!("unknown fault kind {kind_str:?} in clause {clause:?}"));
+            };
+            // Single-shot triggers default to a one-firing budget; drops are
+            // sticky (a dropped link stays dropped).
+            let budget = match (kind, trigger) {
+                (FaultKind::Drop, _) => None,
+                (_, Trigger::Once(_)) => Some(1),
+                _ => None,
+            };
+            plan = plan.push(FaultSpec {
+                site: site.to_string(),
+                kind,
+                trigger,
+                budget,
+            });
+        }
+        Ok(plan)
+    }
+}
+
+// `Arc::make_mut` requires `Clone` on the inner value (atomics aren't);
+// builder methods consume `self` before the plan is shared, so the Arc is
+// normally unique — rebuild only in the already-shared corner case.
+fn inner_mut(this: &mut Arc<PlanInner>) -> &mut PlanInner {
+    if Arc::get_mut(this).is_none() {
+        let rebuilt = PlanInner {
+            seed: this.seed,
+            specs: this
+                .specs
+                .iter()
+                .map(|s| SpecState {
+                    spec: s.spec.clone(),
+                    fired: AtomicU64::new(s.fired.load(Ordering::Acquire)),
+                })
+                .collect(),
+        };
+        *this = Arc::new(rebuilt);
+    }
+    Arc::get_mut(this).expect("uniquely owned after rebuild")
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
+
+/// Installs `plan` process-wide; subsequent [`point`] calls consult it.
+pub fn install(plan: FaultPlan) {
+    *PLAN.lock().unwrap() = Some(plan);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Removes any installed plan; [`point`] returns to its no-op fast path.
+pub fn clear() {
+    ENABLED.store(false, Ordering::Release);
+    *PLAN.lock().unwrap() = None;
+}
+
+/// Whether a plan is currently installed.
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Acquire)
+}
+
+/// Installs a plan from the environment if `SALIENT_FAULT_SPEC` is set.
+/// Returns whether a plan was installed.
+///
+/// # Errors
+///
+/// Propagates parse errors from [`FaultPlan::from_env`].
+pub fn install_from_env() -> Result<bool, String> {
+    match FaultPlan::from_env()? {
+        Some(plan) => {
+            install(plan);
+            Ok(true)
+        }
+        None => Ok(false),
+    }
+}
+
+/// A guard that keeps a plan installed for a scope (tests); clears on drop.
+#[derive(Debug)]
+pub struct ScopedPlan(());
+
+/// Installs `plan` until the returned guard drops.
+#[must_use = "the plan is cleared when the guard drops"]
+pub fn scoped(plan: FaultPlan) -> ScopedPlan {
+    install(plan);
+    ScopedPlan(())
+}
+
+impl Drop for ScopedPlan {
+    fn drop(&mut self) {
+        clear();
+    }
+}
+
+/// Consults the installed plan at a named site. With no plan installed this
+/// is one relaxed atomic load — cheap enough for per-batch hot paths.
+#[inline]
+pub fn point(site: &str, occ: u64) -> FaultAction {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return FaultAction::Proceed;
+    }
+    point_slow(site, occ)
+}
+
+#[cold]
+fn point_slow(site: &str, occ: u64) -> FaultAction {
+    let guard = PLAN.lock().unwrap();
+    match guard.as_ref() {
+        Some(plan) => plan.decide(site, occ),
+        None => FaultAction::Proceed,
+    }
+}
+
+/// Evaluates `point(site, occ)` and applies panics and delays inline.
+/// Returns `true` when the site's message/effect should be dropped.
+///
+/// # Panics
+///
+/// Panics (by design) when the installed plan injects a panic here.
+#[inline]
+pub fn fire(site: &str, occ: u64) -> bool {
+    match point(site, occ) {
+        FaultAction::Proceed => false,
+        FaultAction::Panic => panic!("injected fault: panic at {site} (occ {occ})"),
+        FaultAction::Delay(d) => {
+            std::thread::sleep(d);
+            false
+        }
+        FaultAction::Drop => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_always_proceeds() {
+        let plan = FaultPlan::new(7);
+        for occ in 0..100 {
+            assert_eq!(plan.decide(sites::PREP_SAMPLE, occ), FaultAction::Proceed);
+        }
+    }
+
+    #[test]
+    fn once_trigger_fires_exactly_once() {
+        let plan = FaultPlan::new(0).panic_at(sites::PREP_SAMPLE, 5);
+        assert_eq!(plan.decide(sites::PREP_SAMPLE, 4), FaultAction::Proceed);
+        assert_eq!(plan.decide(sites::PREP_SAMPLE, 5), FaultAction::Panic);
+        // Budget of one: a retry of the same batch proceeds.
+        assert_eq!(plan.decide(sites::PREP_SAMPLE, 5), FaultAction::Proceed);
+        // Other sites are untouched.
+        assert_eq!(plan.decide(sites::PREP_SLICE, 5), FaultAction::Proceed);
+    }
+
+    #[test]
+    fn drop_is_sticky() {
+        let plan = FaultPlan::new(0).drop_at(sites::DDP_SEND, 1);
+        for _ in 0..10 {
+            assert_eq!(plan.decide(sites::DDP_SEND, 1), FaultAction::Drop);
+        }
+        assert_eq!(plan.decide(sites::DDP_SEND, 0), FaultAction::Proceed);
+    }
+
+    #[test]
+    fn same_seed_injects_identical_schedule() {
+        // The property the whole crate hangs on: schedules are a pure
+        // function of (seed, site, occ).
+        let mk = |seed| {
+            FaultPlan::new(seed)
+                .prob(sites::PREP_SAMPLE, FaultKind::Panic, 0.25)
+                .prob(sites::DDP_SEND, FaultKind::Drop, 0.1)
+        };
+        for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+            let a = mk(seed);
+            let b = mk(seed);
+            for site in [sites::PREP_SAMPLE, sites::DDP_SEND] {
+                for occ in 0..2_000 {
+                    assert_eq!(a.decide(site, occ), b.decide(site, occ), "seed {seed} {site} {occ}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ_somewhere() {
+        let a = FaultPlan::new(1).prob(sites::PREP_SAMPLE, FaultKind::Panic, 0.5);
+        let b = FaultPlan::new(2).prob(sites::PREP_SAMPLE, FaultKind::Panic, 0.5);
+        let diverges = (0..1_000).any(|occ| {
+            a.decide(sites::PREP_SAMPLE, occ) != b.decide(sites::PREP_SAMPLE, occ)
+        });
+        assert!(diverges, "seeds 1 and 2 produced the same 1000-event schedule");
+    }
+
+    #[test]
+    fn probability_rate_is_roughly_honored() {
+        let plan = FaultPlan::new(9).prob(sites::PREP_SAMPLE, FaultKind::Drop, 0.3);
+        let fired = (0..10_000)
+            .filter(|&occ| plan.decide(sites::PREP_SAMPLE, occ) == FaultAction::Drop)
+            .count();
+        let rate = fired as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03, "rate {rate}");
+    }
+
+    #[test]
+    fn parse_round_trips_each_form() {
+        let plan = FaultPlan::parse(
+            3,
+            "prep.sample=panic@4; ddp.send=drop@1; prep.slice=delay:25ms@0; ckpt.write=panic%0.5",
+        )
+        .unwrap();
+        assert_eq!(plan.decide(sites::PREP_SAMPLE, 4), FaultAction::Panic);
+        assert_eq!(plan.decide(sites::DDP_SEND, 1), FaultAction::Drop);
+        assert_eq!(
+            plan.decide(sites::PREP_SLICE, 0),
+            FaultAction::Delay(Duration::from_millis(25))
+        );
+        assert_eq!(plan.specs().len(), 4);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse(0, "nosuchsite=panic@1").is_err());
+        assert!(FaultPlan::parse(0, "prep.sample-panic").is_err());
+        assert!(FaultPlan::parse(0, "prep.sample=explode@1").is_err());
+        assert!(FaultPlan::parse(0, "prep.sample=panic@x").is_err());
+        assert!(FaultPlan::parse(0, "prep.sample=panic%1.5").is_err());
+    }
+
+    #[test]
+    fn global_install_and_scoped_clear() {
+        // Note: this test manipulates process-global state; it is the only
+        // unit test in this crate that does, and it restores the disabled
+        // state before returning.
+        assert_eq!(point(sites::PREP_SAMPLE, 1), FaultAction::Proceed);
+        {
+            let _g = scoped(FaultPlan::new(0).drop_at(sites::PREP_SEND, 2));
+            assert!(enabled());
+            assert_eq!(point(sites::PREP_SEND, 2), FaultAction::Drop);
+            assert_eq!(point(sites::PREP_SEND, 3), FaultAction::Proceed);
+        }
+        assert!(!enabled());
+        assert_eq!(point(sites::PREP_SEND, 2), FaultAction::Proceed);
+    }
+
+    #[test]
+    fn budget_is_claimed_across_clones() {
+        let plan = FaultPlan::new(0).panic_at(sites::PREP_SAMPLE, 0);
+        let clone = plan.clone();
+        assert_eq!(plan.decide(sites::PREP_SAMPLE, 0), FaultAction::Panic);
+        // The clone shares the budget: already spent.
+        assert_eq!(clone.decide(sites::PREP_SAMPLE, 0), FaultAction::Proceed);
+    }
+}

@@ -29,8 +29,10 @@ struct Job {
     next: AtomicUsize,
     /// One-past-last chunk index.
     n_chunks: usize,
-    /// Set if any chunk panicked; the submitter re-raises.
-    panicked: std::sync::atomic::AtomicBool,
+    /// The first caught chunk panic's payload; the submitter re-raises it
+    /// so `panic::catch_unwind` callers see the original message, not a
+    /// generic pool error.
+    panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
 }
 
 // The raw pointer is only dereferenced while the submitting call frame is
@@ -137,8 +139,8 @@ impl ThreadPool {
     }
 
     /// Claims and runs chunks until the job's range is exhausted. A panic in
-    /// a chunk is caught (so the pool's accounting stays consistent) and
-    /// re-raised on the submitting thread.
+    /// a chunk is caught (so the pool's accounting stays consistent), its
+    /// payload stashed, and re-raised on the submitting thread.
     fn drain(&self, job: &Job) {
         let task = unsafe { &*job.task };
         loop {
@@ -146,10 +148,16 @@ impl ThreadPool {
             if i >= job.n_chunks {
                 return;
             }
-            if std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(i))).is_err() {
-                // Poison the job: skip remaining chunks fast.
+            if let Err(payload) =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task(i)))
+            {
+                // Poison the job: skip remaining chunks fast. Keep the first
+                // payload (later racers lose) for the submitter to re-raise.
                 job.next.store(job.n_chunks, Ordering::Relaxed);
-                job.panicked.store(true, Ordering::Release);
+                let mut slot = job.panic_payload.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
+                }
             }
         }
     }
@@ -177,7 +185,7 @@ impl ThreadPool {
             task: erased,
             next: AtomicUsize::new(0),
             n_chunks,
-            panicked: std::sync::atomic::AtomicBool::new(false),
+            panic_payload: Mutex::new(None),
         });
         // Every worker participates in every job epoch (a worker finding the
         // chunk counter already exhausted just signs off); this keeps the
@@ -200,8 +208,11 @@ impl ThreadPool {
         // Retire the job: the chunk counter is exhausted, but clearing drops
         // the erased borrow reference eagerly.
         self.state.lock().unwrap().job = None;
-        if job.panicked.load(Ordering::Acquire) {
-            panic!("a parallel kernel chunk panicked");
+        let payload = job.panic_payload.lock().unwrap().take();
+        if let Some(payload) = payload {
+            // Propagate the chunk's own panic (message and all) as if it
+            // had happened on the submitting thread.
+            std::panic::resume_unwind(payload);
         }
     }
 }
@@ -304,6 +315,31 @@ mod tests {
                 });
             }
         });
+    }
+
+    #[test]
+    fn chunk_panic_payload_reaches_submitter() {
+        let err = std::panic::catch_unwind(|| {
+            global().run(64, &|i| {
+                if i == 13 {
+                    panic!("chunk 13 exploded");
+                }
+            });
+        })
+        .expect_err("the chunk panic must propagate");
+        let msg = err
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| err.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert_eq!(msg, "chunk 13 exploded", "original payload must survive");
+        // The pool must stay usable after a panicking job.
+        let n = AtomicUsize::new(0);
+        global().run(8, &|_| {
+            n.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 8);
     }
 
     #[test]

@@ -26,7 +26,7 @@ fn main() {
     };
     println!("real in-process DDP (arxiv-sim, {} train nodes):", dataset.splits.train.len());
     for ranks in [1usize, 2, 4] {
-        let result = train_ddp(&dataset, &run, ranks);
+        let result = train_ddp(&dataset, &run, ranks).expect("ddp run failed");
         println!(
             "  {ranks} rank(s): losses {:?} wall {:.2}s (effective batch {})",
             result

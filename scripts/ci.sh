@@ -40,4 +40,9 @@ cargo build --release --offline
 echo "== tests (workspace, offline)"
 cargo test --workspace -q --offline
 
+echo "== fault tier: deterministic fault-injection matrix"
+# The matrix installs its own scoped plans; the fixed seed here pins the
+# probabilistic-trigger schedules so failures reproduce bit-for-bit.
+SALIENT_FAULT_SEED=42 cargo test -q --offline --test fault_matrix
+
 echo "CI OK"

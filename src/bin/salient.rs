@@ -72,6 +72,9 @@ fn run_config(args: &[String]) -> RunConfig {
         num_workers: flag_or(args, "--workers", 2),
         slots: 4,
         seed: flag_or(args, "--seed", 0),
+        prep_retry_budget: flag_or(args, "--prep-retries", 1),
+        prep_respawn_budget: flag_or(args, "--prep-respawns", 1),
+        comm_timeout_ms: flag_or(args, "--comm-timeout-ms", 5_000),
     }
 }
 
@@ -81,7 +84,13 @@ fn cmd_train(args: &[String]) {
     let ranks: usize = flag_or(args, "--ranks", 1);
     if ranks > 1 {
         eprintln!("training with {ranks} data-parallel ranks...");
-        let result = train_ddp(&ds, &cfg, ranks);
+        let result = match train_ddp(&ds, &cfg, ranks) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("distributed run failed: {e}");
+                std::process::exit(1);
+            }
+        };
         for (e, l) in result.epoch_losses.iter().enumerate() {
             println!("epoch {e}: loss {l:.4}");
         }
@@ -169,6 +178,17 @@ fn cmd_sample(args: &[String]) {
 }
 
 fn main() {
+    // Deterministic fault injection for resilience drills: set
+    // SALIENT_FAULT_SEED / SALIENT_FAULT_SPEC to arm named injection
+    // points (no-ops otherwise).
+    match salient_repro::fault::install_from_env() {
+        Ok(true) => eprintln!("fault injection armed from SALIENT_FAULT_SPEC"),
+        Ok(false) => {}
+        Err(e) => {
+            eprintln!("bad SALIENT_FAULT_SPEC: {e}");
+            std::process::exit(2);
+        }
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("train") => cmd_train(&args),

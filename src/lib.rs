@@ -5,6 +5,7 @@
 pub use salient_batchprep as batchprep;
 pub use salient_core as core;
 pub use salient_ddp as ddp;
+pub use salient_fault as fault;
 pub use salient_graph as graph;
 pub use salient_nn as nn;
 pub use salient_sampler as sampler;

@@ -21,7 +21,7 @@ fn ddp_trains_with_various_rank_counts() {
         ..RunConfig::test_tiny()
     };
     for ranks in [1usize, 2, 4] {
-        let result = train_ddp(&ds, &run, ranks);
+        let result = train_ddp(&ds, &run, ranks).unwrap();
         assert_eq!(result.epoch_losses.len(), 3);
         assert!(
             result.epoch_losses.iter().all(|l| l.is_finite()),
@@ -47,8 +47,8 @@ fn effective_batch_scales_with_ranks() {
         batch_size: 16,
         ..RunConfig::test_tiny()
     };
-    let single = train_ddp(&ds, &run, 1);
-    let quad = train_ddp(&ds, &run, 4);
+    let single = train_ddp(&ds, &run, 1).unwrap();
+    let quad = train_ddp(&ds, &run, 4).unwrap();
     assert!(single.epoch_losses[0].is_finite() && quad.epoch_losses[0].is_finite());
 }
 

@@ -1,0 +1,338 @@
+//! Fault-injection matrix: every instrumented site, exercised in both
+//! batch-prep modes, asserting the pipeline's recovery invariants:
+//!
+//! * the epoch always terminates (no hangs, no deadlocks);
+//! * every batch is accounted for — prepared, retried, or reported as a
+//!   terminal `BatchResult::Failed` marker (dropped messages excepted);
+//! * no pinned staging slot leaks, whatever dies;
+//! * DDP collectives surface typed `CommError`s instead of hanging;
+//! * checkpoint saves are crash-safe and loads detect corruption.
+//!
+//! The fault plan is process-global, so every test here serializes on one
+//! mutex; nothing else runs in this binary.
+
+use salient_repro::batchprep::{run_epoch, BatchResult, FaultStats, PrepConfig, PrepMode, SamplerKind};
+use salient_repro::core::checkpoint::{Checkpoint, CheckpointError};
+use salient_repro::core::{train_ddp, DdpError, RunConfig};
+use salient_repro::ddp::CommErrorKind;
+use salient_repro::fault::{self, sites, FaultKind, FaultPlan, FaultSpec, Trigger};
+use salient_repro::graph::{Dataset, DatasetConfig};
+use salient_repro::tensor::Tensor;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+/// Serializes tests: the installed fault plan is process-global state.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn dataset() -> Arc<Dataset> {
+    static DS: OnceLock<Arc<Dataset>> = OnceLock::new();
+    Arc::clone(DS.get_or_init(|| Arc::new(DatasetConfig::tiny(11).build())))
+}
+
+fn prep_cfg(mode: PrepMode) -> PrepConfig {
+    PrepConfig {
+        num_workers: 2,
+        fanouts: vec![5, 3],
+        batch_size: 32,
+        slots: 3,
+        mode,
+        sampler: SamplerKind::Fast,
+        seed: 4,
+        retry_budget: 1,
+        respawn_budget: 1,
+    }
+}
+
+/// Runs one prep epoch under `plan`, consuming every message. Returns
+/// `(ready batch ids, failed (batch_id, attempts), fault stats)` and
+/// asserts the no-leaked-slot invariant.
+fn run_under_plan(
+    plan: FaultPlan,
+    cfg: &PrepConfig,
+) -> (Vec<usize>, Vec<(usize, u32)>, FaultStats) {
+    let ds = dataset();
+    let order = ds.splits.train.clone();
+    let _guard = fault::scoped(plan);
+    let handle = run_epoch(&ds, &order, cfg);
+    let pool = handle.pool().clone();
+    let mut ready = Vec::new();
+    let mut failed = Vec::new();
+    for msg in handle.batches.iter() {
+        match msg {
+            BatchResult::Ready(b) => ready.push(b.batch_id),
+            BatchResult::Failed { batch_id, attempts } => failed.push((batch_id, attempts)),
+        }
+    }
+    let (_stats, faults) = handle.join_detailed();
+    assert_eq!(
+        pool.available(),
+        pool.capacity(),
+        "a staging slot leaked: {faults:?}"
+    );
+    ready.sort_unstable();
+    failed.sort_unstable();
+    (ready, failed, faults)
+}
+
+fn expected_batches() -> usize {
+    dataset().splits.train.len().div_ceil(32)
+}
+
+/// A rule that fires on every attempt of one occurrence (no budget), unlike
+/// `panic_at`, whose single-firing budget lets the first retry through.
+fn always_panic_at(site: &str, occ: u64) -> FaultSpec {
+    FaultSpec {
+        site: site.to_string(),
+        kind: FaultKind::Panic,
+        trigger: Trigger::Once(occ),
+        budget: None,
+    }
+}
+
+const MODES: [PrepMode; 2] = [PrepMode::SharedMemory, PrepMode::Multiprocessing];
+
+#[test]
+fn item_panic_is_retried_and_epoch_completes() {
+    let _s = serial();
+    let n = expected_batches();
+    for mode in MODES {
+        for site in [sites::PREP_SAMPLE, sites::PREP_SLICE] {
+            // Budget 1: the panic fires once, the retry succeeds.
+            let plan = FaultPlan::new(1).panic_at(site, 2);
+            let (ready, failed, faults) = run_under_plan(plan, &prep_cfg(mode));
+            assert_eq!(ready, (0..n).collect::<Vec<_>>(), "{mode:?}/{site}");
+            assert!(failed.is_empty(), "{mode:?}/{site}: {failed:?}");
+            assert_eq!(faults.item_panics, 1, "{mode:?}/{site}");
+            assert_eq!(faults.retries, 1, "{mode:?}/{site}");
+            assert_eq!(faults.failed_batches, 0, "{mode:?}/{site}");
+        }
+    }
+}
+
+#[test]
+fn exhausted_retry_budget_yields_exactly_one_failed_marker() {
+    let _s = serial();
+    let n = expected_batches();
+    for mode in MODES {
+        for site in [sites::PREP_SAMPLE, sites::PREP_SLICE] {
+            // Unbudgeted rule: batch 1 panics on the first attempt AND on
+            // its retry, exhausting retry_budget = 1.
+            let plan = FaultPlan::new(2).with_spec(always_panic_at(site, 1));
+            let (ready, failed, faults) = run_under_plan(plan, &prep_cfg(mode));
+            let mut want: Vec<usize> = (0..n).collect();
+            want.retain(|&b| b != 1);
+            assert_eq!(ready, want, "{mode:?}/{site}");
+            assert_eq!(failed, vec![(1, 2)], "{mode:?}/{site}: 1 + 1 retry = 2 attempts");
+            assert_eq!(faults.item_panics, 2, "{mode:?}/{site}");
+            assert_eq!(faults.failed_batches, 1, "{mode:?}/{site}");
+        }
+    }
+}
+
+#[test]
+fn dropped_send_loses_the_batch_but_not_the_slot() {
+    let _s = serial();
+    let n = expected_batches();
+    for mode in MODES {
+        let plan = FaultPlan::new(3).drop_at(sites::PREP_SEND, 0);
+        let (ready, failed, faults) = run_under_plan(plan, &prep_cfg(mode));
+        assert_eq!(ready, (1..n).collect::<Vec<_>>(), "{mode:?}");
+        assert!(failed.is_empty(), "{mode:?}");
+        assert!(!faults.any(), "a dropped message is silent: {faults:?}");
+    }
+}
+
+#[test]
+fn straggler_delay_only_slows_the_epoch() {
+    let _s = serial();
+    let n = expected_batches();
+    for mode in MODES {
+        let plan = FaultPlan::new(4).delay_at(sites::PREP_SAMPLE, 0, Duration::from_millis(30));
+        let (ready, failed, faults) = run_under_plan(plan, &prep_cfg(mode));
+        assert_eq!(ready.len(), n, "{mode:?}");
+        assert!(failed.is_empty() && !faults.any(), "{mode:?}");
+    }
+}
+
+#[test]
+fn dead_worker_is_respawned_within_budget() {
+    let _s = serial();
+    let n = expected_batches();
+    for mode in MODES {
+        // Worker 0 dies at spawn; the supervisor restarts it once (same id,
+        // so a static partition keeps its owner).
+        let plan = FaultPlan::new(5).panic_at(sites::PREP_WORKER, 0);
+        let (ready, failed, faults) = run_under_plan(plan, &prep_cfg(mode));
+        assert_eq!(ready.len(), n, "{mode:?}");
+        assert!(failed.is_empty(), "{mode:?}");
+        assert_eq!(faults.worker_panics, 1, "{mode:?}");
+        assert_eq!(faults.respawns, 1, "{mode:?}");
+        assert!(!faults.degraded_inline, "{mode:?}");
+    }
+}
+
+#[test]
+fn worker_collapse_degrades_to_inline_preparation() {
+    let _s = serial();
+    let n = expected_batches();
+    for mode in MODES {
+        // Every worker (and every respawn) dies instantly; the supervisor
+        // finishes the epoch inline so the consumer still sees every batch.
+        let plan = FaultPlan::new(6).with_spec(FaultSpec {
+            site: sites::PREP_WORKER.to_string(),
+            kind: FaultKind::Panic,
+            trigger: Trigger::Always,
+            budget: None,
+        });
+        let (ready, failed, faults) = run_under_plan(plan, &prep_cfg(mode));
+        assert_eq!(ready, (0..n).collect::<Vec<_>>(), "{mode:?}");
+        assert!(failed.is_empty(), "{mode:?}");
+        assert!(faults.degraded_inline, "{mode:?}: {faults:?}");
+        assert!(faults.worker_panics >= 2, "{mode:?}: {faults:?}");
+    }
+}
+
+fn ddp_cfg() -> RunConfig {
+    RunConfig {
+        epochs: 1,
+        batch_size: 32,
+        comm_timeout_ms: 250,
+        ..RunConfig::test_tiny()
+    }
+}
+
+#[test]
+fn ddp_rank_death_is_reported_not_hung() {
+    let _s = serial();
+    let ds = dataset();
+    let _guard = fault::scoped(FaultPlan::new(7).panic_at(sites::DDP_RANK, 1));
+    match train_ddp(&ds, &ddp_cfg(), 2) {
+        Ok(_) => panic!("a dead rank must fail the run"),
+        Err(DdpError::RankPanicked { rank }) => assert_eq!(rank, 1),
+        Err(other) => panic!("expected RankPanicked, got {other}"),
+    }
+}
+
+#[test]
+fn ddp_dropped_messages_surface_typed_timeout() {
+    let _s = serial();
+    let ds = dataset();
+    // Rank 0's ring sends vanish (sticky): its neighbor must time out with
+    // a typed error instead of blocking forever.
+    let _guard = fault::scoped(FaultPlan::new(8).drop_at(sites::DDP_SEND, 0));
+    match train_ddp(&ds, &ddp_cfg(), 2) {
+        Ok(_) => panic!("a dropped link must fail the run"),
+        Err(DdpError::Comm(e)) => assert!(
+            matches!(e.kind, CommErrorKind::Timeout(_) | CommErrorKind::Disconnected),
+            "unexpected kind: {e}"
+        ),
+        Err(other) => panic!("expected Comm, got {other}"),
+    }
+}
+
+#[test]
+fn checkpoint_crash_during_save_preserves_previous_file() {
+    let _s = serial();
+    let dir = std::env::temp_dir().join("salient_fault_matrix_ckpt");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("model.ckpt");
+    let mut old = Checkpoint::new();
+    old.insert("w", Tensor::from_vec(vec![1.0, 2.0], [2]));
+    old.save(&path).unwrap();
+
+    let mut newer = Checkpoint::new();
+    newer.insert("w", Tensor::from_vec(vec![9.0, 9.0], [2]));
+    {
+        let _guard = fault::scoped(FaultPlan::new(9).panic_at(sites::CKPT_WRITE, 0));
+        let crashed = std::panic::catch_unwind(|| newer.save(&path)).is_err();
+        assert!(crashed, "the injected panic must abort the save");
+    }
+    // The crash hit the temporary file; the published checkpoint is intact.
+    let back = Checkpoint::load(&path).unwrap();
+    assert_eq!(back, old);
+    // And a clean save afterwards replaces it atomically.
+    newer.save(&path).unwrap();
+    assert_eq!(Checkpoint::load(&path).unwrap(), newer);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn checkpoint_truncation_and_corruption_are_typed_errors() {
+    let _s = serial();
+    let mut ckpt = Checkpoint::new();
+    ckpt.insert("w", Tensor::from_vec((0..64).map(|i| i as f32).collect(), [64]));
+    let mut buf = Vec::new();
+    ckpt.write_to(&mut buf).unwrap();
+
+    // Truncation at any point is detected.
+    for cut in [buf.len() - 1, buf.len() - 9, buf.len() / 2] {
+        let err = Checkpoint::read_from(&mut &buf[..cut]).expect_err("truncated");
+        assert!(
+            matches!(err, CheckpointError::Io(_) | CheckpointError::Corrupt(_)),
+            "cut {cut}: {err}"
+        );
+    }
+    // A silent bit flip in the payload trips the trailing checksum.
+    let mut flipped = buf.clone();
+    let victim = flipped.len() - 16;
+    flipped[victim] ^= 0x40;
+    let err = Checkpoint::read_from(&mut flipped.as_slice()).expect_err("corrupt");
+    assert!(
+        matches!(
+            err,
+            CheckpointError::ChecksumMismatch { .. } | CheckpointError::Corrupt(_)
+        ),
+        "{err}"
+    );
+}
+
+#[test]
+fn same_seed_fault_plans_inject_identical_schedules() {
+    let _s = serial();
+    // The determinism property the whole layer rests on: a plan's decisions
+    // are a pure function of (seed, site, occurrence), including plans that
+    // came from the SALIENT_FAULT_SPEC grammar.
+    let spec = "prep.sample=panic%0.2; ddp.send=drop%0.15; prep.slice=delay:5ms%0.1";
+    for seed in [0u64, 17, 0xFEED] {
+        let a = FaultPlan::parse(seed, spec).unwrap();
+        let b = FaultPlan::parse(seed, spec).unwrap();
+        for site in [sites::PREP_SAMPLE, sites::DDP_SEND, sites::PREP_SLICE] {
+            for occ in 0..512 {
+                assert_eq!(
+                    a.decide(site, occ),
+                    b.decide(site, occ),
+                    "seed {seed} site {site} occ {occ}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn disabled_injection_points_are_inert() {
+    let _s = serial();
+    // No plan installed: every instrumented path must behave exactly as the
+    // uninstrumented pipeline — full epoch, zero fault activity.
+    assert!(!fault::enabled());
+    let n = expected_batches();
+    for mode in MODES {
+        let ds = dataset();
+        let handle = run_epoch(&ds, &ds.splits.train.clone(), &prep_cfg(mode));
+        let pool = handle.pool().clone();
+        let ready = handle
+            .batches
+            .iter()
+            .filter_map(BatchResult::ready)
+            .count();
+        let (stats, faults) = handle.join_detailed();
+        assert_eq!(ready, n, "{mode:?}");
+        assert_eq!(stats.batches, n, "{mode:?}");
+        assert!(!faults.any(), "{mode:?}: {faults:?}");
+        assert_eq!(pool.available(), pool.capacity(), "{mode:?}");
+    }
+}

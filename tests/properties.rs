@@ -236,7 +236,7 @@ fn all_reduce_mean_equals_mean_for_many_shapes() {
                         s.spawn(move || {
                             let mut buf: Vec<f32> =
                                 (0..len).map(|i| (r * 100 + i) as f32).collect();
-                            comm.all_reduce_mean(&mut buf);
+                            comm.all_reduce_mean(&mut buf).unwrap();
                             buf
                         })
                     })
