@@ -12,6 +12,7 @@
 //! disconnection. Endpoints are clone-counted; dropping the last endpoint of
 //! either side wakes all waiters on the other.
 
+use salient_tensor::sync::{lock_unpoisoned, wait_timeout_unpoisoned, wait_unpoisoned};
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -88,7 +89,7 @@ impl<T> Sender<T> {
     /// Delivers `value`, blocking while the buffer is full. Fails (returning
     /// the value) once every receiver has been dropped.
     pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-        let mut st = self.inner.state.lock().unwrap();
+        let mut st = lock_unpoisoned(&self.inner.state);
         loop {
             if st.receivers == 0 {
                 return Err(SendError(value));
@@ -98,21 +99,21 @@ impl<T> Sender<T> {
                 self.inner.not_empty.notify_one();
                 return Ok(());
             }
-            st = self.inner.not_full.wait(st).unwrap();
+            st = wait_unpoisoned(&self.inner.not_full, st);
         }
     }
 }
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
-        self.inner.state.lock().unwrap().senders += 1;
+        lock_unpoisoned(&self.inner.state).senders += 1;
         Sender { inner: Arc::clone(&self.inner) }
     }
 }
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
-        let mut st = self.inner.state.lock().unwrap();
+        let mut st = lock_unpoisoned(&self.inner.state);
         st.senders -= 1;
         if st.senders == 0 {
             // Receivers blocked on an empty buffer must observe disconnect.
@@ -136,7 +137,7 @@ impl<T> Receiver<T> {
     /// Takes the next message, blocking while the buffer is empty and at
     /// least one sender is alive.
     pub fn recv(&self) -> Result<T, RecvError> {
-        let mut st = self.inner.state.lock().unwrap();
+        let mut st = lock_unpoisoned(&self.inner.state);
         loop {
             if let Some(v) = st.queue.pop_front() {
                 self.inner.not_full.notify_one();
@@ -145,13 +146,13 @@ impl<T> Receiver<T> {
             if st.senders == 0 {
                 return Err(RecvError);
             }
-            st = self.inner.not_empty.wait(st).unwrap();
+            st = wait_unpoisoned(&self.inner.not_empty, st);
         }
     }
 
     /// Takes the next message if one is buffered, without blocking.
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
-        let mut st = self.inner.state.lock().unwrap();
+        let mut st = lock_unpoisoned(&self.inner.state);
         match st.queue.pop_front() {
             Some(v) => {
                 self.inner.not_full.notify_one();
@@ -164,8 +165,9 @@ impl<T> Receiver<T> {
 
     /// Like [`Receiver::recv`], but gives up after `timeout`.
     pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        // lint: allow(determinism, monotonic deadline for a caller-supplied timeout; no wall-clock data escapes)
         let deadline = Instant::now() + timeout;
-        let mut st = self.inner.state.lock().unwrap();
+        let mut st = lock_unpoisoned(&self.inner.state);
         loop {
             if let Some(v) = st.queue.pop_front() {
                 self.inner.not_full.notify_one();
@@ -174,22 +176,20 @@ impl<T> Receiver<T> {
             if st.senders == 0 {
                 return Err(RecvTimeoutError::Disconnected);
             }
+            // lint: allow(determinism, remaining-time computation against the monotonic deadline above)
             let now = Instant::now();
             if now >= deadline {
                 return Err(RecvTimeoutError::Timeout);
             }
-            let (guard, _res) = self
-                .inner
-                .not_empty
-                .wait_timeout(st, deadline - now)
-                .unwrap();
+            let (guard, _res) =
+                wait_timeout_unpoisoned(&self.inner.not_empty, st, deadline - now);
             st = guard;
         }
     }
 
     /// Messages currently buffered.
     pub fn len(&self) -> usize {
-        self.inner.state.lock().unwrap().queue.len()
+        lock_unpoisoned(&self.inner.state).queue.len()
     }
 
     /// Whether the buffer is currently empty.
@@ -206,7 +206,7 @@ impl<T> Receiver<T> {
 
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
-        self.inner.state.lock().unwrap().receivers += 1;
+        lock_unpoisoned(&self.inner.state).receivers += 1;
         Receiver { inner: Arc::clone(&self.inner) }
     }
 }
@@ -214,7 +214,7 @@ impl<T> Clone for Receiver<T> {
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
         let buffered = {
-            let mut st = self.inner.state.lock().unwrap();
+            let mut st = lock_unpoisoned(&self.inner.state);
             st.receivers -= 1;
             if st.receivers == 0 {
                 // No receiver can ever take these messages; drop them now so

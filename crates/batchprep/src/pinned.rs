@@ -34,6 +34,7 @@ impl PinnedSlot {
     /// (growth is logged in pool statistics as a slot-overflow in real
     /// systems; here we simply grow).
     pub fn prepare(&mut self, num_nodes: usize, dim: usize, num_labels: usize) {
+        // lint: allow(panic-freedom, buffers are only None after Drop runs; reaching this is an API-contract bug, not a runtime fault)
         let b = self.buffers.as_mut().expect("slot already returned");
         let need = num_nodes * dim;
         if b.features.len() < need {
@@ -49,22 +50,26 @@ impl PinnedSlot {
     /// The writable feature region sized by the last [`PinnedSlot::prepare`].
     pub fn features_mut(&mut self) -> &mut [F16] {
         let used = self.used_features;
+        // lint: allow(panic-freedom, buffers are only None after Drop runs; unreachable through the public API)
         &mut self.buffers.as_mut().expect("slot already returned").features[..used]
     }
 
     /// The writable label region.
     pub fn labels_mut(&mut self) -> &mut [u32] {
         let used = self.used_labels;
+        // lint: allow(panic-freedom, buffers are only None after Drop runs; unreachable through the public API)
         &mut self.buffers.as_mut().expect("slot already returned").labels[..used]
     }
 
     /// The filled feature region.
     pub fn features(&self) -> &[F16] {
+        // lint: allow(panic-freedom, buffers are only None after Drop runs; unreachable through the public API)
         &self.buffers.as_ref().expect("slot already returned").features[..self.used_features]
     }
 
     /// The filled label region.
     pub fn labels(&self) -> &[u32] {
+        // lint: allow(panic-freedom, buffers are only None after Drop runs; unreachable through the public API)
         &self.buffers.as_ref().expect("slot already returned").labels[..self.used_labels]
     }
 
@@ -108,6 +113,7 @@ impl PinnedPool {
                 features: vec![F16::ZERO; nodes_hint * dim],
                 labels: vec![0; labels_hint],
             })
+            // lint: allow(panic-freedom, both channel endpoints are held locally while filling; send cannot observe a disconnect)
             .expect("filling fresh pool cannot fail");
         }
         PinnedPool { rx, tx, capacity: slots }
@@ -129,6 +135,7 @@ impl PinnedPool {
         let buffers = self
             .rx
             .recv()
+            // lint: allow(panic-freedom, the pool owns a Sender clone for its whole lifetime, so recv can never see all senders gone)
             .expect("pool sender lives as long as the pool");
         PinnedSlot {
             buffers: Some(buffers),

@@ -283,6 +283,7 @@ impl EpochHandle {
         // Dropping the receiver destroys parked batches, returning their
         // slots to the pool and waking any worker blocked on acquire.
         drop(self.batches);
+        // lint: allow(panic-freedom, propagating a supervisor panic to the caller is the documented join contract)
         self.supervisor.join().expect("epoch supervisor panicked")
     }
 
@@ -338,6 +339,7 @@ pub fn run_epoch(dataset: &Arc<Dataset>, order: &[NodeId], cfg: &PrepConfig) -> 
         std::thread::Builder::new()
             .name("salient-prep-supervisor".to_string())
             .spawn(move || supervise_epoch(&ctx))
+            // lint: allow(panic-freedom, thread-spawn failure is unrecoverable resource exhaustion at epoch start)
             .expect("failed to spawn epoch supervisor")
     };
 
@@ -365,6 +367,7 @@ fn spawn_worker(
             guard.armed = false;
             let _ = guard.tx.send(WorkerMsg::Clean { id, stats });
         })
+        // lint: allow(panic-freedom, thread-spawn failure is unrecoverable resource exhaustion; the respawn budget cannot help)
         .expect("failed to spawn batch-prep worker")
 }
 
@@ -523,6 +526,7 @@ fn prepare_item(
     let dim = ctx.dataset.features.dim();
     let batch_nodes = &ctx.order[item.start..item.end];
 
+    // lint: allow(determinism, monotonic per-phase timing for the paper's sample/slice/copy breakdown; never feeds control flow)
     let t0 = Instant::now();
     fault::fire(fault::sites::PREP_SAMPLE, item.batch_id as u64);
     let mfg = sampler.sample(&ctx.dataset.graph, batch_nodes, &ctx.cfg.fanouts);
@@ -534,6 +538,7 @@ fn prepare_item(
     let mut slot = ctx.pool.acquire_cancellable(&ctx.cancel)?;
     slot.prepare(mfg.num_nodes(), dim, mfg.batch_size());
 
+    // lint: allow(determinism, monotonic timing for the slice-phase stat; never feeds control flow)
     let t1 = Instant::now();
     fault::fire(fault::sites::PREP_SLICE, item.batch_id as u64);
     let mut copy = std::time::Duration::ZERO;
@@ -548,6 +553,7 @@ fn prepare_item(
             private_labels.resize(mfg.batch_size(), 0);
             slice_batch(&ctx.dataset, &mfg, private, private_labels);
             // …then pay the shared-memory copy.
+            // lint: allow(determinism, monotonic timing for the copy-phase stat; never feeds control flow)
             let t2 = Instant::now();
             slot.features_mut().copy_from_slice(private);
             slot.labels_mut().copy_from_slice(private_labels);

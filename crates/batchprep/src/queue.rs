@@ -7,6 +7,7 @@
 //! because final neighborhood size varies substantially across batches. Both
 //! strategies are implemented here.
 
+use salient_tensor::sync::lock_unpoisoned;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -77,6 +78,9 @@ impl DynamicQueue {
 
 impl WorkSource for DynamicQueue {
     fn next(&self, _worker: usize) -> Option<WorkItem> {
+        // The claim cursor only needs each index handed out once, and the
+        // item data is immutable after construction, so relaxed ordering
+        // on the fetch_add is sufficient.
         let i = self.cursor.fetch_add(1, Ordering::Relaxed);
         self.items.get(i).cloned()
     }
@@ -114,6 +118,8 @@ impl StaticPartition {
 impl WorkSource for StaticPartition {
     fn next(&self, worker: usize) -> Option<WorkItem> {
         let (items, cursor) = &self.per_worker[worker % self.per_worker.len()];
+        // Relaxed: per-worker cursor over an immutable pre-partitioned list;
+        // uniqueness of the fetch_add result is the only requirement.
         let i = cursor.fetch_add(1, Ordering::Relaxed);
         items.get(i).cloned()
     }
@@ -145,18 +151,22 @@ impl RetryQueue {
     }
 
     /// Requeues `item` whose attempt number `attempt` just failed.
+    ///
+    /// Uses poison-tolerant locking: the retry queue exists precisely to
+    /// survive worker panics, so a panic that poisoned the mutex must not
+    /// take the queue down with it.
     pub fn push(&self, item: WorkItem, attempt: u32) {
-        self.items.lock().unwrap().push_back((item, attempt));
+        lock_unpoisoned(&self.items).push_back((item, attempt));
     }
 
     /// Claims the oldest pending retry, if any.
     pub fn pop(&self) -> Option<(WorkItem, u32)> {
-        self.items.lock().unwrap().pop_front()
+        lock_unpoisoned(&self.items).pop_front()
     }
 
     /// Retries currently pending.
     pub fn len(&self) -> usize {
-        self.items.lock().unwrap().len()
+        lock_unpoisoned(&self.items).len()
     }
 
     /// Whether no retries are pending.

@@ -83,6 +83,7 @@ pub fn train_ddp(
 ) -> Result<DdpRunResult, DdpError> {
     assert!(ranks > 0, "need at least one rank");
     config.validate();
+    // lint: allow(determinism, monotonic wall-time metric for the run report; never feeds control flow)
     let start = std::time::Instant::now();
     let timeout = Duration::from_millis(config.comm_timeout_ms);
     let comms = Communicator::ring_with_timeout(ranks, timeout);

@@ -128,28 +128,24 @@ impl Communicator {
     pub fn ring_with_timeout(world: usize, timeout: Duration) -> Vec<Communicator> {
         assert!(world > 0, "world size must be positive");
         // Each ring link has exactly one producer and one consumer, so the
-        // std SPSC channel is sufficient.
-        let channels: Vec<(Sender<Vec<f32>>, Receiver<Vec<f32>>)> =
-            (0..world).map(|_| channel()).collect();
-        let mut senders: Vec<Option<Sender<Vec<f32>>>> =
-            channels.iter().map(|(s, _)| Some(s.clone())).collect();
-        channels
+        // std SPSC channel is sufficient. Channel i is *received* by rank i
+        // and rank r sends to rank r + 1, so rotating the sender list left
+        // by one pairs rank r with the sender of channel (r + 1) % world —
+        // no Option juggling, each sender moved exactly once.
+        let (mut senders, receivers): (Vec<Sender<Vec<f32>>>, Vec<Receiver<Vec<f32>>>) =
+            (0..world).map(|_| channel()).unzip();
+        senders.rotate_left(1);
+        senders
             .into_iter()
+            .zip(receivers)
             .enumerate()
-            .map(|(rank, (_, rx))| {
-                // rank sends to rank+1; channel i is *received* by rank i,
-                // so rank r sends on channel (r + 1) % world.
-                let to_next = senders[(rank + 1) % world]
-                    .take()
-                    .expect("each channel has one producer");
-                Communicator {
-                    rank,
-                    world,
-                    timeout,
-                    steps: AtomicU64::new(0),
-                    to_next,
-                    from_prev: rx,
-                }
+            .map(|(rank, (to_next, from_prev))| Communicator {
+                rank,
+                world,
+                timeout,
+                steps: AtomicU64::new(0),
+                to_next,
+                from_prev,
             })
             .collect()
     }
@@ -171,6 +167,7 @@ impl Communicator {
 
     /// Ring steps completed by this endpoint (diagnostic).
     pub fn steps(&self) -> u64 {
+        // Relaxed: purely diagnostic counter; no other memory depends on it.
         self.steps.load(Ordering::Relaxed)
     }
 
@@ -185,6 +182,7 @@ impl Communicator {
     fn err(&self, phase: CommPhase, kind: CommErrorKind) -> CommError {
         CommError {
             rank: self.rank,
+            // Relaxed: step number only labels the error message.
             step: self.steps.load(Ordering::Relaxed),
             phase,
             kind,
@@ -195,6 +193,8 @@ impl Communicator {
     /// fault drops the link) and receive the previous rank's payload within
     /// the deadline.
     fn step(&self, payload: Vec<f32>, phase: CommPhase) -> Result<Vec<f32>, CommError> {
+        // Relaxed: diagnostic step counter; channel send/recv below provide
+        // all cross-rank ordering.
         self.steps.fetch_add(1, Ordering::Relaxed);
         match fault::point(fault::sites::DDP_SEND, self.rank as u64) {
             FaultAction::Proceed => {
@@ -204,16 +204,19 @@ impl Communicator {
             }
             FaultAction::Drop => {} // link down: the next rank will time out
             FaultAction::Delay(d) => {
+                // lint: allow(determinism, deterministically injected fault delay; duration comes from the fault plan)
                 std::thread::sleep(d);
                 if self.to_next.send(payload).is_err() {
                     return Err(self.err(phase, CommErrorKind::Disconnected));
                 }
             }
             FaultAction::Panic => {
+                // lint: allow(panic-freedom, injected fault demands a panic; the epoch supervisor catches and retries)
                 panic!("injected fault: panic at ddp.send (rank {})", self.rank)
             }
         }
         if let FaultAction::Delay(d) = fault::point(fault::sites::DDP_RECV, self.rank as u64) {
+            // lint: allow(determinism, deterministically injected fault delay; duration comes from the fault plan)
             std::thread::sleep(d);
         }
         match self.from_prev.recv_timeout(self.timeout) {
@@ -298,6 +301,7 @@ impl Communicator {
         if self.world == 1 {
             return Ok(());
         }
+        // Relaxed: diagnostic step counter only.
         self.steps.fetch_add(1, Ordering::Relaxed);
         // Pass the buffer down the ring n-1 times starting at rank 0.
         if self.rank == 0 {

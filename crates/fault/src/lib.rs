@@ -461,6 +461,8 @@ impl Drop for ScopedPlan {
 /// is one relaxed atomic load — cheap enough for per-batch hot paths.
 #[inline]
 pub fn point(site: &str, occ: u64) -> FaultAction {
+    // Relaxed: the enable flag is a monotone fast-path filter; plan
+    // installation publishes through the PLAN mutex, not this load.
     if !ENABLED.load(Ordering::Relaxed) {
         return FaultAction::Proceed;
     }
@@ -488,6 +490,7 @@ pub fn fire(site: &str, occ: u64) -> bool {
         FaultAction::Proceed => false,
         FaultAction::Panic => panic!("injected fault: panic at {site} (occ {occ})"),
         FaultAction::Delay(d) => {
+            // lint: allow(determinism, deterministically injected fault delay; duration comes from the installed plan)
             std::thread::sleep(d);
             false
         }

@@ -1,0 +1,282 @@
+//! **deps**: the dependency-freedom guard, a real TOML-section parser over
+//! `Cargo.toml` manifests replacing the awk loop `scripts/ci.sh` used to
+//! carry. The workspace must build offline from std alone: every entry in a
+//! dependency table (`[dependencies]`, `[dev-dependencies]`,
+//! `[build-dependencies]`, `[workspace.dependencies]`, `[target.*.…]`, and
+//! `[dependencies.<name>]` subsections) must be a `path` or
+//! `workspace = true` dependency. Version-only, `git`, and `registry`
+//! entries are rejected.
+
+use crate::diag::Diagnostic;
+use crate::rules::DEPS;
+
+/// True when a TOML table header names a dependency table or a subsection
+/// of one (`dependencies`, `foo.dev-dependencies`, `dependencies.serde`).
+fn is_dep_section(section: &str) -> bool {
+    section
+        .split('.')
+        .any(|seg| matches!(seg, "dependencies" | "dev-dependencies" | "build-dependencies"))
+}
+
+/// Strips a `#` comment, honoring basic (`"`) and literal (`'`) strings.
+fn strip_comment(line: &str) -> &str {
+    let mut in_basic = false;
+    let mut in_literal = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_basic => escaped = true,
+            '"' if !in_literal => in_basic = !in_basic,
+            '\'' if !in_basic => in_literal = !in_literal,
+            '#' if !in_basic && !in_literal => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+/// The verdict for one dependency entry's value.
+#[derive(Debug, PartialEq, Eq)]
+enum Verdict {
+    Ok,
+    /// The entry pins a source other than a local path.
+    Bad(&'static str),
+}
+
+/// Judges an inline value (`"1.0"`, `{ path = "..." }`,
+/// `{ workspace = true }`, `{ git = "..." }`).
+fn judge_inline_value(value: &str) -> Verdict {
+    let v = value.trim();
+    if v.starts_with('{') {
+        let has = |key: &str| {
+            // Key match at word granularity inside the inline table.
+            v[1..].split([',', '{']).any(|part| {
+                let part = part.trim();
+                part.strip_prefix(key)
+                    .map(|rest| rest.trim_start().starts_with('='))
+                    .unwrap_or(false)
+            })
+        };
+        if has("git") {
+            return Verdict::Bad("git dependency");
+        }
+        if has("registry") {
+            return Verdict::Bad("registry dependency");
+        }
+        if has("path") {
+            return Verdict::Ok;
+        }
+        if v.contains("workspace") && v.contains("true") {
+            return Verdict::Ok;
+        }
+        Verdict::Bad("no `path` or `workspace = true` in dependency table")
+    } else {
+        // `foo = "1.0"` — a bare version string from the registry.
+        Verdict::Bad("version-only dependency (resolves from a registry)")
+    }
+}
+
+/// Checks one manifest; `label` is the path used in diagnostics.
+pub fn check_manifest(label: &str, text: &str) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let mut section = String::new();
+    // State for `[dependencies.<name>]` subsections: (header line, keys seen).
+    let mut sub: Option<(usize, Vec<String>)> = None;
+
+    let flush_sub = |sub: &mut Option<(usize, Vec<String>)>,
+                         section: &str,
+                         out: &mut Vec<Diagnostic>| {
+        if let Some((line, keys)) = sub.take() {
+            let bad = if keys.iter().any(|k| k == "git") {
+                Some("git dependency")
+            } else if keys.iter().any(|k| k == "registry") {
+                Some("registry dependency")
+            } else if !keys.iter().any(|k| k == "path" || k == "workspace") {
+                Some("no `path` or `workspace = true` in dependency table")
+            } else {
+                None
+            };
+            if let Some(why) = bad {
+                out.push(Diagnostic {
+                    rule: DEPS,
+                    file: label.to_string(),
+                    line,
+                    col: 1,
+                    message: format!("[{section}]: {why}"),
+                    snippet: format!("[{section}]"),
+                    suppressed: None,
+                });
+            }
+        }
+    };
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.starts_with('[') {
+            let prev = section.clone();
+            flush_sub(&mut sub, &prev, &mut out);
+            section = line
+                .trim_start_matches('[')
+                .trim_end_matches(']')
+                .trim_matches(|c: char| c == '"' || c == '\'')
+                .to_string();
+            // `[dependencies.foo]`-style subsection: validate keys at end.
+            if is_dep_section(&section) && section.split('.').count() > dep_table_depth(&section) {
+                sub = Some((line_no, Vec::new()));
+            }
+            continue;
+        }
+        if !is_dep_section(&section) {
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else { continue };
+        let key = key.trim();
+        let value = value.trim();
+        if let Some((_, keys)) = &mut sub {
+            // Inside `[dependencies.foo]`: collect attribute keys.
+            keys.push(key.split('.').next().unwrap_or(key).trim().to_string());
+            continue;
+        }
+        // Dotted key: `foo.workspace = true` / `foo.path = "..."` /
+        // `foo.version = "1"`.
+        if let Some((_dep, attr)) = key.split_once('.') {
+            match attr.trim() {
+                "workspace" if value == "true" => {}
+                "path" => {}
+                "git" => out.push(bad_entry(label, line_no, raw, "git dependency")),
+                "version" | "registry" => out.push(bad_entry(
+                    label,
+                    line_no,
+                    raw,
+                    "version/registry dependency (resolves from a registry)",
+                )),
+                _ => {}
+            }
+            continue;
+        }
+        if let Verdict::Bad(why) = judge_inline_value(value) {
+            out.push(bad_entry(label, line_no, raw, why));
+        }
+    }
+    let prev = section.clone();
+    flush_sub(&mut sub, &prev, &mut out);
+    out
+}
+
+/// Number of path segments up to and including the dependency-table segment
+/// (`dependencies` → 1, `workspace.dependencies` → 2, `target.cfg.dev-dependencies` → 3).
+fn dep_table_depth(section: &str) -> usize {
+    let segs: Vec<&str> = section.split('.').collect();
+    segs.iter()
+        .position(|s| matches!(*s, "dependencies" | "dev-dependencies" | "build-dependencies"))
+        .map(|p| p + 1)
+        .unwrap_or(segs.len())
+}
+
+fn bad_entry(label: &str, line: usize, raw: &str, why: &str) -> Diagnostic {
+    Diagnostic {
+        rule: DEPS,
+        file: label.to_string(),
+        line,
+        col: 1,
+        message: format!("non-path dependency: {why}"),
+        snippet: raw.trim().to_string(),
+        suppressed: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_and_workspace_deps_pass() {
+        let m = r#"
+[package]
+name = "x"
+
+[dependencies]
+salient-tensor = { path = "../tensor" }
+salient-graph.workspace = true
+salient-nn = { workspace = true }
+
+[dev-dependencies]
+helper = { path = "../helper", version = "0.1" }
+"#;
+        assert!(check_manifest("Cargo.toml", m).is_empty());
+    }
+
+    #[test]
+    fn version_only_dep_is_rejected() {
+        let m = "[dependencies]\nserde = \"1.0\"\n";
+        let d = check_manifest("Cargo.toml", m);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("version-only"));
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn git_dep_is_rejected_even_with_path() {
+        let m = "[dependencies]\nfoo = { git = \"https://x\", path = \"../f\" }\n";
+        let d = check_manifest("Cargo.toml", m);
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("git"));
+    }
+
+    #[test]
+    fn inline_version_table_without_path_is_rejected() {
+        let m = "[dependencies]\nfoo = { version = \"1\", features = [\"std\"] }\n";
+        assert_eq!(check_manifest("Cargo.toml", m).len(), 1);
+    }
+
+    #[test]
+    fn dotted_version_key_is_rejected() {
+        let m = "[dependencies]\nfoo.version = \"1\"\n";
+        assert_eq!(check_manifest("Cargo.toml", m).len(), 1);
+    }
+
+    #[test]
+    fn dependency_subsection_without_path_is_rejected() {
+        let m = "[dependencies.foo]\nversion = \"1\"\nfeatures = [\"a\"]\n";
+        let d = check_manifest("Cargo.toml", m);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].line, 1);
+
+        let ok = "[dependencies.foo]\npath = \"../foo\"\n";
+        assert!(check_manifest("Cargo.toml", ok).is_empty());
+    }
+
+    #[test]
+    fn workspace_dependencies_table_is_covered() {
+        let m = "[workspace.dependencies]\nbad = \"0.3\"\ngood = { path = \"crates/good\" }\n";
+        let d = check_manifest("Cargo.toml", m);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].line, 2);
+    }
+
+    #[test]
+    fn target_specific_tables_are_covered() {
+        let m = "[target.'cfg(unix)'.dependencies]\nlibc = \"0.2\"\n";
+        assert_eq!(check_manifest("Cargo.toml", m).len(), 1);
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_confuse_the_parser() {
+        let m = "[dependencies] # the deps\nfoo = { path = \"a#b\" } # has hash in path\n";
+        assert!(check_manifest("Cargo.toml", m).is_empty());
+    }
+
+    #[test]
+    fn non_dependency_sections_are_ignored() {
+        let m = "[package]\nversion = \"0.1.0\"\nedition = \"2021\"\n[features]\ndefault = []\n";
+        assert!(check_manifest("Cargo.toml", m).is_empty());
+    }
+}

@@ -1,0 +1,156 @@
+//! `salient-lint` — the CLI for the in-repo static-analysis pass.
+//!
+//! ```text
+//! salient-lint check [--format json] [--root DIR]    # all rules (default)
+//! salient-lint deps  [--format json] [--root DIR]    # manifest guard only
+//! salient-lint unsafe-inventory [--format json] [--root DIR]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 unsuppressed findings, 2 usage or I/O error.
+
+use salient_lint::diag::{json_escape, render_json};
+use salient_lint::workspace;
+use std::path::PathBuf;
+
+// CLI entry point: process::exit is the whitelisted way out.
+struct Opts {
+    cmd: String,
+    json: bool,
+    root: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut args = std::env::args().skip(1);
+    let mut opts = Opts { cmd: "check".to_string(), json: false, root: None };
+    let mut saw_cmd = false;
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--format" => match args.next().as_deref() {
+                Some("json") => opts.json = true,
+                Some("text") => opts.json = false,
+                other => return Err(format!("--format expects json|text, got {other:?}")),
+            },
+            "--root" => match args.next() {
+                Some(dir) => opts.root = Some(PathBuf::from(dir)),
+                None => return Err("--root expects a directory".to_string()),
+            },
+            "-h" | "--help" => {
+                println!(
+                    "usage: salient-lint [check|deps|unsafe-inventory] [--format json|text] [--root DIR]"
+                );
+                std::process::exit(0);
+            }
+            cmd if !saw_cmd && !cmd.starts_with('-') => {
+                opts.cmd = cmd.to_string();
+                saw_cmd = true;
+            }
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("salient-lint: {e}");
+            std::process::exit(2);
+        }
+    };
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    let root = opts
+        .root
+        .clone()
+        .or_else(|| workspace::find_root(&cwd))
+        .unwrap_or_else(|| {
+            eprintln!("salient-lint: no workspace root found above {}", cwd.display());
+            std::process::exit(2);
+        });
+
+    match opts.cmd.as_str() {
+        "check" => {
+            let report = match workspace::run(&root) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("salient-lint: {e}");
+                    std::process::exit(2);
+                }
+            };
+            let unsuppressed = report.unsuppressed_count();
+            if opts.json {
+                println!("{}", render_json(&report.diagnostics));
+            } else {
+                for d in &report.diagnostics {
+                    println!("{}", d.render_text());
+                }
+                let suppressed = report.diagnostics.len() - unsuppressed;
+                println!(
+                    "salient-lint: {} file(s), {} finding(s) ({} suppressed), {} unsafe site(s)",
+                    report.files_scanned,
+                    report.diagnostics.len(),
+                    suppressed,
+                    report.unsafe_inventory.len()
+                );
+            }
+            std::process::exit(if unsuppressed > 0 { 1 } else { 0 });
+        }
+        "deps" => {
+            let diags = match workspace::run_deps(&root) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("salient-lint: {e}");
+                    std::process::exit(2);
+                }
+            };
+            if opts.json {
+                println!("{}", render_json(&diags));
+            } else {
+                for d in &diags {
+                    println!("{}", d.render_text());
+                }
+                println!("salient-lint deps: {} finding(s)", diags.len());
+            }
+            std::process::exit(if diags.is_empty() { 0 } else { 1 });
+        }
+        "unsafe-inventory" => {
+            let report = match workspace::run(&root) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("salient-lint: {e}");
+                    std::process::exit(2);
+                }
+            };
+            if opts.json {
+                let mut out = String::from("[");
+                for (i, s) in report.unsafe_inventory.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!(
+                        "\n  {{\"file\":\"{}\",\"line\":{},\"kind\":\"{}\",\"safety\":\"{}\",\"snippet\":\"{}\"}}",
+                        json_escape(&s.file),
+                        s.line,
+                        s.kind,
+                        json_escape(&s.safety),
+                        json_escape(&s.snippet)
+                    ));
+                }
+                out.push_str("\n]");
+                println!("{out}");
+            } else {
+                println!("workspace unsafe inventory ({} sites):", report.unsafe_inventory.len());
+                for s in &report.unsafe_inventory {
+                    println!("  {}:{} [{}] {}", s.file, s.line, s.kind, s.snippet);
+                    let why = if s.safety.is_empty() { "(UNDOCUMENTED)" } else { &s.safety };
+                    println!("      {why}");
+                }
+            }
+            std::process::exit(0);
+        }
+        other => {
+            eprintln!("salient-lint: unknown command `{other}` (try check|deps|unsafe-inventory)");
+            std::process::exit(2);
+        }
+    }
+}

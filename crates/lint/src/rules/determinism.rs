@@ -1,0 +1,91 @@
+//! **determinism**: `Instant::now`, `SystemTime::now`, `thread::sleep`, and
+//! `process::exit` are forbidden outside the whitelist (`crates/sim`,
+//! `crates/bench`, CLI entry points under `src/bin` and `examples/`). The
+//! seeded fault-replay plane (PR 2) guarantees bit-for-bit reproduction of
+//! failure schedules; a stray wall-clock read or sleep on the hot path makes
+//! behavior depend on machine load instead of the seed. Timing
+//! *instrumentation* that provably does not feed control flow carries a
+//! `// lint: allow(determinism, reason)` suppression.
+
+use super::{emit, matches_path, DETERMINISM};
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// The forbidden call paths (matched as `::`-separated token sequences, so
+/// `std::time::Instant::now` matches via its `Instant::now` suffix).
+const FORBIDDEN: &[(&[&str], &str)] = &[
+    (&["Instant", "now"], "wall-clock read"),
+    (&["SystemTime", "now"], "wall-clock read"),
+    (&["thread", "sleep"], "scheduling-dependent delay"),
+    (&["process", "exit"], "process exit bypasses Drop and supervision"),
+];
+
+/// Runs the rule over one file (no-op for whitelisted and test files).
+pub fn run(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if f.class.time_whitelisted || f.class.test_file {
+        return;
+    }
+    let toks = &f.lexed.tokens;
+    for i in 0..toks.len() {
+        if f.in_test_code(toks[i].line) {
+            continue;
+        }
+        for (path, why) in FORBIDDEN {
+            if matches_path(f, i, path) {
+                let t = &toks[i];
+                emit(
+                    f,
+                    DETERMINISM,
+                    t.line,
+                    t.col,
+                    format!(
+                        "`{}` outside the determinism whitelist ({why}); move it to \
+                         sim/bench/CLI code or suppress with a reason",
+                        path.join("::")
+                    ),
+                    out,
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{FileClass, SourceFile};
+
+    fn check(src: &str, class: FileClass) -> Vec<Diagnostic> {
+        let f = SourceFile::parse("t.rs".into(), src, class);
+        let mut out = Vec::new();
+        run(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn all_four_patterns_fire() {
+        let src = "fn f() {\n    let t = Instant::now();\n    let w = std::time::SystemTime::now();\n    std::thread::sleep(d);\n    std::process::exit(1);\n}\n";
+        let diags = check(src, FileClass::default());
+        assert_eq!(diags.len(), 4);
+        assert_eq!(diags[0].line, 2);
+    }
+
+    #[test]
+    fn whitelisted_files_are_exempt() {
+        let class = FileClass { time_whitelisted: true, ..Default::default() };
+        assert!(check("fn f() { Instant::now(); }", class).is_empty());
+    }
+
+    #[test]
+    fn test_regions_are_exempt() {
+        let src = "#[test]\nfn t() { std::thread::sleep(d); }\n";
+        assert!(check(src, FileClass::default()).is_empty());
+    }
+
+    #[test]
+    fn an_instant_variable_is_not_a_call() {
+        // Only the `Instant::now` path matters; mentioning the type is fine.
+        let src = "fn f(deadline: Instant) -> Instant { deadline }\n";
+        assert!(check(src, FileClass::default()).is_empty());
+    }
+}

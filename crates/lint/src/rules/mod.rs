@@ -1,0 +1,89 @@
+//! The rule catalog.
+//!
+//! Every rule walks a [`SourceFile`]'s token stream and emits
+//! [`Diagnostic`]s through [`emit`], which applies inline
+//! `// lint: allow(rule, reason)` suppressions uniformly.
+
+pub mod determinism;
+pub mod lock_discipline;
+pub mod panic_freedom;
+pub mod unsafe_audit;
+
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// Rule id: `unsafe` without a `// SAFETY:` justification.
+pub const UNSAFE_AUDIT: &str = "unsafe-audit";
+/// Rule id: panicking constructs in designated hot-path modules.
+pub const PANIC_FREEDOM: &str = "panic-freedom";
+/// Rule id: wall-clock / sleep / exit outside the whitelist.
+pub const DETERMINISM: &str = "determinism";
+/// Rule id: lock-order cycles and unjustified `Ordering::Relaxed`.
+pub const LOCK_DISCIPLINE: &str = "lock-discipline";
+/// Rule id: non-path dependencies in a manifest.
+pub const DEPS: &str = "deps";
+/// Rule id: malformed suppressions (missing reason). Not suppressible.
+pub const SUPPRESSION: &str = "suppression";
+
+/// Builds a diagnostic at `line:col`, resolving suppressions.
+pub fn emit(
+    f: &SourceFile,
+    rule: &'static str,
+    line: usize,
+    col: usize,
+    message: String,
+    out: &mut Vec<Diagnostic>,
+) {
+    out.push(Diagnostic {
+        rule,
+        file: f.path.clone(),
+        line,
+        col,
+        message,
+        snippet: f.line(line).trim().to_string(),
+        suppressed: f.suppression_for(rule, line),
+    });
+}
+
+/// Reports suppressions whose reason string is empty — the suppression
+/// syntax itself is an invariant: `// lint: allow(rule, reason)`.
+pub fn check_suppression_hygiene(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for s in &f.suppressions {
+        if s.reason.is_empty() {
+            out.push(Diagnostic {
+                rule: SUPPRESSION,
+                file: f.path.clone(),
+                line: s.line,
+                col: 1,
+                message: format!(
+                    "suppression for `{}` is missing a reason: use `// lint: allow({}, <why this is sound>)`",
+                    s.rule, s.rule
+                ),
+                snippet: f.line(s.line).trim().to_string(),
+                suppressed: None,
+            });
+        }
+    }
+}
+
+/// True when tokens starting at `i` spell the `::`-separated path segments
+/// in `path` (e.g. `&["Instant", "now"]` matches `Instant :: now`).
+pub fn matches_path(f: &SourceFile, i: usize, path: &[&str]) -> bool {
+    let toks = &f.lexed.tokens;
+    let mut j = i;
+    for (seg_idx, seg) in path.iter().enumerate() {
+        if !toks.get(j).map(|t| t.is_ident(seg)).unwrap_or(false) {
+            return false;
+        }
+        j += 1;
+        if seg_idx + 1 < path.len() {
+            if !(toks.get(j).map(|t| t.is_punct(':')).unwrap_or(false)
+                && toks.get(j + 1).map(|t| t.is_punct(':')).unwrap_or(false))
+            {
+                return false;
+            }
+            j += 2;
+        }
+    }
+    true
+}

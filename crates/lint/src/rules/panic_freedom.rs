@@ -1,0 +1,107 @@
+//! **panic-freedom**: `.unwrap()`, `.expect(...)`, `panic!`, `todo!`, and
+//! `unimplemented!` are forbidden in designated hot-path modules (the
+//! sampler, batch prep, the tensor kernels, and the DDP communicator) —
+//! a panic there either kills a worker mid-epoch or poisons a lock that the
+//! supervised-recovery layer then trips over. Test code (`#[cfg(test)]`
+//! items, `#[test]` functions, `tests/` files) is exempt; deliberate
+//! panics carry a `// lint: allow(panic-freedom, reason)` suppression.
+
+use super::{emit, PANIC_FREEDOM};
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// Runs the rule over one file (no-op unless the file is hot-path).
+pub fn run(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !f.class.hot_path || f.class.test_file {
+        return;
+    }
+    let toks = &f.lexed.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if f.in_test_code(t.line) {
+            continue;
+        }
+        // `.unwrap()` / `.expect(` — method calls only, so types and
+        // functions like `unwrap_or_default` never match.
+        if t.is_punct('.') {
+            if let (Some(name), Some(paren)) = (toks.get(i + 1), toks.get(i + 2)) {
+                if paren.is_punct('(') && (name.is_ident("unwrap") || name.is_ident("expect")) {
+                    emit(
+                        f,
+                        PANIC_FREEDOM,
+                        name.line,
+                        name.col,
+                        format!(
+                            "`.{}()` in a hot-path module: return a typed error, recover from \
+                             poisoning, or suppress with a reason",
+                            name.text
+                        ),
+                        out,
+                    );
+                }
+            }
+        }
+        // `panic!` / `unimplemented!` / `todo!` macro invocations.
+        if toks.get(i + 1).map(|n| n.is_punct('!')).unwrap_or(false)
+            && (t.is_ident("panic") || t.is_ident("unimplemented") || t.is_ident("todo"))
+        {
+            emit(
+                f,
+                PANIC_FREEDOM,
+                t.line,
+                t.col,
+                format!("`{}!` in a hot-path module", t.text),
+                out,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{FileClass, SourceFile};
+
+    fn hot(src: &str) -> Vec<Diagnostic> {
+        let class = FileClass { hot_path: true, ..Default::default() };
+        let f = SourceFile::parse("hot.rs".into(), src, class);
+        let mut out = Vec::new();
+        run(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn unwrap_and_expect_and_panic_fire() {
+        let diags = hot("fn f() {\n    x.lock().unwrap();\n    y.expect(\"m\");\n    panic!(\"boom\");\n}\n");
+        let rules: Vec<_> = diags.iter().map(|d| (d.line, d.message.clone())).collect();
+        assert_eq!(diags.len(), 3, "{rules:?}");
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_a_panic() {
+        assert!(hot("fn f() { x.lock().unwrap_or_else(p::into_inner); }\n").is_empty());
+    }
+
+    #[test]
+    fn non_hot_files_are_skipped() {
+        let f = SourceFile::parse("cold.rs".into(), "fn f() { x.unwrap(); }", FileClass::default());
+        let mut out = Vec::new();
+        run(&f, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let diags = hot("#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\n");
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn suppression_with_reason_marks_not_counts() {
+        let diags = hot(
+            "fn f() {\n    // lint: allow(panic-freedom, spawn failure at setup is unrecoverable)\n    x.expect(\"spawn\");\n}\n",
+        );
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].suppressed.is_some());
+    }
+}

@@ -1,0 +1,172 @@
+//! **unsafe-audit**: every `unsafe` block, function, or impl must carry a
+//! justification — a `// SAFETY: ...` comment (or a `# Safety` doc section)
+//! within the [`SAFETY_WINDOW`] lines above the `unsafe` keyword. The rule
+//! also feeds the workspace unsafe-inventory report.
+
+use super::{emit, UNSAFE_AUDIT};
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// How many lines above an `unsafe` keyword a SAFETY comment may sit
+/// (attributes and the item signature commonly intervene).
+pub const SAFETY_WINDOW: usize = 6;
+
+/// What form the `unsafe` takes, for the inventory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnsafeKind {
+    Block,
+    Fn,
+    Impl,
+    Trait,
+    Other,
+}
+
+impl std::fmt::Display for UnsafeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            UnsafeKind::Block => "block",
+            UnsafeKind::Fn => "fn",
+            UnsafeKind::Impl => "impl",
+            UnsafeKind::Trait => "trait",
+            UnsafeKind::Other => "other",
+        })
+    }
+}
+
+/// One `unsafe` site for the workspace inventory report.
+#[derive(Clone, Debug)]
+pub struct UnsafeSite {
+    pub file: String,
+    pub line: usize,
+    pub col: usize,
+    pub kind: UnsafeKind,
+    /// The justification text found (empty when the site is unjustified).
+    pub safety: String,
+    /// The source line, trimmed.
+    pub snippet: String,
+}
+
+/// Runs the audit over one file, appending diagnostics and inventory rows.
+pub fn run(f: &SourceFile, out: &mut Vec<Diagnostic>, inventory: &mut Vec<UnsafeSite>) {
+    let toks = &f.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        let kind = match toks.get(i + 1) {
+            Some(n) if n.is_punct('{') => UnsafeKind::Block,
+            Some(n) if n.is_ident("fn") => UnsafeKind::Fn,
+            Some(n) if n.is_ident("impl") => UnsafeKind::Impl,
+            Some(n) if n.is_ident("trait") => UnsafeKind::Trait,
+            // `unsafe extern "C" fn`, `pub unsafe fn` handled by the token
+            // *before* `unsafe` already being consumed; anything else:
+            _ => UnsafeKind::Other,
+        };
+        let from = t.line.saturating_sub(SAFETY_WINDOW);
+        let mut safety = String::new();
+        for c in &f.lexed.comments {
+            let overlaps = c.end_line >= from && c.line <= t.line;
+            if overlaps && (c.text.contains("SAFETY:") || c.text.contains("# Safety")) {
+                // Collect the justification: this comment plus contiguous
+                // following comment lines (a SAFETY note often wraps).
+                safety = c.text.trim().to_string();
+                let mut prev_end = c.end_line;
+                for c2 in &f.lexed.comments {
+                    if c2.line == prev_end + 1 && c2.line <= t.line {
+                        safety.push(' ');
+                        safety.push_str(c2.text.trim());
+                        prev_end = c2.end_line;
+                    }
+                }
+                break;
+            }
+        }
+        inventory.push(UnsafeSite {
+            file: f.path.clone(),
+            line: t.line,
+            col: t.col,
+            kind,
+            safety: safety.clone(),
+            snippet: f.line(t.line).trim().to_string(),
+        });
+        if safety.is_empty() {
+            emit(
+                f,
+                UNSAFE_AUDIT,
+                t.line,
+                t.col,
+                format!(
+                    "`unsafe` {kind} has no `// SAFETY:` comment within {SAFETY_WINDOW} lines \
+                     documenting the invariants the caller upholds"
+                ),
+                out,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{FileClass, SourceFile};
+
+    fn check(src: &str) -> (Vec<Diagnostic>, Vec<UnsafeSite>) {
+        let f = SourceFile::parse("t.rs".into(), src, FileClass::default());
+        let mut out = Vec::new();
+        let mut inv = Vec::new();
+        run(&f, &mut out, &mut inv);
+        (out, inv)
+    }
+
+    #[test]
+    fn bare_unsafe_block_is_flagged() {
+        let (diags, inv) = check("fn f() {\n    unsafe { do_it(); }\n}\n");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 2);
+        assert_eq!(inv.len(), 1);
+        assert_eq!(inv[0].kind, UnsafeKind::Block);
+    }
+
+    #[test]
+    fn safety_comment_satisfies_the_rule() {
+        let (diags, inv) =
+            check("fn f() {\n    // SAFETY: the region is uniquely owned.\n    unsafe { do_it(); }\n}\n");
+        assert!(diags.is_empty());
+        assert!(inv[0].safety.contains("uniquely owned"));
+    }
+
+    #[test]
+    fn doc_safety_section_satisfies_unsafe_fn() {
+        let (diags, inv) = check(
+            "/// # Safety\n/// Caller must check `available()`.\n#[target_feature(enable = \"avx2\")]\nunsafe fn k() {}\n",
+        );
+        assert!(diags.is_empty());
+        assert_eq!(inv[0].kind, UnsafeKind::Fn);
+    }
+
+    #[test]
+    fn unsafe_impl_needs_justification_too() {
+        let (diags, _) = check("unsafe impl Send for X {}\n");
+        assert_eq!(diags.len(), 1);
+        let (diags, _) = check("// SAFETY: X owns no thread-affine state.\nunsafe impl Send for X {}\n");
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn the_word_unsafe_in_strings_and_comments_is_ignored() {
+        let (diags, inv) = check("// unsafe unsafe unsafe\nlet s = \"unsafe { }\";\n");
+        assert!(diags.is_empty());
+        assert!(inv.is_empty());
+    }
+
+    #[test]
+    fn stale_safety_comment_too_far_above_does_not_count() {
+        let mut src = String::from("// SAFETY: way up here.\n");
+        for _ in 0..SAFETY_WINDOW + 2 {
+            src.push_str("fn pad() {}\n");
+        }
+        src.push_str("fn f() { unsafe { x() } }\n");
+        let (diags, _) = check(&src);
+        assert_eq!(diags.len(), 1);
+    }
+}

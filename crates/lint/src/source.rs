@@ -1,0 +1,280 @@
+//! Per-file analysis context: lexed tokens, line text, `#[cfg(test)]` /
+//! `#[test]` region tracking, and `// lint: allow(rule, reason)` suppressions.
+
+use crate::lexer::{lex, Lexed};
+
+/// How a file participates in each rule, derived from its workspace path.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FileClass {
+    /// Designated hot-path module: panic-freedom applies.
+    pub hot_path: bool,
+    /// Whitelisted for wall-clock / sleep / exit (sim, bench, CLI mains).
+    pub time_whitelisted: bool,
+    /// A test source file (`tests/` directories): panic-freedom and
+    /// determinism do not apply anywhere in the file.
+    pub test_file: bool,
+}
+
+/// An inline suppression parsed from `// lint: allow(rule, reason)`.
+#[derive(Clone, Debug)]
+pub struct Suppression {
+    pub rule: String,
+    pub reason: String,
+    /// Line the suppression comment sits on.
+    pub line: usize,
+    /// Lines the suppression covers: its own line, and (for an own-line
+    /// comment) the next line carrying a token.
+    pub covers: (usize, usize),
+    /// Set by the engine when a diagnostic consumed this suppression.
+    pub used: std::cell::Cell<bool>,
+}
+
+/// One workspace source file ready for rule passes.
+pub struct SourceFile {
+    /// Workspace-relative path, `/`-separated.
+    pub path: String,
+    pub class: FileClass,
+    pub lexed: Lexed,
+    lines: Vec<String>,
+    /// Inclusive (start, end) line ranges of `#[cfg(test)]` / `#[test]`
+    /// items.
+    test_regions: Vec<(usize, usize)>,
+    pub suppressions: Vec<Suppression>,
+}
+
+impl SourceFile {
+    /// Lexes `text` and precomputes test regions and suppressions.
+    pub fn parse(path: String, text: &str, class: FileClass) -> SourceFile {
+        let lexed = lex(text);
+        let lines: Vec<String> = text.lines().map(|l| l.to_string()).collect();
+        let test_regions = find_test_regions(&lexed);
+        let mut f = SourceFile {
+            path,
+            class,
+            lexed,
+            lines,
+            test_regions,
+            suppressions: Vec::new(),
+        };
+        f.suppressions = parse_suppressions(&f);
+        f
+    }
+
+    /// The 1-based source line, or `""` past EOF.
+    pub fn line(&self, n: usize) -> &str {
+        self.lines
+            .get(n.wrapping_sub(1))
+            .map(|s| s.as_str())
+            .unwrap_or("")
+    }
+
+    /// True when `line` falls inside a `#[cfg(test)]` module or `#[test]`
+    /// function, or the whole file is a test file.
+    pub fn in_test_code(&self, line: usize) -> bool {
+        self.class.test_file
+            || self
+                .test_regions
+                .iter()
+                .any(|&(s, e)| line >= s && line <= e)
+    }
+
+    /// Finds a suppression for `rule` covering `line`, marks it used, and
+    /// returns its reason.
+    pub fn suppression_for(&self, rule: &str, line: usize) -> Option<String> {
+        for s in &self.suppressions {
+            if s.rule == rule && line >= s.covers.0 && line <= s.covers.1 {
+                s.used.set(true);
+                return Some(s.reason.clone());
+            }
+        }
+        None
+    }
+
+    /// True if any comment overlapping `lines` (inclusive range) satisfies
+    /// `pred` on its text.
+    pub fn comment_in_range(
+        &self,
+        from_line: usize,
+        to_line: usize,
+        pred: impl Fn(&str) -> bool,
+    ) -> bool {
+        self.lexed
+            .comments
+            .iter()
+            .any(|c| c.end_line >= from_line && c.line <= to_line && pred(&c.text))
+    }
+}
+
+/// Scans for `#[cfg(test)]` and `#[test]` attributes and brace-matches the
+/// following item to get its line extent.
+fn find_test_regions(lexed: &Lexed) -> Vec<(usize, usize)> {
+    let toks = &lexed.tokens;
+    let mut regions = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        // `#` `[` ...
+        if toks[i].is_punct('#') && toks.get(i + 1).map(|t| t.is_punct('[')).unwrap_or(false) {
+            let is_test_attr = match toks.get(i + 2) {
+                Some(t) if t.is_ident("test") => true,
+                Some(t) if t.is_ident("cfg") => {
+                    // `cfg(test)` — accept `test` anywhere inside the
+                    // attribute parens (covers `cfg(all(test, ...))`).
+                    let mut j = i + 3;
+                    let mut depth = 0usize;
+                    let mut found = false;
+                    while let Some(tk) = toks.get(j) {
+                        if tk.is_punct('[') || tk.is_punct('(') {
+                            depth += 1;
+                        } else if tk.is_punct(']') {
+                            if depth == 0 {
+                                break;
+                            }
+                            depth -= 1;
+                        } else if tk.is_punct(')') {
+                            depth = depth.saturating_sub(1);
+                        } else if tk.is_ident("test") {
+                            found = true;
+                        }
+                        j += 1;
+                    }
+                    found
+                }
+                _ => false,
+            };
+            if is_test_attr {
+                // Find the item's opening brace, then its matching close.
+                let mut j = i + 2;
+                while let Some(tk) = toks.get(j) {
+                    if tk.is_punct('{') {
+                        break;
+                    }
+                    // A `;` before any `{` means the item has no body
+                    // (e.g. `#[cfg(test)] mod tests;`) — skip.
+                    if tk.is_punct(';') {
+                        j = usize::MAX;
+                        break;
+                    }
+                    j += 1;
+                }
+                if j != usize::MAX {
+                    if let Some(open) = toks.get(j) {
+                        let start = toks[i].line.min(open.line);
+                        let mut depth = 0usize;
+                        let mut end = open.line;
+                        while let Some(tk) = toks.get(j) {
+                            if tk.is_punct('{') {
+                                depth += 1;
+                            } else if tk.is_punct('}') {
+                                depth -= 1;
+                                if depth == 0 {
+                                    end = tk.line;
+                                    break;
+                                }
+                            }
+                            j += 1;
+                        }
+                        regions.push((start, end));
+                        i = j;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    regions
+}
+
+/// Parses `lint: allow(rule, reason...)` out of every comment. A malformed
+/// suppression (missing rule or empty reason) is reported by the engine as
+/// its own diagnostic, so it is returned with an empty reason here.
+fn parse_suppressions(f: &SourceFile) -> Vec<Suppression> {
+    let mut out = Vec::new();
+    for c in &f.lexed.comments {
+        let text = c.text.trim();
+        let Some(rest) = text.strip_prefix("lint:") else { continue };
+        let rest = rest.trim_start();
+        let Some(rest) = rest.strip_prefix("allow") else { continue };
+        let rest = rest.trim_start();
+        let body = rest
+            .strip_prefix('(')
+            .and_then(|r| r.rfind(')').map(|end| &r[..end]))
+            .unwrap_or("");
+        let (rule, reason) = match body.split_once(',') {
+            Some((r, why)) => (r.trim().to_string(), why.trim().to_string()),
+            None => (body.trim().to_string(), String::new()),
+        };
+        // Coverage: the comment's own line(s); an own-line comment also
+        // covers the next line that carries a token.
+        let mut end = c.end_line;
+        if !c.trailing {
+            if let Some(next) = f
+                .lexed
+                .tokens
+                .iter()
+                .map(|t| t.line)
+                .find(|&l| l > c.end_line)
+            {
+                end = next;
+            }
+        }
+        out.push(Suppression {
+            rule,
+            reason,
+            line: c.line,
+            covers: (c.line, end),
+            used: std::cell::Cell::new(false),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sf(src: &str) -> SourceFile {
+        SourceFile::parse("test.rs".into(), src, FileClass::default())
+    }
+
+    #[test]
+    fn cfg_test_module_extent() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn live2() {}\n";
+        let f = sf(src);
+        assert!(!f.in_test_code(1));
+        assert!(f.in_test_code(2));
+        assert!(f.in_test_code(4));
+        assert!(f.in_test_code(5));
+        assert!(!f.in_test_code(6));
+    }
+
+    #[test]
+    fn test_fn_extent() {
+        let src = "#[test]\nfn t() {\n    x();\n}\nfn live() {}\n";
+        let f = sf(src);
+        assert!(f.in_test_code(3));
+        assert!(!f.in_test_code(5));
+    }
+
+    #[test]
+    fn suppression_parsing_and_coverage() {
+        let src = "// lint: allow(panic-freedom, contract violation is unrecoverable)\nfoo.unwrap();\nbar.unwrap(); // lint: allow(determinism, trailing case)\n";
+        let f = sf(src);
+        assert_eq!(f.suppressions.len(), 2);
+        let s0 = &f.suppressions[0];
+        assert_eq!(s0.rule, "panic-freedom");
+        assert_eq!(s0.covers, (1, 2));
+        assert!(s0.reason.contains("unrecoverable"));
+        let s1 = &f.suppressions[1];
+        assert_eq!(s1.covers, (3, 3));
+        assert!(f.suppression_for("panic-freedom", 2).is_some());
+        assert!(f.suppression_for("panic-freedom", 3).is_none());
+        assert!(f.suppression_for("determinism", 3).is_some());
+    }
+
+    #[test]
+    fn missing_reason_yields_empty_reason() {
+        let f = sf("// lint: allow(unsafe-audit)\nunsafe {}\n");
+        assert_eq!(f.suppressions[0].rule, "unsafe-audit");
+        assert!(f.suppressions[0].reason.is_empty());
+    }
+}

@@ -1,0 +1,13 @@
+//! Fixture: every forbidden nondeterminism source outside the whitelist.
+
+use std::time::{Duration, Instant, SystemTime};
+
+pub fn stamp() -> bool {
+    let t = Instant::now();
+    let w = SystemTime::now();
+    std::thread::sleep(Duration::from_millis(1));
+    if w.elapsed().is_err() {
+        std::process::exit(1);
+    }
+    t.elapsed() > Duration::ZERO
+}

@@ -1,0 +1,10 @@
+//! Fixture: panicking constructs forbidden in a hot-path module.
+
+pub fn prepare(slot: Option<usize>, res: Result<usize, ()>) -> usize {
+    let a = slot.unwrap();
+    let b = res.expect("prep failed");
+    if a + b == 0 {
+        panic!("empty batch");
+    }
+    unimplemented!()
+}

@@ -1,0 +1,12 @@
+//! Fixture: one unjustified `Ordering::Relaxed` next to a justified one.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub fn bump(c: &AtomicUsize) -> usize {
+    c.fetch_add(1, Ordering::Relaxed)
+}
+
+pub fn bump_justified(c: &AtomicUsize) -> usize {
+    // Relaxed ordering suffices: the counter is purely diagnostic.
+    c.fetch_add(1, Ordering::Relaxed)
+}

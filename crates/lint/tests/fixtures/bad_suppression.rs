@@ -1,0 +1,7 @@
+//! Fixture: a suppression with no reason — the suppression itself is
+//! flagged, and that meta-diagnostic cannot be suppressed.
+
+pub fn f(v: Option<u32>) -> u32 {
+    // lint: allow(panic-freedom)
+    v.unwrap()
+}

@@ -1,0 +1,6 @@
+//! Fixture: an unsafe block with no justification comment.
+
+pub fn read_first(data: &[u8]) -> u8 {
+    let p = data.as_ptr();
+    unsafe { *p }
+}

@@ -1,0 +1,19 @@
+//! Fixture: documented `unsafe` passes the audit.
+
+/// Reads the pointee.
+///
+/// # Safety
+///
+/// `p` must point to a readable, initialized byte.
+pub unsafe fn read_raw(p: *const u8) -> u8 {
+    *p
+}
+
+pub fn read_first(data: &[u8]) -> Option<u8> {
+    if data.is_empty() {
+        return None;
+    }
+    // SAFETY: the emptiness check above guarantees `as_ptr` points at a
+    // live first element of the slice.
+    Some(unsafe { *data.as_ptr() })
+}

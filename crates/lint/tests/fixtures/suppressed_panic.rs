@@ -1,0 +1,6 @@
+//! Fixture: a hot-path unwrap silenced by a well-formed suppression.
+
+pub fn checked(slot: Option<usize>) -> usize {
+    // lint: allow(panic-freedom, the slot is filled at construction; None is unreachable through the public API)
+    slot.unwrap()
+}

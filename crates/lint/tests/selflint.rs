@@ -1,0 +1,62 @@
+//! Self-lint: the live workspace must stay at zero unsuppressed findings.
+//!
+//! This is the same pass `scripts/ci.sh` runs; keeping it as a cargo test
+//! means `cargo test` alone catches a regression (a SAFETY-free unsafe
+//! block, a hot-path unwrap, a lock-order inversion) without the CI
+//! wrapper.
+
+use std::path::Path;
+
+fn workspace_root() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn workspace_has_zero_unsuppressed_findings() {
+    let report = salient_lint::run(&workspace_root()).expect("lint pass");
+    let bad: Vec<String> = report
+        .unsuppressed()
+        .map(|d| d.render_text())
+        .collect();
+    assert!(
+        bad.is_empty(),
+        "unsuppressed lint findings:\n{}",
+        bad.join("\n")
+    );
+    // Sanity: the walk actually covered the workspace.
+    assert!(
+        report.files_scanned > 50,
+        "only {} files scanned — wrong root?",
+        report.files_scanned
+    );
+}
+
+#[test]
+fn every_unsafe_site_is_documented() {
+    let report = salient_lint::run(&workspace_root()).expect("lint pass");
+    let undocumented: Vec<String> = report
+        .unsafe_inventory
+        .iter()
+        .filter(|s| s.safety.is_empty())
+        .map(|s| format!("{}:{} {}", s.file, s.line, s.snippet))
+        .collect();
+    assert!(undocumented.is_empty(), "{}", undocumented.join("\n"));
+    assert!(
+        !report.unsafe_inventory.is_empty(),
+        "inventory is empty — the tensor kernels contain unsafe code"
+    );
+}
+
+#[test]
+fn workspace_manifests_are_dependency_free() {
+    let diags = salient_lint::run_deps(&workspace_root()).expect("deps pass");
+    assert!(
+        diags.is_empty(),
+        "non-path dependencies:\n{}",
+        diags
+            .iter()
+            .map(|d| d.render_text())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

@@ -22,6 +22,7 @@ static NEXT_PARAM_ID: AtomicU64 = AtomicU64::new(0);
 
 impl ParamId {
     fn fresh() -> Self {
+        // Relaxed: ids only need to be unique, not ordered with anything.
         ParamId(NEXT_PARAM_ID.fetch_add(1, Ordering::Relaxed))
     }
 }

@@ -267,6 +267,12 @@ mod simd {
 
     /// Mask with the first `rem` (1..=8) lanes enabled, for
     /// `maskload`/`maskstore` on partial column tiles.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX is available and `rem` is in `1..=8`: the
+    /// unaligned load reads 8 lanes starting at `M[8 - rem]`, which stays
+    /// inside the 16-entry table only for that range.
     #[target_feature(enable = "avx")]
     unsafe fn tail_mask(rem: usize) -> __m256i {
         const M: [i32; 16] = [-1, -1, -1, -1, -1, -1, -1, -1, 0, 0, 0, 0, 0, 0, 0, 0];
@@ -443,6 +449,10 @@ fn gemm_into(
                 // Row blocks are disjoint in i, so chunks never alias.
                 #[cfg(target_arch = "x86_64")]
                 if simd::available() {
+                    // SAFETY: `available()` checked AVX2+FMA; `out_ptr`
+                    // spans the m×n output, rows [i0, i1) are exclusive to
+                    // this task, and the packed operands cover mb×kcb and
+                    // kcb×ncb as `kernel_block` requires.
                     unsafe {
                         let out0 = out_ptr.0.add(i0 * n + jc);
                         simd::kernel_block(apack.as_ptr(), bp.as_ptr(), out0, n, mb, kcb, ncb);
@@ -452,6 +462,9 @@ fn gemm_into(
                 }
                 for i in 0..mb {
                     let arow = &apack[i * kcb..(i + 1) * kcb];
+                    // SAFETY: output row i0 + i < m and jc + ncb <= n, so
+                    // the slice stays inside the output buffer; row blocks
+                    // are disjoint across tasks, so it is never aliased.
                     let orow =
                         unsafe { out_ptr.slice_mut((i0 + i) * n + jc, ncb) };
                     kernel_row(arow, bp, orow, kcb, ncb);
@@ -524,6 +537,9 @@ pub fn gather_rows_forward(xd: &[f32], cols: usize, idx: &[u32]) -> Vec<f32> {
     }
     let out_ptr = SendPtr(out.as_mut_ptr());
     parallel_for(idx.len(), AGG_MIN_CHUNK, &|e0, e1| {
+        // SAFETY: `out` has idx.len()·cols elements and parallel_for hands
+        // each task a disjoint [e0, e1) row range, so the slice is in
+        // bounds and unaliased.
         let orows = unsafe { out_ptr.slice_mut(e0 * cols, (e1 - e0) * cols) };
         for (e, orow) in (e0..e1).zip(orows.chunks_exact_mut(cols)) {
             let i = idx[e] as usize;
@@ -542,6 +558,9 @@ pub fn gather_rows_backward(gd: &[f32], cols: usize, idx: &[u32], n_src: usize) 
     with_csr(idx, n_src, |offsets, order| {
         let dx_ptr = SendPtr(dx.as_mut_ptr());
         let body = |r0: usize, r1: usize| {
+            // SAFETY: `dx` has n_src·cols elements and tasks receive
+            // disjoint destination-row ranges [r0, r1) ⊆ [0, n_src), so the
+            // slice is in bounds and unaliased.
             let rows = unsafe { dx_ptr.slice_mut(r0 * cols, (r1 - r0) * cols) };
             for (r, drow) in (r0..r1).zip(rows.chunks_exact_mut(cols)) {
                 for &e in &order[offsets[r] as usize..offsets[r + 1] as usize] {
@@ -579,6 +598,9 @@ pub fn scatter_reduce_forward(
     with_csr(dst, n_dst, |offsets, order| {
         let out_ptr = SendPtr(out.as_mut_ptr());
         let body = |d0: usize, d1: usize| {
+            // SAFETY: `out` has n_dst·cols elements and tasks receive
+            // disjoint destination-row ranges [d0, d1) ⊆ [0, n_dst), so the
+            // slice is in bounds and unaliased.
             let rows = unsafe { out_ptr.slice_mut(d0 * cols, (d1 - d0) * cols) };
             for (d, orow) in (d0..d1).zip(rows.chunks_exact_mut(cols)) {
                 let edges = &order[offsets[d] as usize..offsets[d + 1] as usize];
@@ -625,6 +647,9 @@ pub fn scatter_reduce_backward(
     with_csr(src, n_src, |offsets, order| {
         let dx_ptr = SendPtr(dx.as_mut_ptr());
         let body = |s0: usize, s1: usize| {
+            // SAFETY: `dx` has n_src·cols elements and tasks receive
+            // disjoint source-row ranges [s0, s1) ⊆ [0, n_src), so the
+            // slice is in bounds and unaliased.
             let rows = unsafe { dx_ptr.slice_mut(s0 * cols, (s1 - s0) * cols) };
             for (s, drow) in (s0..s1).zip(rows.chunks_exact_mut(cols)) {
                 for &e in &order[offsets[s] as usize..offsets[s + 1] as usize] {

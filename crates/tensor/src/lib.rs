@@ -19,7 +19,9 @@
 //!   and fused CSR gather/scatter aggregation;
 //! * [`pool`] — the std-only work-sharing thread pool those kernels run on
 //!   (sized by `SALIENT_NUM_THREADS` or the machine's parallelism);
-//! * [`rng`] — the workspace's dependency-free xoshiro256** RNG.
+//! * [`rng`] — the workspace's dependency-free xoshiro256** RNG;
+//! * [`sync`] — poison-tolerant lock helpers for hot-path modules that must
+//!   survive a recovered worker panic.
 //!
 //! # Example
 //!
@@ -58,6 +60,7 @@ pub mod optim;
 pub mod pool;
 pub mod rng;
 pub mod schedule;
+pub mod sync;
 
 pub use autograd::{Gradients, Param, ParamId, Tape, Var};
 pub use f16::{dequantize_into, quantize, F16};

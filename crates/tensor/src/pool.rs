@@ -35,9 +35,12 @@ struct Job {
     panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
 }
 
-// The raw pointer is only dereferenced while the submitting call frame is
-// alive (it waits for all workers); the pointee is Sync.
+// SAFETY: the raw `task` pointer is only dereferenced while the submitting
+// call frame is alive (`run` blocks until every worker finishes the job),
+// and the pointee is `Sync`, so sharing the pointer across threads is sound.
 unsafe impl Send for Job {}
+// SAFETY: see the Send justification above — shared access is read-only
+// through a `Sync` pointee.
 unsafe impl Sync for Job {}
 
 struct PoolState {
@@ -142,8 +145,13 @@ impl ThreadPool {
     /// a chunk is caught (so the pool's accounting stays consistent), its
     /// payload stashed, and re-raised on the submitting thread.
     fn drain(&self, job: &Job) {
+        // SAFETY: `job.task` was erased from a live borrow in `run`, which
+        // does not return until this job completes, so the pointee outlives
+        // every dereference here.
         let task = unsafe { &*job.task };
         loop {
+            // Chunk claiming only needs each index handed out once and
+            // publishes nothing, so relaxed ordering is sufficient.
             let i = job.next.fetch_add(1, Ordering::Relaxed);
             if i >= job.n_chunks {
                 return;
@@ -153,6 +161,8 @@ impl ThreadPool {
             {
                 // Poison the job: skip remaining chunks fast. Keep the first
                 // payload (later racers lose) for the submitter to re-raise.
+                // Relaxed: the store is an optimization hint; stragglers
+                // that miss it merely run extra chunks.
                 job.next.store(job.n_chunks, Ordering::Relaxed);
                 let mut slot = job.panic_payload.lock().unwrap();
                 if slot.is_none() {
@@ -178,7 +188,9 @@ impl ThreadPool {
             return;
         }
         let _submit = self.submit.lock().unwrap();
-        // Erase the borrow; workers only touch it before `run` returns.
+        // SAFETY: the transmute only erases the borrow's lifetime; workers
+        // dereference it exclusively between job publication below and the
+        // completion wait at the end of this call, while `task` is borrowed.
         let erased: *const (dyn Fn(usize) + Sync) =
             unsafe { std::mem::transmute::<_, &'static (dyn Fn(usize) + Sync)>(task) };
         let job = std::sync::Arc::new(Job {
@@ -249,7 +261,11 @@ pub fn parallel_for(len: usize, min_chunk: usize, body: &(dyn Fn(usize, usize) +
 /// regions.
 #[derive(Clone, Copy)]
 pub(crate) struct SendPtr<T>(pub *mut T);
+// SAFETY: the wrapper adds no operations of its own; every dereference goes
+// through `slice_mut`, whose contract obliges callers to hand disjoint
+// in-bounds regions to each thread.
 unsafe impl<T> Send for SendPtr<T> {}
+// SAFETY: as above — soundness is delegated to the `slice_mut` contract.
 unsafe impl<T> Sync for SendPtr<T> {}
 
 impl<T> SendPtr<T> {
@@ -347,6 +363,8 @@ mod tests {
         let mut data = vec![0u32; 512];
         let ptr = SendPtr(data.as_mut_ptr());
         parallel_for(512, 8, &|s, e| {
+            // SAFETY: parallel_for hands each task a disjoint [s, e) range
+            // inside the 512-element buffer.
             let out = unsafe { ptr.slice_mut(s, e - s) };
             for (k, o) in out.iter_mut().enumerate() {
                 *o = (s + k) as u32;

@@ -253,10 +253,12 @@ impl StdRng {
     pub fn from_entropy() -> Self {
         use std::sync::atomic::{AtomicU64, Ordering};
         static COUNTER: AtomicU64 = AtomicU64::new(0);
+        // lint: allow(determinism, from_entropy is the one documented nondeterministic seed source; reproducible paths use seed_from_u64)
         let t = std::time::SystemTime::now()
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_nanos() as u64)
             .unwrap_or(0);
+        // Relaxed: the counter only needs unique values per call.
         let c = COUNTER.fetch_add(1, Ordering::Relaxed);
         Self::seed_from_u64(t ^ c.rotate_left(32) ^ 0xA076_1D64_78BD_642F)
     }

@@ -1,0 +1,87 @@
+//! Poison-tolerant lock helpers.
+//!
+//! A panicking batch-prep worker poisons any `Mutex` it held; the fault
+//! layer (PR 2) catches the panic and retries the batch, so the lock's
+//! *data* is still consistent — every structure guarded in this workspace
+//! (channel queues, retry deques, pool job slots) keeps its invariants
+//! between mutations. Propagating the poison with `.unwrap()` would turn
+//! one recovered worker panic into a cascade that kills the whole prep
+//! pipeline, which is exactly what the supervised-recovery layer exists to
+//! prevent. These helpers recover the guard from a poisoned lock instead of
+//! panicking; the hot-path `panic-freedom` lint forbids the bare
+//! `.lock().unwrap()` pattern.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, WaitTimeoutResult};
+use std::time::Duration;
+
+/// Locks `m`, recovering the guard if a previous holder panicked.
+#[inline]
+pub fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// `Condvar::wait` that recovers the guard from a poisoned lock.
+#[inline]
+pub fn wait_unpoisoned<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// `Condvar::wait_timeout` that recovers the guard from a poisoned lock.
+#[inline]
+pub fn wait_timeout_unpoisoned<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    dur: Duration,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    cv.wait_timeout(guard, dur)
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    #[test]
+    fn lock_recovers_after_holder_panicked() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_unpoisoned(&m), 7);
+        *lock_unpoisoned(&m) = 8;
+        assert_eq!(*lock_unpoisoned(&m), 8);
+    }
+
+    #[test]
+    fn wait_timeout_returns_on_deadline() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let g = lock_unpoisoned(&m);
+        let (_g, timed_out) = wait_timeout_unpoisoned(&cv, g, Duration::from_millis(5));
+        assert!(timed_out.timed_out());
+    }
+
+    #[test]
+    fn wait_wakes_on_notify() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*pair2;
+            let mut done = lock_unpoisoned(m);
+            while !*done {
+                done = wait_unpoisoned(cv, done);
+            }
+        });
+        {
+            let (m, cv) = &*pair;
+            *lock_unpoisoned(m) = true;
+            cv.notify_all();
+        }
+        h.join().unwrap();
+    }
+}

@@ -1,38 +1,20 @@
 #!/usr/bin/env bash
-# CI entry point: offline build + full test suite + dependency-freedom guard.
+# CI entry point: static analysis + offline build + full test suite.
 #
-# The workspace is intentionally dependency-free (std only, path deps
-# between the salient-* crates). The guard below fails the build if any
-# manifest reintroduces a crates.io / git dependency, so `--offline` can
-# never silently start meaning "from the local registry cache".
+# The lint tier runs first: salient-lint (crates/lint) enforces the
+# workspace's standing invariants — documented unsafe, panic-free hot
+# paths, no wall-clock reads outside sim/bench/CLI code, acyclic lock
+# orders, and dependency freedom (std only, path deps between the
+# salient-* crates, so `--offline` can never silently start meaning
+# "from the local registry cache").
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== guard: no non-path dependencies"
-fail=0
-for manifest in Cargo.toml crates/*/Cargo.toml; do
-  # Inside [dependencies]/[dev-dependencies]/[build-dependencies] (and the
-  # workspace.dependencies table), every entry must be a path or workspace
-  # dependency. Version-only entries (`foo = "1.0"` or `version = ...`
-  # without `path = ...`) and git entries are rejected.
-  bad=$(awk '
-    /^\[/ { in_dep = ($0 ~ /dependencies\]$/ || $0 ~ /dependencies\./) }
-    in_dep && /^[a-zA-Z0-9_-]+[ \t]*=/ {
-      if ($0 !~ /path[ \t]*=/ && $0 !~ /workspace[ \t]*=[ \t]*true/) print
-    }
-    in_dep && /git[ \t]*=/ { print }
-  ' "$manifest")
-  if [ -n "$bad" ]; then
-    echo "non-path dependency in $manifest:" >&2
-    echo "$bad" >&2
-    fail=1
-  fi
-done
-if [ "$fail" -ne 0 ]; then
-  echo "dependency-freedom guard FAILED" >&2
-  exit 1
-fi
-echo "ok"
+echo "== lint: workspace invariants (salient-lint)"
+cargo run -q --release -p salient-lint --offline -- check
+
+echo "== lint: dependency-freedom guard (salient-lint deps)"
+cargo run -q --release -p salient-lint --offline -- deps
 
 echo "== build (release, offline)"
 cargo build --release --offline
