@@ -35,9 +35,10 @@ use salient_fault as fault;
 use salient_graph::{Dataset, NodeId};
 use salient_sampler::{FastSampler, MessageFlowGraph, PygSampler};
 use salient_tensor::F16;
+use salient_trace::{names, Counter, Histogram, Trace, NO_BATCH};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::Duration;
 
 /// Work-distribution and copy behaviour of the pool.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -82,6 +83,11 @@ pub struct PrepConfig {
     /// Replacement worker threads the supervisor may spawn in one epoch
     /// after whole-worker deaths.
     pub respawn_budget: usize,
+    /// Tracing handle: workers record per-batch sample/slice/copy spans,
+    /// slot-wait backpressure, and fault events against it. The default
+    /// disabled handle makes every recording site a no-op (no clock reads
+    /// beyond the `PrepTimings` stamps, no allocation).
+    pub trace: Trace,
 }
 
 impl Default for PrepConfig {
@@ -96,6 +102,7 @@ impl Default for PrepConfig {
             seed: 0,
             retry_budget: 1,
             respawn_budget: 1,
+            trace: Trace::disabled(),
         }
     }
 }
@@ -199,6 +206,28 @@ impl SharedFaultStats {
     }
 }
 
+/// Metric handles looked up once per epoch so the per-batch hot path is a
+/// handful of relaxed atomic adds (no registry locks, no allocation).
+struct PrepInstruments {
+    batches: Counter,
+    nodes: Counter,
+    edges: Counter,
+    bytes: Counter,
+    batch_ns: Histogram,
+}
+
+impl PrepInstruments {
+    fn new(trace: &Trace) -> PrepInstruments {
+        PrepInstruments {
+            batches: trace.counter(names::counters::BATCHES),
+            nodes: trace.counter(names::counters::PREP_NODES),
+            edges: trace.counter(names::counters::PREP_EDGES),
+            bytes: trace.counter(names::counters::PREP_BYTES),
+            batch_ns: trace.histogram(names::hists::PREP_BATCH_NS),
+        }
+    }
+}
+
 /// Everything a worker (or the inline fallback) needs, shared by Arc so the
 /// supervisor can respawn workers with identical context.
 struct WorkerCtx {
@@ -211,6 +240,7 @@ struct WorkerCtx {
     cfg: PrepConfig,
     cancel: Arc<AtomicBool>,
     faults: Arc<SharedFaultStats>,
+    instruments: PrepInstruments,
 }
 
 /// Exit notifications workers send the supervisor. Clean exits carry the
@@ -329,6 +359,7 @@ pub fn run_epoch(dataset: &Arc<Dataset>, order: &[NodeId], cfg: &PrepConfig) -> 
         retries: Arc::new(RetryQueue::new()),
         pool: pool.clone(),
         tx,
+        instruments: PrepInstruments::new(&cfg.trace),
         cfg: cfg.clone(),
         cancel: Arc::clone(&cancel),
         faults: Arc::new(SharedFaultStats::default()),
@@ -398,6 +429,8 @@ fn supervise_epoch(ctx: &Arc<WorkerCtx>) -> (EpochPrepStats, FaultStats) {
             }
             WorkerMsg::Panicked { id } => {
                 ctx.faults.worker_panics.fetch_add(1, Ordering::AcqRel);
+                ctx.cfg.trace.add(names::counters::WORKER_PANICS, 1);
+                ctx.cfg.trace.instant(names::events::WORKER_PANIC, id as u64);
                 if let Some(h) = handles.get_mut(id).and_then(Option::take) {
                     let _ = h.join(); // reap; the payload was already counted
                 }
@@ -409,6 +442,8 @@ fn supervise_epoch(ctx: &Arc<WorkerCtx>) -> (EpochPrepStats, FaultStats) {
                 {
                     respawns_used += 1;
                     ctx.faults.respawns.fetch_add(1, Ordering::AcqRel);
+                    ctx.cfg.trace.add(names::counters::RESPAWNS, 1);
+                    ctx.cfg.trace.instant(names::events::RESPAWN, id as u64);
                     // Reuse the dead worker's id: under static partitioning
                     // the id *is* the partition, so the replacement inherits
                     // the orphaned items.
@@ -428,6 +463,8 @@ fn supervise_epoch(ctx: &Arc<WorkerCtx>) -> (EpochPrepStats, FaultStats) {
         && (ctx.source.remaining() > 0 || !ctx.retries.is_empty())
     {
         ctx.faults.degraded_inline.store(true, Ordering::Release);
+        ctx.cfg.trace.add(names::counters::DEGRADED, 1);
+        ctx.cfg.trace.instant(names::events::DEGRADED_INLINE, NO_BATCH);
         let stats = worker_loop(ctx, 0, true);
         total.merge(&stats);
     }
@@ -489,6 +526,7 @@ fn worker_loop(ctx: &WorkerCtx, worker: usize, inline: bool) -> EpochPrepStats {
             Ok(None) => break, // cancelled while waiting for a slot
             Err(_panic) => {
                 ctx.faults.item_panics.fetch_add(1, Ordering::AcqRel);
+                ctx.cfg.trace.add(names::counters::ITEM_PANICS, 1);
                 // The shared sampler may have been mid-update when it
                 // unwound; rebuild it before touching another batch.
                 if retry_sampler.is_none() {
@@ -496,9 +534,13 @@ fn worker_loop(ctx: &WorkerCtx, worker: usize, inline: bool) -> EpochPrepStats {
                 }
                 if attempt < ctx.cfg.retry_budget {
                     ctx.faults.retries.fetch_add(1, Ordering::AcqRel);
+                    ctx.cfg.trace.add(names::counters::RETRIES, 1);
+                    ctx.cfg.trace.instant(names::events::RETRY, item.batch_id as u64);
                     ctx.retries.push(item, attempt + 1);
                 } else {
                     ctx.faults.failed_batches.fetch_add(1, Ordering::AcqRel);
+                    ctx.cfg.trace.add(names::counters::FAILED_BATCHES, 1);
+                    ctx.cfg.trace.instant(names::events::FAILED_BATCH, item.batch_id as u64);
                     let failed = BatchResult::Failed {
                         batch_id: item.batch_id,
                         attempts: attempt + 1,
@@ -525,45 +567,68 @@ fn prepare_item(
 ) -> Option<PreparedBatch> {
     let dim = ctx.dataset.features.dim();
     let batch_nodes = &ctx.order[item.start..item.end];
+    let trace = &ctx.cfg.trace;
+    // All stage stamps come from the trace clock (the workspace's sanctioned
+    // time source), so the same code path is timed deterministically under a
+    // VirtualClock in tests. A disabled trace falls back to the monotonic
+    // clock and every record_span below is a no-op.
+    let clock = trace.clock();
+    let bid = item.batch_id as u64;
 
-    // lint: allow(determinism, monotonic per-phase timing for the paper's sample/slice/copy breakdown; never feeds control flow)
-    let t0 = Instant::now();
-    fault::fire(fault::sites::PREP_SAMPLE, item.batch_id as u64);
+    let t0 = clock.now_ns();
+    fault::fire(fault::sites::PREP_SAMPLE, bid);
     let mfg = sampler.sample(&ctx.dataset.graph, batch_nodes, &ctx.cfg.fanouts);
-    let sample = t0.elapsed();
+    let sampled = clock.now_ns();
+    trace.record_span(names::spans::PREP_SAMPLE, bid, t0, sampled);
 
     // Slots can all be parked in unconsumed batches of a cancelled epoch;
     // the cancellable acquire sleeps on the pool and is woken either by a
-    // freed slot or by cancellation draining the batch channel.
+    // freed slot or by cancellation draining the batch channel. The wait is
+    // recorded as backpressure, not preparation work.
     let mut slot = ctx.pool.acquire_cancellable(&ctx.cancel)?;
+    let acquired = clock.now_ns();
+    trace.record_span(names::spans::SLOT_WAIT, bid, sampled, acquired);
     slot.prepare(mfg.num_nodes(), dim, mfg.batch_size());
 
-    // lint: allow(determinism, monotonic timing for the slice-phase stat; never feeds control flow)
-    let t1 = Instant::now();
-    fault::fire(fault::sites::PREP_SLICE, item.batch_id as u64);
-    let mut copy = std::time::Duration::ZERO;
-    match ctx.cfg.mode {
+    let t1 = clock.now_ns();
+    fault::fire(fault::sites::PREP_SLICE, bid);
+    let (slice_ns, copy_ns) = match ctx.cfg.mode {
         PrepMode::SharedMemory => {
             // Zero-copy: slice straight into the pinned slot.
             slice_batch_into(&ctx.dataset, &mfg, &mut slot);
+            let sliced = clock.now_ns();
+            trace.record_span(names::spans::PREP_SLICE, bid, t1, sliced);
+            (sliced.saturating_sub(t1), 0)
         }
         PrepMode::Multiprocessing => {
             // Slice into worker-private memory…
             private.resize(mfg.num_nodes() * dim, F16::ZERO);
             private_labels.resize(mfg.batch_size(), 0);
             slice_batch(&ctx.dataset, &mfg, private, private_labels);
+            let sliced = clock.now_ns();
+            trace.record_span(names::spans::PREP_SLICE, bid, t1, sliced);
             // …then pay the shared-memory copy.
-            // lint: allow(determinism, monotonic timing for the copy-phase stat; never feeds control flow)
-            let t2 = Instant::now();
             slot.features_mut().copy_from_slice(private);
             slot.labels_mut().copy_from_slice(private_labels);
-            copy = t2.elapsed();
+            let copied = clock.now_ns();
+            trace.record_span(names::spans::PREP_COPY, bid, sliced, copied);
+            (sliced.saturating_sub(t1), copied.saturating_sub(sliced))
         }
-    }
-    let slice = t1.elapsed() - copy;
+    };
 
-    let timings = PrepTimings { sample, slice, copy };
+    let timings = PrepTimings {
+        sample: Duration::from_nanos(sampled.saturating_sub(t0)),
+        slice: Duration::from_nanos(slice_ns),
+        copy: Duration::from_nanos(copy_ns),
+    };
     stats.add(mfg.num_nodes(), mfg.num_edges(), slot.payload_bytes(), timings);
+    let ins = &ctx.instruments;
+    ins.batches.inc();
+    ins.nodes.add(mfg.num_nodes() as u64);
+    ins.edges.add(mfg.num_edges() as u64);
+    ins.bytes.add(slot.payload_bytes() as u64);
+    ins.batch_ns
+        .observe(sampled.saturating_sub(t0) + slice_ns + copy_ns);
     Some(PreparedBatch {
         batch_id: item.batch_id,
         mfg,
@@ -693,6 +758,40 @@ mod tests {
         let _first = handle.batches.recv().unwrap();
         // Dropping the handle (and receiver) must not deadlock the workers.
         let _ = handle.join();
+    }
+
+    #[test]
+    fn traced_epoch_matches_inline_stats() {
+        let ds = dataset();
+        let trace = Trace::new(salient_trace::Clock::virtual_with_tick(1_000));
+        let cfg = PrepConfig {
+            batch_size: 32,
+            fanouts: vec![5, 3],
+            mode: PrepMode::Multiprocessing,
+            trace: trace.clone(),
+            ..Default::default()
+        };
+        let handle = run_epoch(&ds, &ds.splits.train.clone(), &cfg);
+        let n = handle.batches.iter().filter_map(BatchResult::ready).count();
+        let stats = handle.join();
+        let snap = trace.snapshot();
+        // The registry view reconstructs exactly what the workers
+        // accumulated inline (both are stamped by the same clock reads).
+        let view = EpochPrepStats::from_snapshot(&snap);
+        assert_eq!(view.batches, n);
+        assert_eq!(view.batches, stats.batches);
+        assert_eq!(view.nodes, stats.nodes);
+        assert_eq!(view.edges, stats.edges);
+        assert_eq!(view.bytes, stats.bytes);
+        assert_eq!(view.timings, stats.timings);
+        // Every batch recorded its stage spans (copy mode records all four).
+        assert_eq!(snap.spans(names::spans::PREP_SAMPLE).count(), n);
+        assert_eq!(snap.spans(names::spans::PREP_SLICE).count(), n);
+        assert_eq!(snap.spans(names::spans::PREP_COPY).count(), n);
+        assert_eq!(snap.spans(names::spans::SLOT_WAIT).count(), n);
+        let hist = snap.metrics.histogram(names::hists::PREP_BATCH_NS).unwrap();
+        assert_eq!(hist.count as usize, n);
+        assert!(hist.quantile(0.5) > 0);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Per-stage timing accounting for batch preparation.
 
+use salient_trace::{names, Snapshot};
 use std::time::Duration;
 
 /// Wall-clock cost of preparing one batch, split by stage.
@@ -57,6 +58,25 @@ impl EpochPrepStats {
         self.timings.sample += other.timings.sample;
         self.timings.slice += other.timings.slice;
         self.timings.copy += other.timings.copy;
+    }
+
+    /// Reconstructs the epoch totals from a trace snapshot: counts come from
+    /// the `prep.*` counters, per-stage times from summing the recorded
+    /// worker spans. Workers stamp both from the same clock reads, so for an
+    /// epoch recorded against an enabled [`salient_trace::Trace`] this view
+    /// equals the inline accumulation.
+    pub fn from_snapshot(snap: &Snapshot) -> EpochPrepStats {
+        EpochPrepStats {
+            batches: snap.metrics.counter(names::counters::BATCHES) as usize,
+            nodes: snap.metrics.counter(names::counters::PREP_NODES) as usize,
+            edges: snap.metrics.counter(names::counters::PREP_EDGES) as usize,
+            bytes: snap.metrics.counter(names::counters::PREP_BYTES) as usize,
+            timings: PrepTimings {
+                sample: Duration::from_nanos(snap.sum_ns(names::spans::PREP_SAMPLE)),
+                slice: Duration::from_nanos(snap.sum_ns(names::spans::PREP_SLICE)),
+                copy: Duration::from_nanos(snap.sum_ns(names::spans::PREP_COPY)),
+            },
+        }
     }
 
     /// Mean sampled nodes per batch.

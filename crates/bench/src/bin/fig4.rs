@@ -13,6 +13,7 @@ use salient_bench::{arg_f64, bar, fmt_s, fmt_x, render_table};
 use salient_core::{ExecutorKind, RunConfig, Trainer};
 use salient_graph::{DatasetConfig, DatasetStats};
 use salient_sim::{simulate_epoch, CostModel, EpochConfig, OptLevel};
+use salient_trace::{analyze, names, Clock, PipelineReport, Trace};
 use std::sync::Arc;
 
 fn main() {
@@ -62,7 +63,10 @@ fn main() {
         DatasetConfig::products_sim(scale),
     ] {
         let ds = Arc::new(cfg.build());
-        let time_of = |executor: ExecutorKind| {
+        // Every number below comes from the trace registry: each executor
+        // trains under its own recorder, and the second epoch's span window
+        // is analyzed into a stall-attribution report.
+        let report_of = |executor: ExecutorKind| -> PipelineReport {
             let run = RunConfig {
                 executor,
                 epochs: 1,
@@ -74,30 +78,41 @@ fn main() {
                 num_workers: 2,
                 ..RunConfig::default()
             };
-            let mut trainer = Trainer::new(Arc::clone(&ds), run);
-            let warm = trainer.train_epoch(); // warm-up epoch
-            let stats = trainer.train_epoch();
-            let _ = warm;
-            stats.timings
+            let mut trainer =
+                Trainer::with_trace(Arc::clone(&ds), run, Trace::new(Clock::monotonic()));
+            trainer.train_epoch(); // warm-up epoch
+            trainer.train_epoch();
+            let snap = trainer.trace().snapshot();
+            let (e0, e1) = snap
+                .spans(names::spans::EPOCH)
+                .map(|ev| (ev.start_ns, ev.end_ns))
+                .max()
+                .expect("the trainer records an epoch span");
+            analyze(&snap.window(e0, e1))
         };
-        let base = time_of(ExecutorKind::Baseline);
-        let sal = time_of(ExecutorKind::Salient);
+        let base = report_of(ExecutorKind::Baseline);
+        let sal = report_of(ExecutorKind::Salient);
+        let s = |ns: u64| ns as f64 / 1e9;
         rows.push(vec![
             ds.name.clone(),
-            fmt_s(base.total_s),
-            fmt_s(sal.total_s),
-            fmt_x(base.total_s / sal.total_s),
-            format!(
-                "prep {} -> {}",
-                fmt_s(base.prep_s),
-                fmt_s(sal.prep_s)
-            ),
+            fmt_s(s(base.window_ns)),
+            fmt_s(s(sal.window_ns)),
+            fmt_x(s(base.window_ns) / s(sal.window_ns)),
+            format!("prep {} -> {}", fmt_s(s(base.prep_ns)), fmt_s(s(sal.prep_ns))),
+            format!("{:.0}%", sal.overlap_frac() * 100.0),
         ]);
     }
     println!(
         "{}",
         render_table(
-            &["Data Set", "Baseline", "SALIENT", "speedup", "prep blocking"],
+            &[
+                "Data Set",
+                "Baseline",
+                "SALIENT",
+                "speedup",
+                "prep blocking",
+                "overlap",
+            ],
             &rows,
         )
     );

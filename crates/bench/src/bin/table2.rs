@@ -9,7 +9,7 @@ use salient_bench::{arg_f64, fmt_s, fmt_x, render_table};
 use salient_graph::{DatasetConfig, DatasetStats};
 use salient_sampler::{FastSampler, PygSampler};
 use salient_sim::{expected_batch, CostModel, Impl};
-use std::time::Instant;
+use salient_trace::{Clock, Trace};
 
 fn main() {
     let model = CostModel::paper_hardware();
@@ -82,21 +82,29 @@ fn main() {
     let batch: Vec<u32> = ds.splits.train.iter().copied().take(512).collect();
     let reps = 6;
 
+    // Timed through the trace registry: each sampler's reps run under a
+    // named span, and the wall-clock totals are read back from the snapshot.
+    let trace = Trace::new(Clock::monotonic());
     let mut pyg = PygSampler::new(7);
-    let t0 = Instant::now();
     let mut pyg_edges = 0usize;
-    for _ in 0..reps {
-        pyg_edges += pyg.sample(&ds.graph, &batch, &fanouts).num_edges();
+    {
+        let _span = trace.span("bench.sample_pyg");
+        for _ in 0..reps {
+            pyg_edges += pyg.sample(&ds.graph, &batch, &fanouts).num_edges();
+        }
     }
-    let pyg_t = t0.elapsed().as_secs_f64();
 
     let mut fast = FastSampler::new(7);
-    let t1 = Instant::now();
     let mut fast_edges = 0usize;
-    for _ in 0..reps {
-        fast_edges += fast.sample(&ds.graph, &batch, &fanouts).num_edges();
+    {
+        let _span = trace.span("bench.sample_fast");
+        for _ in 0..reps {
+            fast_edges += fast.sample(&ds.graph, &batch, &fanouts).num_edges();
+        }
     }
-    let fast_t = t1.elapsed().as_secs_f64();
+    let snap = trace.snapshot();
+    let pyg_t = snap.sum_ns("bench.sample_pyg") as f64 / 1e9;
+    let fast_t = snap.sum_ns("bench.sample_fast") as f64 / 1e9;
 
     println!("Real single-thread sampler measurement (products-sim, scale {scale}):");
     println!(

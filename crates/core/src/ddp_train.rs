@@ -13,6 +13,7 @@ use salient_nn::{build_model, GnnModel, Mode};
 use salient_sampler::FastSampler;
 use salient_tensor::optim::{zero_grads, Adam, Optimizer};
 use salient_tensor::Tape;
+use salient_trace::{names, Trace};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -81,19 +82,44 @@ pub fn train_ddp(
     config: &RunConfig,
     ranks: usize,
 ) -> Result<DdpRunResult, DdpError> {
+    train_ddp_traced(dataset, config, ranks, &Trace::disabled())
+}
+
+/// Like [`train_ddp`], recording each rank's per-epoch spans and the ring's
+/// `ddp.step` communication spans (plus bytes/steps counters) into `trace`.
+///
+/// # Errors
+///
+/// See [`train_ddp`].
+///
+/// # Panics
+///
+/// Panics if `ranks == 0`.
+pub fn train_ddp_traced(
+    dataset: &Arc<Dataset>,
+    config: &RunConfig,
+    ranks: usize,
+    trace: &Trace,
+) -> Result<DdpRunResult, DdpError> {
     assert!(ranks > 0, "need at least one rank");
     config.validate();
-    // lint: allow(determinism, monotonic wall-time metric for the run report; never feeds control flow)
-    let start = std::time::Instant::now();
+    // Wall time comes from the trace clock (the monotonic clock when the
+    // handle is disabled), so DDP runs are timeable under a VirtualClock.
+    let clock = trace.clock();
+    let start_ns = clock.now_ns();
     let timeout = Duration::from_millis(config.comm_timeout_ms);
-    let comms = Communicator::ring_with_timeout(ranks, timeout);
+    let comms = Communicator::ring_traced(ranks, timeout, trace);
     let mut handles = Vec::with_capacity(ranks);
     for (rank, comm) in comms.into_iter().enumerate() {
         let dataset = Arc::clone(dataset);
         let config = config.clone();
-        handles.push(std::thread::spawn(move || {
-            rank_loop(rank, ranks, comm, dataset, config)
-        }));
+        let trace = trace.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("salient-ddp-rank-{rank}"))
+            .spawn(move || rank_loop(rank, ranks, comm, dataset, config, trace))
+            // lint: allow(panic-freedom, thread-spawn failure is unrecoverable resource exhaustion at run start)
+            .expect("failed to spawn ddp rank");
+        handles.push(handle);
     }
     let mut results: Vec<(Box<dyn GnnModel>, Vec<f64>)> = Vec::with_capacity(ranks);
     let mut first_err: Option<DdpError> = None;
@@ -119,7 +145,7 @@ pub fn train_ddp(
     Ok(DdpRunResult {
         model,
         epoch_losses,
-        wall_s: start.elapsed().as_secs_f64(),
+        wall_s: clock.now_ns().saturating_sub(start_ns) as f64 / 1e9,
     })
 }
 
@@ -129,6 +155,7 @@ fn rank_loop(
     comm: Communicator,
     dataset: Arc<Dataset>,
     config: RunConfig,
+    trace: Trace,
 ) -> Result<(Box<dyn GnnModel>, Vec<f64>), CommError> {
     // Whole-rank fault site: a Panic here kills the rank thread, and its
     // peers' step deadlines convert the silence into typed errors.
@@ -150,6 +177,8 @@ fn rank_loop(
     let mut epoch_losses = Vec::with_capacity(config.epochs);
 
     for epoch in 0..config.epochs {
+        // One span per (rank, epoch): rank-level occupancy in the reports.
+        let _rank_epoch = trace.span_batch(names::spans::RANK_EPOCH, epoch as u64);
         // All ranks shuffle identically, then shard by iteration.
         let mut order = dataset.splits.train.clone();
         let mut shuffle_rng = StdRng::seed_from_u64(config.seed ^ 0xE90C ^ epoch as u64);
@@ -251,6 +280,25 @@ mod tests {
     }
 
     #[test]
+    fn traced_ddp_records_rank_epochs_and_comm() {
+        let (ds, cfg) = setup();
+        let trace = Trace::new(salient_trace::Clock::virtual_with_tick(1_000));
+        let result = train_ddp_traced(&ds, &cfg, 2, &trace).unwrap();
+        assert!(result.wall_s > 0.0);
+        let snap = trace.snapshot();
+        // 2 ranks × 3 epochs.
+        assert_eq!(snap.spans(names::spans::RANK_EPOCH).count(), 6);
+        assert!(snap.spans(names::spans::COMM_STEP).count() > 0);
+        assert!(snap.metrics.counter(names::counters::DDP_BYTES) > 0);
+        assert_eq!(
+            snap.metrics.counter(names::counters::DDP_STEPS),
+            snap.spans(names::spans::COMM_STEP).count() as u64
+        );
+        assert!(snap.threads.iter().any(|n| n == "salient-ddp-rank-0"));
+        assert!(snap.threads.iter().any(|n| n == "salient-ddp-rank-1"));
+    }
+
+    #[test]
     fn replicas_stay_synchronized() {
         // Train 3 ranks for 2 epochs and verify rank models are identical by
         // rerunning with the deterministic seeds and comparing rank outputs.
@@ -264,7 +312,8 @@ mod tests {
                     let ds = Arc::clone(&ds);
                     let cfg = cfg.clone();
                     s.spawn(move || {
-                        let (model, _) = rank_loop(rank, 3, comm, ds, cfg).unwrap();
+                        let (model, _) =
+                            rank_loop(rank, 3, comm, ds, cfg, Trace::disabled()).unwrap();
                         model
                             .params()
                             .iter()

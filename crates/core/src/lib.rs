@@ -39,6 +39,6 @@ pub mod infer;
 
 pub use checkpoint::{Checkpoint, CheckpointError};
 pub use config::{ExecutorKind, ModelKindConfig, RunConfig};
-pub use ddp_train::{train_ddp, DdpError, DdpRunResult};
+pub use ddp_train::{train_ddp, train_ddp_traced, DdpError, DdpRunResult};
 pub use timing::{Stage, StageTimings};
 pub use train::{EpochStats, Trainer};

@@ -2,7 +2,7 @@
 //! shared-memory batch preparation) executors over real data.
 
 use crate::config::{ExecutorKind, RunConfig};
-use crate::timing::{Stage, StageTimings};
+use crate::timing::StageTimings;
 use salient_tensor::rng::StdRng;
 use salient_tensor::rng::SliceRandom;
 use salient_batchprep::{run_epoch, BatchResult, PrepConfig, PrepMode, SamplerKind};
@@ -11,8 +11,8 @@ use salient_nn::{build_model, metrics, GnnModel, Mode};
 use salient_sampler::{FastSampler, MessageFlowGraph, PygSampler};
 use salient_tensor::optim::{Adam, Optimizer};
 use salient_tensor::{dequantize_into, F16, Tape, Tensor};
+use salient_trace::{analyze, names, Clock, Trace, NO_BATCH};
 use std::sync::Arc;
-use std::time::Instant;
 
 /// Result of one training epoch.
 #[derive(Clone, Copy, Debug)]
@@ -51,16 +51,31 @@ pub struct Trainer {
     opt: Adam,
     rng: StdRng,
     epoch: usize,
+    trace: Trace,
 }
 
 impl Trainer {
-    /// Builds the model and optimizer for a dataset.
+    /// Builds the model and optimizer for a dataset. Tracing is enabled
+    /// against the monotonic clock; use [`Trainer::with_trace`] to supply a
+    /// disabled handle or a [`salient_trace::VirtualClock`]-backed one.
     ///
     /// # Panics
     ///
     /// Panics if the configuration is inconsistent (see
     /// [`RunConfig::validate`]).
     pub fn new(dataset: Arc<Dataset>, config: RunConfig) -> Self {
+        Trainer::with_trace(dataset, config, Trace::new(Clock::monotonic()))
+    }
+
+    /// Like [`Trainer::new`] with an explicit tracing handle. Every epoch
+    /// records `epoch` / `stage.*` spans and per-batch histograms against
+    /// it; [`EpochStats::timings`] is derived from those spans, so a
+    /// disabled handle reports zero timings.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent.
+    pub fn with_trace(dataset: Arc<Dataset>, config: RunConfig, trace: Trace) -> Self {
         config.validate();
         let model = build_model(
             config.model.into(),
@@ -79,7 +94,20 @@ impl Trainer {
             opt,
             rng,
             epoch: 0,
+            trace,
         }
+    }
+
+    /// The tracing handle this trainer records against.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Derives this epoch's [`StageTimings`] view from the spans recorded in
+    /// the window `[e0, e1]` (flushes and snapshots the registry).
+    fn timings_view(&self, e0: u64, e1: u64) -> StageTimings {
+        let snap = self.trace.snapshot();
+        StageTimings::from_report(&analyze(&snap.window(e0, e1)))
     }
 
     /// The wrapped model.
@@ -158,20 +186,25 @@ impl Trainer {
     }
 
     /// Serial PyG-style epoch (Listing 1 of the paper).
+    ///
+    /// All stage stamps come from the trace clock; `StageTimings` is
+    /// derived from the recorded spans afterwards.
     fn baseline_epoch(&mut self, order: &[NodeId]) -> EpochStats {
-        // lint: allow(determinism, monotonic epoch wall-time for the paper-style stage breakdown; never feeds control flow)
-        let epoch_start = Instant::now();
+        let trace = self.trace.clone();
+        let clock = trace.clock();
+        let train_hist = trace.histogram(names::hists::TRAIN_BATCH_NS);
+        let epoch_start = clock.now_ns();
         let mut sampler = PygSampler::new(self.config.seed ^ self.epoch as u64);
         let dim = self.dataset.features.dim();
         let mut staged: Vec<F16> = Vec::new();
-        let mut timings = StageTimings::default();
         let mut total_loss = 0.0;
         let mut batches = 0usize;
         let dataset = Arc::clone(&self.dataset);
         for chunk in order.chunks(self.config.batch_size) {
-            // Batch preparation: sample then slice (lines 1–4).
-            // lint: allow(determinism, monotonic prep-stage timing metric; never feeds control flow)
-            let t0 = Instant::now();
+            let bid = batches as u64;
+            // Batch preparation: sample then slice (lines 1–4). For the
+            // baseline this is real work on the trainer thread.
+            let t0 = clock.now_ns();
             let mfg = sampler.sample(&dataset.graph, chunk, &self.config.train_fanouts);
             staged.resize(mfg.num_nodes() * dim, F16::ZERO);
             dataset.features.slice_into(&mfg.node_ids, &mut staged);
@@ -179,39 +212,48 @@ impl Trainer {
                 .iter()
                 .map(|&v| dataset.labels[v as usize])
                 .collect();
-            timings.add(Stage::Prep, t0.elapsed());
+            let t1 = clock.now_ns();
+            trace.record_span(names::spans::STAGE_PREP, bid, t0, t1);
 
             // Transfer: the f16→f32 upcast stands in for the PCIe copy +
             // device-side widening (line 5).
-            // lint: allow(determinism, monotonic transfer-stage timing metric; never feeds control flow)
-            let t1 = Instant::now();
             let mut wide = vec![0.0f32; staged.len()];
             dequantize_into(&staged, &mut wide);
             let features = Tensor::from_vec(wide, [mfg.num_nodes(), dim]);
-            timings.add(Stage::Transfer, t1.elapsed());
+            let t2 = clock.now_ns();
+            trace.record_span(names::spans::STAGE_TRANSFER, bid, t1, t2);
 
             // Training (lines 6–8).
-            // lint: allow(determinism, monotonic train-stage timing metric; never feeds control flow)
-            let t2 = Instant::now();
             total_loss += self.train_batch(&mfg, features, &labels);
-            timings.add(Stage::Train, t2.elapsed());
+            let t3 = clock.now_ns();
+            trace.record_span(names::spans::STAGE_TRAIN, bid, t2, t3);
+            train_hist.observe(t3.saturating_sub(t2));
             batches += 1;
         }
-        timings.total_s = epoch_start.elapsed().as_secs_f64();
+        let epoch_end = clock.now_ns();
+        trace.record_span(names::spans::EPOCH, NO_BATCH, epoch_start, epoch_end);
         EpochStats {
             epoch: self.epoch,
             mean_loss: total_loss / batches.max(1) as f64,
             batches,
             failed_batches: 0,
-            timings,
+            timings: self.timings_view(epoch_start, epoch_end),
         }
     }
 
     /// SALIENT epoch: shared-memory workers prepare batches concurrently;
     /// the consumer's prep time is only the time it actually blocks waiting.
+    ///
+    /// Workers record into the same trace registry (sample/slice spans,
+    /// slot-wait backpressure, fault events), so one snapshot holds the
+    /// whole pipeline: trainer stalls *and* the concurrent prep work they
+    /// overlapped with.
     fn salient_epoch(&mut self, order: &[NodeId]) -> EpochStats {
-        // lint: allow(determinism, monotonic epoch wall-time for the paper-style stage breakdown; never feeds control flow)
-        let epoch_start = Instant::now();
+        let trace = self.trace.clone();
+        let clock = trace.clock();
+        let wait_hist = trace.histogram(names::hists::PREP_WAIT_NS);
+        let train_hist = trace.histogram(names::hists::TRAIN_BATCH_NS);
+        let epoch_start = clock.now_ns();
         let prep_cfg = PrepConfig {
             num_workers: self.config.num_workers,
             fanouts: self.config.train_fanouts.clone(),
@@ -222,20 +264,23 @@ impl Trainer {
             seed: self.config.seed ^ (self.epoch as u64) << 16,
             retry_budget: self.config.prep_retry_budget,
             respawn_budget: self.config.prep_respawn_budget,
+            trace: trace.clone(),
         };
         let handle = run_epoch(&self.dataset, order, &prep_cfg);
         let dim = self.dataset.features.dim();
-        let mut timings = StageTimings::default();
         let mut total_loss = 0.0;
         let mut batches = 0usize;
         let mut failed_batches = 0usize;
         loop {
-            // lint: allow(determinism, monotonic prep-stage timing metric; never feeds control flow)
-            let t0 = Instant::now();
+            let t0 = clock.now_ns();
             let Ok(result) = handle.batches.recv() else {
                 break;
             };
-            timings.add(Stage::Prep, t0.elapsed()); // blocking wait only
+            let bid = result.batch_id() as u64;
+            let t1 = clock.now_ns();
+            // Blocking wait only: the prep *work* ran on the workers.
+            trace.record_span(names::spans::STAGE_PREP, bid, t0, t1);
+            wait_hist.observe(t1.saturating_sub(t0));
             let batch = match result {
                 BatchResult::Ready(batch) => batch,
                 BatchResult::Failed { .. } => {
@@ -246,28 +291,28 @@ impl Trainer {
                 }
             };
 
-            // lint: allow(determinism, monotonic transfer-stage timing metric; never feeds control flow)
-            let t1 = Instant::now();
             let mut wide = vec![0.0f32; batch.mfg.num_nodes() * dim];
             dequantize_into(batch.slot.features(), &mut wide);
             let features = Tensor::from_vec(wide, [batch.mfg.num_nodes(), dim]);
             let labels = batch.slot.labels().to_vec();
-            timings.add(Stage::Transfer, t1.elapsed());
+            let t2 = clock.now_ns();
+            trace.record_span(names::spans::STAGE_TRANSFER, bid, t1, t2);
 
-            // lint: allow(determinism, monotonic train-stage timing metric; never feeds control flow)
-            let t2 = Instant::now();
             total_loss += self.train_batch(&batch.mfg, features, &labels);
-            timings.add(Stage::Train, t2.elapsed());
+            let t3 = clock.now_ns();
+            trace.record_span(names::spans::STAGE_TRAIN, bid, t2, t3);
+            train_hist.observe(t3.saturating_sub(t2));
             batches += 1;
         }
         handle.join();
-        timings.total_s = epoch_start.elapsed().as_secs_f64();
+        let epoch_end = clock.now_ns();
+        trace.record_span(names::spans::EPOCH, NO_BATCH, epoch_start, epoch_end);
         EpochStats {
             epoch: self.epoch,
             mean_loss: total_loss / batches.max(1) as f64,
             batches,
             failed_batches,
-            timings,
+            timings: self.timings_view(epoch_start, epoch_end),
         }
     }
 
@@ -348,6 +393,37 @@ mod tests {
         let stats = trainer.train_epoch();
         assert_eq!(stats.batches, expected);
         assert!(stats.timings.total_s > 0.0);
+    }
+
+    #[test]
+    fn traced_epoch_agrees_with_stage_timings() {
+        let trace = Trace::new(Clock::virtual_with_tick(10_000));
+        let cfg = RunConfig::test_tiny();
+        let mut trainer = Trainer::with_trace(dataset(), cfg, trace.clone());
+        let stats = trainer.train_epoch();
+        let snap = trace.snapshot();
+        let report = analyze(&snap);
+        // Both views derive from the same clock reads: they must agree
+        // exactly, and the stage percentages partition the window.
+        let t = StageTimings::from_report(&report);
+        assert!((t.total_s - stats.timings.total_s).abs() < 1e-12);
+        assert!((t.prep_s - stats.timings.prep_s).abs() < 1e-12);
+        let sum: f64 = report.stage_pcts().iter().sum();
+        assert!((sum - 100.0).abs() < 1e-9, "{sum}");
+        // Workers recorded real prep work into the same registry.
+        assert!(snap.spans(names::spans::PREP_SAMPLE).count() >= stats.batches);
+        assert!(snap.distinct_tids() >= 2);
+    }
+
+    #[test]
+    fn disabled_trace_still_trains() {
+        let cfg = RunConfig::test_tiny();
+        let mut trainer = Trainer::with_trace(dataset(), cfg, Trace::disabled());
+        let stats = trainer.train_epoch();
+        assert!(stats.mean_loss.is_finite());
+        assert!(stats.batches > 0);
+        // No registry: the timings view is empty by construction.
+        assert_eq!(stats.timings.total_s, 0.0);
     }
 
     #[test]

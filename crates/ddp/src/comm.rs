@@ -16,6 +16,7 @@
 
 use salient_fault::{self as fault, FaultAction};
 use salient_tensor::Tensor;
+use salient_trace::{names, Counter, Trace};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::time::Duration;
@@ -107,6 +108,11 @@ pub struct Communicator {
     steps: AtomicU64,
     to_next: Sender<Vec<f32>>,
     from_prev: Receiver<Vec<f32>>,
+    trace: Trace,
+    // Metric handles resolved once at ring construction so the per-step hot
+    // path is two relaxed atomic adds (detached no-ops when tracing is off).
+    bytes_sent: Counter,
+    steps_counter: Counter,
 }
 
 impl Communicator {
@@ -126,6 +132,16 @@ impl Communicator {
     ///
     /// Panics if `world == 0`.
     pub fn ring_with_timeout(world: usize, timeout: Duration) -> Vec<Communicator> {
+        Self::ring_traced(world, timeout, &Trace::disabled())
+    }
+
+    /// Creates a ring whose endpoints record `ddp.step` spans and
+    /// bytes/steps counters against `trace`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `world == 0`.
+    pub fn ring_traced(world: usize, timeout: Duration, trace: &Trace) -> Vec<Communicator> {
         assert!(world > 0, "world size must be positive");
         // Each ring link has exactly one producer and one consumer, so the
         // std SPSC channel is sufficient. Channel i is *received* by rank i
@@ -146,6 +162,9 @@ impl Communicator {
                 steps: AtomicU64::new(0),
                 to_next,
                 from_prev,
+                trace: trace.clone(),
+                bytes_sent: trace.counter(names::counters::DDP_BYTES),
+                steps_counter: trace.counter(names::counters::DDP_STEPS),
             })
             .collect()
     }
@@ -196,6 +215,12 @@ impl Communicator {
         // Relaxed: diagnostic step counter; channel send/recv below provide
         // all cross-rank ordering.
         self.steps.fetch_add(1, Ordering::Relaxed);
+        // Comm span covers the send and the (possibly blocking) receive —
+        // the trace-level view of ring latency. Payloads are f32s.
+        let _comm_span = self.trace.span(names::spans::COMM_STEP);
+        self.steps_counter.inc();
+        self.bytes_sent
+            .add(payload.len() as u64 * std::mem::size_of::<f32>() as u64);
         match fault::point(fault::sites::DDP_SEND, self.rank as u64) {
             FaultAction::Proceed => {
                 if self.to_next.send(payload).is_err() {
@@ -303,6 +328,12 @@ impl Communicator {
         }
         // Relaxed: diagnostic step counter only.
         self.steps.fetch_add(1, Ordering::Relaxed);
+        let _comm_span = self.trace.span(names::spans::COMM_STEP);
+        self.steps_counter.inc();
+        if self.rank != self.world - 1 {
+            self.bytes_sent
+                .add(data.len() as u64 * std::mem::size_of::<f32>() as u64);
+        }
         // Pass the buffer down the ring n-1 times starting at rank 0.
         if self.rank == 0 {
             if fault::fire(fault::sites::DDP_SEND, self.rank as u64) {
@@ -430,6 +461,27 @@ mod tests {
             comm.barrier().unwrap();
             vec![]
         });
+    }
+
+    #[test]
+    fn traced_ring_records_comm_spans_and_bytes() {
+        let trace = Trace::new(salient_trace::Clock::virtual_with_tick(10));
+        let comms = Communicator::ring_traced(2, Duration::from_secs(2), &trace);
+        std::thread::scope(|s| {
+            for comm in comms {
+                s.spawn(move || {
+                    let mut data = vec![1.0f32; 8];
+                    comm.all_reduce_sum(&mut data).unwrap();
+                });
+            }
+        });
+        let snap = trace.snapshot();
+        // 2 ranks × (1 reduce-scatter + 1 all-gather) ring steps.
+        assert_eq!(snap.spans(names::spans::COMM_STEP).count(), 4);
+        assert_eq!(snap.metrics.counter(names::counters::DDP_STEPS), 4);
+        // Each step ships one 4-float chunk (len 8 split across 2 ranks).
+        assert_eq!(snap.metrics.counter(names::counters::DDP_BYTES), 4 * 16);
+        assert_eq!(snap.distinct_tids(), 2);
     }
 
     #[test]

@@ -1,10 +1,14 @@
 //! **determinism**: `Instant::now`, `SystemTime::now`, `thread::sleep`, and
-//! `process::exit` are forbidden outside the whitelist (`crates/sim`,
-//! `crates/bench`, CLI entry points under `src/bin` and `examples/`). The
-//! seeded fault-replay plane (PR 2) guarantees bit-for-bit reproduction of
-//! failure schedules; a stray wall-clock read or sleep on the hot path makes
-//! behavior depend on machine load instead of the seed. Timing
-//! *instrumentation* that provably does not feed control flow carries a
+//! `process::exit` are forbidden outside the whitelist (`crates/trace` —
+//! home of the sanctioned `trace::Clock` — plus `crates/sim`,
+//! `crates/bench`, and CLI entry points under `src/bin` and `examples/`).
+//! The seeded fault-replay plane (PR 2) guarantees bit-for-bit reproduction
+//! of failure schedules; a stray wall-clock read or sleep on the hot path
+//! makes behavior depend on machine load instead of the seed. Pipeline code
+//! that needs timestamps reads them through `salient_trace::Clock` (real
+//! monotonic in production, a `VirtualClock` in tests), so instrumentation
+//! no longer needs per-site suppressions; only genuinely time-dependent
+//! code (deadline loops, injected delays) carries a
 //! `// lint: allow(determinism, reason)` suppression.
 
 use super::{emit, matches_path, DETERMINISM};
@@ -39,8 +43,9 @@ pub fn run(f: &SourceFile, out: &mut Vec<Diagnostic>) {
                     t.line,
                     t.col,
                     format!(
-                        "`{}` outside the determinism whitelist ({why}); move it to \
-                         sim/bench/CLI code or suppress with a reason",
+                        "`{}` outside the determinism whitelist ({why}); route time \
+                         through `salient_trace::Clock`, move it to sim/bench/CLI \
+                         code, or suppress with a reason",
                         path.join("::")
                     ),
                     out,
@@ -80,6 +85,13 @@ mod tests {
     fn test_regions_are_exempt() {
         let src = "#[test]\nfn t() { std::thread::sleep(d); }\n";
         assert!(check(src, FileClass::default()).is_empty());
+    }
+
+    #[test]
+    fn message_names_the_sanctioned_clock() {
+        let diags = check("fn f() { Instant::now(); }", FileClass::default());
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("salient_trace::Clock"));
     }
 
     #[test]

@@ -16,9 +16,16 @@ pub const HOT_PATHS: &[&str] = &[
     "crates/ddp/src/comm.rs",
 ];
 
-/// Files allowed to read wall clocks, sleep, and exit: the DES simulator,
-/// the bench harness, and CLI entry points.
-pub const TIME_WHITELIST: &[&str] = &["crates/sim/", "crates/bench/", "src/bin/", "examples/"];
+/// Files allowed to read wall clocks, sleep, and exit: the trace crate
+/// (whose `Clock` *is* the sanctioned time source everything else must go
+/// through), the DES simulator, the bench harness, and CLI entry points.
+pub const TIME_WHITELIST: &[&str] = &[
+    "crates/trace/",
+    "crates/sim/",
+    "crates/bench/",
+    "src/bin/",
+    "examples/",
+];
 
 /// Classifies a workspace-relative path for the rules.
 pub fn classify(rel: &str) -> FileClass {
@@ -178,9 +185,11 @@ mod tests {
         assert!(classify("crates/ddp/src/comm.rs").hot_path);
         assert!(!classify("crates/ddp/src/lib.rs").hot_path);
         assert!(classify("crates/sim/src/des.rs").time_whitelisted);
+        assert!(classify("crates/trace/src/clock.rs").time_whitelisted);
         assert!(classify("src/bin/salient.rs").time_whitelisted);
         assert!(classify("examples/quickstart.rs").time_whitelisted);
         assert!(!classify("crates/core/src/train.rs").time_whitelisted);
+        assert!(!classify("crates/batchprep/src/prep.rs").time_whitelisted);
         assert!(classify("tests/end_to_end.rs").test_file);
         assert!(classify("crates/tensor/tests/gradcheck.rs").test_file);
         assert!(!classify("crates/tensor/src/tensor.rs").test_file);

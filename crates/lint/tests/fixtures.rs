@@ -102,6 +102,16 @@ fn nondeterminism_sources_are_flagged() {
 }
 
 #[test]
+fn trace_clock_reads_are_deterministic() {
+    // `salient_trace::Clock` is the sanctioned time source: code stamping
+    // through it triggers no determinism findings even off the whitelist.
+    let f = parse("good_trace_clock.rs", FileClass::default());
+    let mut out = Vec::new();
+    rules::determinism::run(&f, &mut out);
+    assert!(out.is_empty(), "{out:?}");
+}
+
+#[test]
 fn whitelisted_files_may_read_clocks() {
     let class = FileClass {
         time_whitelisted: true,

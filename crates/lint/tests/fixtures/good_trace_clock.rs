@@ -1,0 +1,17 @@
+//! Fixture: pipeline code that needs timestamps routes them through the
+//! sanctioned `salient_trace::Clock` instead of reading wall clocks
+//! directly. The determinism rule must stay silent here even though the
+//! file is *not* time-whitelisted.
+
+use salient_trace::{Clock, Trace};
+
+pub fn stamp_batch(trace: &Trace) -> u64 {
+    let clock = trace.clock();
+    let t0 = clock.now_ns();
+    let t1 = clock.now_ns();
+    t1.saturating_sub(t0)
+}
+
+pub fn elapsed_ns(clock: &Clock, start_ns: u64) -> u64 {
+    clock.now_ns().saturating_sub(start_ns)
+}

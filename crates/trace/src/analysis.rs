@@ -1,0 +1,390 @@
+//! Pipeline occupancy and stall attribution computed from span intervals.
+//!
+//! This pass reproduces the paper's Table 1 (per-stage blocking breakdown)
+//! and Figure 4 (pipeline-overlap) accounting from *recorded execution*
+//! rather than hand-threaded sums: the trainer thread's `stage.*` spans
+//! partition its epoch wall-clock into prep-blocked / transfer / compute /
+//! other, while worker spans (`prep.sample`, `prep.slice`, `prep.copy`,
+//! `prep.slot_wait`) attribute where preparation time went and how much of
+//! it overlapped training compute.
+
+use crate::metrics::MetricsSnapshot;
+use crate::names::spans;
+use crate::span::{EventKind, SpanEvent};
+
+/// Everything recorded by a [`crate::Trace`], frozen at one point in time.
+#[derive(Clone, Debug, Default)]
+pub struct Snapshot {
+    /// All span and point events, sorted by `(start_ns, tid, name)`.
+    pub events: Vec<SpanEvent>,
+    /// Thread-name table indexed by `tid`.
+    pub threads: Vec<String>,
+    /// Metric instruments.
+    pub metrics: MetricsSnapshot,
+}
+
+impl Snapshot {
+    /// Interval events named `name`.
+    pub fn spans<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a SpanEvent> {
+        self.events
+            .iter()
+            .filter(move |e| e.kind == EventKind::Span && e.name == name)
+    }
+
+    /// Total nanoseconds across all spans named `name`.
+    pub fn sum_ns(&self, name: &str) -> u64 {
+        self.spans(name).map(SpanEvent::dur_ns).sum()
+    }
+
+    /// Total nanoseconds across spans named `name` on thread `tid`.
+    pub fn sum_ns_on(&self, name: &str, tid: u32) -> u64 {
+        self.spans(name)
+            .filter(|e| e.tid == tid)
+            .map(SpanEvent::dur_ns)
+            .sum()
+    }
+
+    /// Number of events (spans and instants) named `name`.
+    pub fn count(&self, name: &str) -> usize {
+        self.events.iter().filter(|e| e.name == name).count()
+    }
+
+    /// Number of distinct recording threads.
+    pub fn distinct_tids(&self) -> usize {
+        let mut tids: Vec<u32> = self.events.iter().map(|e| e.tid).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        tids.len()
+    }
+
+    /// A sub-snapshot keeping only events fully inside `[start_ns, end_ns]`
+    /// (an epoch window, say). Metric instruments are carried over
+    /// unchanged — counters are cumulative over the whole run.
+    pub fn window(&self, start_ns: u64, end_ns: u64) -> Snapshot {
+        Snapshot {
+            events: self
+                .events
+                .iter()
+                .filter(|e| e.start_ns >= start_ns && e.end_ns <= end_ns)
+                .cloned()
+                .collect(),
+            threads: self.threads.clone(),
+            metrics: self.metrics.clone(),
+        }
+    }
+
+    /// `[min start, max end]` over every event, or `None` when empty.
+    pub fn extent(&self) -> Option<(u64, u64)> {
+        let start = self.events.iter().map(|e| e.start_ns).min()?;
+        let end = self.events.iter().map(|e| e.end_ns).max()?;
+        Some((start, end))
+    }
+}
+
+/// Merges possibly overlapping `(start, end)` intervals into a disjoint
+/// sorted list.
+fn merge_intervals(mut iv: Vec<(u64, u64)>) -> Vec<(u64, u64)> {
+    iv.retain(|(s, e)| e > s);
+    iv.sort_unstable();
+    let mut out: Vec<(u64, u64)> = Vec::with_capacity(iv.len());
+    for (s, e) in iv {
+        match out.last_mut() {
+            Some((_, le)) if s <= *le => *le = (*le).max(e),
+            _ => out.push((s, e)),
+        }
+    }
+    out
+}
+
+/// Total length of the intersection of two *disjoint sorted* interval lists.
+fn intersection_ns(a: &[(u64, u64)], b: &[(u64, u64)]) -> u64 {
+    let (mut i, mut j, mut total) = (0usize, 0usize, 0u64);
+    while i < a.len() && j < b.len() {
+        let lo = a[i].0.max(b[j].0);
+        let hi = a[i].1.min(b[j].1);
+        if hi > lo {
+            total += hi - lo;
+        }
+        if a[i].1 <= b[j].1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    total
+}
+
+/// Total length of the union of (possibly overlapping) intervals.
+fn union_ns(iv: Vec<(u64, u64)>) -> u64 {
+    merge_intervals(iv).iter().map(|(s, e)| e - s).sum()
+}
+
+/// Per-thread busy time (union of that thread's non-wrapper spans).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ThreadOccupancy {
+    /// Dense thread id (index into [`Snapshot::threads`]).
+    pub tid: u32,
+    /// Thread name.
+    pub name: String,
+    /// Union length of the thread's recorded work spans.
+    pub busy_ns: u64,
+}
+
+/// The stall-attribution report (see the module docs).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct PipelineReport {
+    /// Thread that recorded the `epoch` spans (the consumer loop).
+    pub trainer_tid: Option<u32>,
+    /// Measurement window: summed `epoch` span time on the trainer thread
+    /// (falling back to the snapshot extent when no epoch span exists).
+    pub window_ns: u64,
+    /// Trainer blocked on batch preparation (`stage.prep`).
+    pub prep_ns: u64,
+    /// Trainer in host→device staging (`stage.transfer`).
+    pub transfer_ns: u64,
+    /// Trainer in model compute (`stage.train`).
+    pub compute_ns: u64,
+    /// Unattributed trainer time (scheduling gaps, pipeline fill).
+    pub other_ns: u64,
+    /// Worker time in neighborhood sampling.
+    pub worker_sample_ns: u64,
+    /// Worker time in slicing.
+    pub worker_slice_ns: u64,
+    /// Worker time in the multiprocessing-emulation copy.
+    pub worker_copy_ns: u64,
+    /// Worker time blocked waiting for a free pinned slot (backpressure).
+    pub worker_slot_wait_ns: u64,
+    /// Preparation work (sample/slice/copy on non-trainer threads) that ran
+    /// *concurrently with* trainer compute — the pipeline-overlap win.
+    pub overlap_ns: u64,
+    /// DDP ring-step communication time across all ranks.
+    pub comm_ns: u64,
+    /// Per-thread busy time.
+    pub occupancy: Vec<ThreadOccupancy>,
+}
+
+impl PipelineReport {
+    /// Percent of the window attributed to `part_ns` (0 when empty).
+    pub fn pct(&self, part_ns: u64) -> f64 {
+        if self.window_ns == 0 {
+            0.0
+        } else {
+            100.0 * part_ns as f64 / self.window_ns as f64
+        }
+    }
+
+    /// The prep/transfer/compute/other percentages (sum to 100 whenever the
+    /// window is nonzero).
+    pub fn stage_pcts(&self) -> [f64; 4] {
+        [
+            self.pct(self.prep_ns),
+            self.pct(self.transfer_ns),
+            self.pct(self.compute_ns),
+            self.pct(self.other_ns),
+        ]
+    }
+
+    /// Fraction of trainer compute time that preparation overlapped with
+    /// (0 when no compute was recorded).
+    pub fn overlap_frac(&self) -> f64 {
+        if self.compute_ns == 0 {
+            0.0
+        } else {
+            self.overlap_ns as f64 / self.compute_ns as f64
+        }
+    }
+}
+
+/// Computes the stall-attribution report from a snapshot.
+pub fn analyze(snap: &Snapshot) -> PipelineReport {
+    // The trainer is the thread that recorded `epoch` spans; fall back to
+    // the recorder of `stage.train` for callers that skip the wrapper.
+    let trainer_tid = snap
+        .spans(spans::EPOCH)
+        .map(|e| e.tid)
+        .next()
+        .or_else(|| snap.spans(spans::STAGE_TRAIN).map(|e| e.tid).next());
+
+    let window_ns = match trainer_tid {
+        Some(tid) => {
+            let w = snap.sum_ns_on(spans::EPOCH, tid);
+            if w > 0 {
+                w
+            } else {
+                snap.extent().map(|(s, e)| e - s).unwrap_or(0)
+            }
+        }
+        None => snap.extent().map(|(s, e)| e - s).unwrap_or(0),
+    };
+
+    let on_trainer = |name: &str| trainer_tid.map(|t| snap.sum_ns_on(name, t)).unwrap_or(0);
+    let prep_ns = on_trainer(spans::STAGE_PREP);
+    let transfer_ns = on_trainer(spans::STAGE_TRANSFER);
+    let compute_ns = on_trainer(spans::STAGE_TRAIN);
+    let other_ns = window_ns.saturating_sub(prep_ns + transfer_ns + compute_ns);
+
+    let worker_spans = |name: &str| -> Vec<(u64, u64)> {
+        snap.spans(name)
+            .filter(|e| Some(e.tid) != trainer_tid)
+            .map(|e| (e.start_ns, e.end_ns))
+            .collect()
+    };
+    let mut prep_work: Vec<(u64, u64)> = Vec::new();
+    prep_work.extend(worker_spans(spans::PREP_SAMPLE));
+    prep_work.extend(worker_spans(spans::PREP_SLICE));
+    prep_work.extend(worker_spans(spans::PREP_COPY));
+    let compute_iv: Vec<(u64, u64)> = trainer_tid
+        .map(|t| {
+            snap.spans(spans::STAGE_TRAIN)
+                .filter(|e| e.tid == t)
+                .map(|e| (e.start_ns, e.end_ns))
+                .collect()
+        })
+        .unwrap_or_default();
+    let overlap_ns = intersection_ns(
+        &merge_intervals(prep_work),
+        &merge_intervals(compute_iv),
+    );
+
+    let mut occupancy: Vec<ThreadOccupancy> = Vec::new();
+    let mut tids: Vec<u32> = snap.events.iter().map(|e| e.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for tid in tids {
+        let busy: Vec<(u64, u64)> = snap
+            .events
+            .iter()
+            .filter(|e| {
+                e.tid == tid
+                    && e.kind == EventKind::Span
+                    && e.name != spans::EPOCH
+                    && e.name != spans::RANK_EPOCH
+            })
+            .map(|e| (e.start_ns, e.end_ns))
+            .collect();
+        occupancy.push(ThreadOccupancy {
+            tid,
+            name: snap
+                .threads
+                .get(tid as usize)
+                .cloned()
+                .unwrap_or_else(|| format!("thread-{tid}")),
+            busy_ns: union_ns(busy),
+        });
+    }
+
+    PipelineReport {
+        trainer_tid,
+        window_ns,
+        prep_ns,
+        transfer_ns,
+        compute_ns,
+        other_ns,
+        worker_sample_ns: snap
+            .spans(spans::PREP_SAMPLE)
+            .filter(|e| Some(e.tid) != trainer_tid)
+            .map(SpanEvent::dur_ns)
+            .sum(),
+        worker_slice_ns: snap
+            .spans(spans::PREP_SLICE)
+            .filter(|e| Some(e.tid) != trainer_tid)
+            .map(SpanEvent::dur_ns)
+            .sum(),
+        worker_copy_ns: snap
+            .spans(spans::PREP_COPY)
+            .filter(|e| Some(e.tid) != trainer_tid)
+            .map(SpanEvent::dur_ns)
+            .sum(),
+        worker_slot_wait_ns: snap.sum_ns(spans::SLOT_WAIT),
+        overlap_ns,
+        comm_ns: snap.sum_ns(spans::COMM_STEP),
+        occupancy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::Clock;
+    use crate::span::Trace;
+
+    #[test]
+    fn interval_algebra() {
+        assert_eq!(
+            merge_intervals(vec![(5, 10), (0, 3), (9, 12), (3, 4)]),
+            vec![(0, 4), (5, 12)]
+        );
+        assert_eq!(union_ns(vec![(0, 10), (5, 15), (20, 25)]), 20);
+        assert_eq!(
+            intersection_ns(&[(0, 10), (20, 30)], &[(5, 25)]),
+            5 + 5
+        );
+        assert_eq!(intersection_ns(&[(0, 5)], &[(5, 9)]), 0);
+    }
+
+    /// A scripted two-thread pipeline: trainer computes 0..100 while a
+    /// worker samples 20..80 (overlap 60), then the trainer blocks 100..130.
+    fn scripted() -> Snapshot {
+        let t = Trace::new(Clock::virtual_manual());
+        t.record_span(spans::EPOCH, crate::NO_BATCH, 0, 200);
+        t.record_span(spans::STAGE_TRAIN, 0, 0, 100);
+        t.record_span(spans::STAGE_PREP, 1, 100, 130);
+        t.record_span(spans::STAGE_TRANSFER, 1, 130, 150);
+        let worker = std::thread::Builder::new()
+            .name("w".into())
+            .spawn({
+                let t = t.clone();
+                move || {
+                    t.record_span(spans::PREP_SAMPLE, 1, 20, 70);
+                    t.record_span(spans::PREP_SLICE, 1, 70, 80);
+                    t.record_span(spans::SLOT_WAIT, 1, 80, 95);
+                }
+            })
+            .unwrap();
+        worker.join().unwrap();
+        t.snapshot()
+    }
+
+    #[test]
+    fn stall_attribution_sums_to_the_window() {
+        let r = analyze(&scripted());
+        assert_eq!(r.window_ns, 200);
+        assert_eq!(r.prep_ns, 30);
+        assert_eq!(r.transfer_ns, 20);
+        assert_eq!(r.compute_ns, 100);
+        assert_eq!(r.other_ns, 50);
+        let total: f64 = r.stage_pcts().iter().sum();
+        assert!((total - 100.0).abs() < 1e-9, "{total}");
+    }
+
+    #[test]
+    fn overlap_is_the_intersection_of_prep_and_compute() {
+        let r = analyze(&scripted());
+        assert_eq!(r.worker_sample_ns, 50);
+        assert_eq!(r.worker_slice_ns, 10);
+        assert_eq!(r.worker_slot_wait_ns, 15);
+        // Worker busy 20..80 intersected with compute 0..100 = 60.
+        assert_eq!(r.overlap_ns, 60);
+        assert!((r.overlap_frac() - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn occupancy_excludes_the_epoch_wrapper() {
+        let r = analyze(&scripted());
+        let trainer = r.trainer_tid.unwrap();
+        let t = r.occupancy.iter().find(|o| o.tid == trainer).unwrap();
+        // stage spans 0..150, not the 0..200 epoch wrapper.
+        assert_eq!(t.busy_ns, 150);
+        let w = r.occupancy.iter().find(|o| o.tid != trainer).unwrap();
+        assert_eq!(w.busy_ns, 75);
+        assert_eq!(w.name, "w");
+    }
+
+    #[test]
+    fn empty_snapshot_analyzes_to_zero() {
+        let r = analyze(&Snapshot::default());
+        assert_eq!(r.window_ns, 0);
+        assert_eq!(r.stage_pcts(), [0.0; 4]);
+        assert_eq!(r.overlap_frac(), 0.0);
+    }
+}

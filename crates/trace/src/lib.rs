@@ -1,0 +1,61 @@
+//! Structured tracing and metrics for the SALIENT pipeline.
+//!
+//! The paper's central claims are *observability* claims: Table 1 attributes
+//! per-stage blocking time, Figure 4 shows preparation overlapping training
+//! compute. This crate makes those measurements first-class instead of
+//! hand-threaded `Instant` arithmetic:
+//!
+//! * [`Clock`] — the workspace's single sanctioned time source: the process
+//!   monotonic clock in production, a manually advanced [`VirtualClock`] in
+//!   tests, so every report below is reproducible byte-for-byte
+//!   (`salient-lint determinism` rejects raw `Instant::now()` outside
+//!   sim/bench/CLI code).
+//! * [`Trace`] — a cloneable recording handle. Spans (begin/end intervals
+//!   tagged with a stage name and batch id) buffer in plain thread-local
+//!   vectors and flush in batches; counters/gauges/histograms are
+//!   `Arc`'d atomics. A disabled handle records nothing, reads no clock,
+//!   and allocates nothing on the span fast path.
+//! * [`analysis`] — turns a [`Snapshot`] of span intervals into a
+//!   [`PipelineReport`]: trainer stall attribution
+//!   (prep-blocked / transfer / compute / other), worker prep breakdown,
+//!   slot-wait backpressure, and the prep∕compute overlap that quantifies
+//!   pipelining.
+//! * [`export`] — a human-readable epoch report, a JSON metrics snapshot,
+//!   and Chrome trace-event JSON (open in `chrome://tracing` or Perfetto);
+//!   [`json`] holds the in-repo parser/validator used by CI to check the
+//!   trace output structurally.
+//!
+//! # Example
+//!
+//! ```
+//! use salient_trace::{analysis, names::spans, Clock, Trace};
+//!
+//! // Deterministic: every clock read advances 1 µs.
+//! let trace = Trace::new(Clock::virtual_with_tick(1_000));
+//! {
+//!     let _epoch = trace.span(spans::EPOCH);
+//!     let _train = trace.span_batch(spans::STAGE_TRAIN, 0);
+//! }
+//! let snap = trace.snapshot();
+//! let report = analysis::analyze(&snap);
+//! assert!(report.window_ns > 0);
+//! let pcts: f64 = report.stage_pcts().iter().sum();
+//! assert!((pcts - 100.0).abs() < 1e-9);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+mod clock;
+pub mod export;
+pub mod json;
+pub mod names;
+mod span;
+
+pub mod metrics;
+
+pub use analysis::{analyze, PipelineReport, Snapshot, ThreadOccupancy};
+pub use clock::{Clock, VirtualClock};
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
+pub use span::{EventKind, SpanEvent, SpanGuard, Trace, NO_BATCH};

@@ -1,0 +1,86 @@
+//! The registry of well-known span, counter, histogram, and event names
+//! used by the instrumented pipeline (the observability analogue of
+//! `salient_fault::sites`).
+//!
+//! The stall-attribution analysis ([`crate::analysis`]) keys on the span
+//! names below, so instrumentation across crates must use these constants
+//! rather than ad-hoc strings.
+
+/// Interval (span) names.
+pub mod spans {
+    /// One training epoch, recorded on the consumer ("trainer") thread.
+    pub const EPOCH: &str = "epoch";
+    /// Trainer-side batch-preparation stage: for the baseline executor the
+    /// actual sample+slice work; for the SALIENT executor only the time the
+    /// trainer *blocked* waiting for a prepared batch.
+    pub const STAGE_PREP: &str = "stage.prep";
+    /// Trainer-side host→device staging (f16→f32 upcast standing in for the
+    /// PCIe copy).
+    pub const STAGE_TRANSFER: &str = "stage.transfer";
+    /// Trainer-side model compute (forward + backward + step).
+    pub const STAGE_TRAIN: &str = "stage.train";
+    /// Worker-side neighborhood sampling + MFG construction.
+    pub const PREP_SAMPLE: &str = "prep.sample";
+    /// Worker-side feature/label slicing.
+    pub const PREP_SLICE: &str = "prep.slice";
+    /// Worker-side extra copy (multiprocessing-emulation mode only).
+    pub const PREP_COPY: &str = "prep.copy";
+    /// Worker blocked waiting for a free pinned staging slot (backpressure).
+    pub const SLOT_WAIT: &str = "prep.slot_wait";
+    /// One DDP ring step (send + receive).
+    pub const COMM_STEP: &str = "ddp.step";
+    /// One rank's whole epoch in a DDP run.
+    pub const RANK_EPOCH: &str = "ddp.epoch";
+}
+
+/// Counter names.
+pub mod counters {
+    /// Batches consumed by the trainer.
+    pub const BATCHES: &str = "pipeline.batches";
+    /// Sampled nodes staged by prep workers.
+    pub const PREP_NODES: &str = "prep.nodes";
+    /// MFG edges staged by prep workers.
+    pub const PREP_EDGES: &str = "prep.edges";
+    /// Staged payload bytes (what a CPU→GPU DMA would move).
+    pub const PREP_BYTES: &str = "prep.bytes";
+    /// Per-item panics caught inside prep workers.
+    pub const ITEM_PANICS: &str = "fault.item_panics";
+    /// Prep work items requeued for another attempt.
+    pub const RETRIES: &str = "fault.retries";
+    /// Batches that exhausted their retry budget.
+    pub const FAILED_BATCHES: &str = "fault.failed_batches";
+    /// Whole prep-worker deaths observed by the supervisor.
+    pub const WORKER_PANICS: &str = "fault.worker_panics";
+    /// Replacement prep workers spawned.
+    pub const RESPAWNS: &str = "fault.respawns";
+    /// Epochs the supervisor finished with inline preparation.
+    pub const DEGRADED: &str = "fault.degraded_inline";
+    /// Payload bytes sent over DDP ring links.
+    pub const DDP_BYTES: &str = "ddp.bytes_sent";
+    /// DDP ring steps completed.
+    pub const DDP_STEPS: &str = "ddp.steps";
+}
+
+/// Histogram names.
+pub mod hists {
+    /// End-to-end preparation nanoseconds per batch (sample + slice + copy).
+    pub const PREP_BATCH_NS: &str = "prep.batch_ns";
+    /// Model-compute nanoseconds per batch.
+    pub const TRAIN_BATCH_NS: &str = "train.batch_ns";
+    /// Trainer blocking-wait nanoseconds per batch.
+    pub const PREP_WAIT_NS: &str = "prep.wait_ns";
+}
+
+/// Point-event names.
+pub mod events {
+    /// A prep work item was requeued after a caught panic.
+    pub const RETRY: &str = "fault.retry";
+    /// The supervisor spawned a replacement worker.
+    pub const RESPAWN: &str = "fault.respawn";
+    /// A batch exhausted its retry budget (terminal failure marker).
+    pub const FAILED_BATCH: &str = "fault.failed_batch";
+    /// The worker set collapsed; the epoch finished inline.
+    pub const DEGRADED_INLINE: &str = "fault.degraded";
+    /// A whole prep-worker thread died.
+    pub const WORKER_PANIC: &str = "fault.worker_panic";
+}

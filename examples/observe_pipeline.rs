@@ -1,0 +1,123 @@
+//! Observability end-to-end: a small SALIENT-executor training run on a
+//! deterministic `VirtualClock`, exporting every view the trace subsystem
+//! offers and structurally validating them with the in-repo JSON parser.
+//!
+//! Emits (at the workspace root / `target/`):
+//!
+//! * a human-readable stall-attribution report on stdout;
+//! * `target/trace_pipeline.json` — Chrome trace-event timeline
+//!   (load in `chrome://tracing` or Perfetto);
+//! * `target/metrics_pipeline.json` — raw counters / gauges / histograms;
+//! * `BENCH_pipeline.json` — the per-stage breakdown in the same style as
+//!   `BENCH_kernels.json`, for CI trend tracking.
+//!
+//! Exits non-zero if any exported artifact fails validation, so
+//! `scripts/ci.sh` can use this binary as its observability tier.
+//!
+//! Run: `cargo run --release --example observe_pipeline`
+
+use salient_repro::bench::harness::{write_json, Json};
+use salient_repro::core::{ExecutorKind, RunConfig, Trainer};
+use salient_repro::graph::DatasetConfig;
+use salient_repro::trace::export::{chrome_trace, metrics_json, render_report};
+use salient_repro::trace::json::validate_chrome_trace;
+use salient_repro::trace::{analyze, names, Clock, Trace};
+use std::sync::Arc;
+
+fn main() {
+    // A virtual clock that advances 1µs per read: the run is scheduled by
+    // real threads but every timestamp comes from the registry's clock, so
+    // the exported artifacts are structurally identical run-to-run.
+    let trace = Trace::new(Clock::virtual_with_tick(1_000));
+    let dataset = Arc::new(DatasetConfig::tiny(3).build());
+    let run = RunConfig {
+        executor: ExecutorKind::Salient,
+        epochs: 2,
+        num_workers: 2,
+        ..RunConfig::test_tiny()
+    };
+    let mut trainer = Trainer::with_trace(Arc::clone(&dataset), run, trace.clone());
+    for stats in trainer.fit() {
+        println!(
+            "epoch {}: loss {:.4} ({} batches)",
+            stats.epoch, stats.mean_loss, stats.batches
+        );
+    }
+
+    let snap = trace.snapshot();
+    let report = analyze(&snap);
+    println!("\n{}", render_report(&report, &snap));
+
+    // The four stage shares partition the trainer's epoch wall-clock.
+    let pcts = report.stage_pcts();
+    let sum: f64 = pcts.iter().sum();
+    assert!(
+        (sum - 100.0).abs() < 1e-6,
+        "stage percentages must sum to 100, got {sum} ({pcts:?})"
+    );
+
+    // Chrome trace: validated structurally with the in-repo parser before
+    // anything downstream (chrome://tracing, Perfetto) ever sees it.
+    let chrome = chrome_trace(&snap);
+    let summary = validate_chrome_trace(&chrome).expect("exported Chrome trace is valid");
+    assert!(
+        summary.distinct_tids >= 3,
+        "trainer + 2 workers should appear: {summary:?}"
+    );
+    std::fs::create_dir_all("target").expect("create target/");
+    std::fs::write("target/trace_pipeline.json", &chrome).expect("write Chrome trace");
+    println!(
+        "chrome trace: {} spans, {} instants on {} threads -> target/trace_pipeline.json",
+        summary.span_events, summary.instant_events, summary.distinct_tids
+    );
+
+    let metrics = metrics_json(&snap);
+    std::fs::write("target/metrics_pipeline.json", &metrics).expect("write metrics");
+    println!("metrics snapshot -> target/metrics_pipeline.json");
+
+    // BENCH_kernels.json-style summary for CI trend tracking.
+    let hist = |name: &str| -> Json {
+        match snap.metrics.histogram(name) {
+            Some(h) => {
+                let (p50, p95, p99) = h.percentiles();
+                Json::Obj(vec![
+                    ("count".into(), Json::Num(h.count as f64)),
+                    ("p50_ns".into(), Json::Num(p50 as f64)),
+                    ("p95_ns".into(), Json::Num(p95 as f64)),
+                    ("p99_ns".into(), Json::Num(p99 as f64)),
+                ])
+            }
+            None => Json::Obj(vec![("count".into(), Json::Num(0.0))]),
+        }
+    };
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::Str("pipeline_observability".into())),
+        ("clock".into(), Json::Str("virtual(tick=1us)".into())),
+        (
+            "stages_pct".into(),
+            Json::Obj(vec![
+                ("prep".into(), Json::Num(pcts[0])),
+                ("transfer".into(), Json::Num(pcts[1])),
+                ("train".into(), Json::Num(pcts[2])),
+                ("other".into(), Json::Num(pcts[3])),
+            ]),
+        ),
+        ("window_ns".into(), Json::Num(report.window_ns as f64)),
+        ("overlap_frac".into(), Json::Num(report.overlap_frac())),
+        (
+            "batches".into(),
+            Json::Num(snap.metrics.counter(names::counters::BATCHES) as f64),
+        ),
+        ("prep_batch".into(), hist(names::hists::PREP_BATCH_NS)),
+        ("train_batch".into(), hist(names::hists::TRAIN_BATCH_NS)),
+        ("prep_wait".into(), hist(names::hists::PREP_WAIT_NS)),
+        (
+            "threads".into(),
+            Json::Num(summary.distinct_tids as f64),
+        ),
+    ]);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/BENCH_pipeline.json");
+    write_json(path, &doc).expect("write BENCH_pipeline.json");
+    println!("per-stage breakdown -> BENCH_pipeline.json");
+    println!("\nobservability tier OK");
+}

@@ -5,7 +5,7 @@
 //!
 //! Run: `cargo run --release --example train_products [-- --scale 0.2]`
 
-use salient_repro::core::{ExecutorKind, RunConfig, Trainer};
+use salient_repro::core::{ExecutorKind, RunConfig, Stage, Trainer};
 use salient_repro::graph::DatasetConfig;
 use std::sync::Arc;
 
@@ -48,11 +48,11 @@ fn main() {
                 stats.mean_loss,
                 t.total_s,
                 t.prep_s,
-                t.pct(t.prep_s),
+                t.pct(Stage::Prep),
                 t.transfer_s,
-                t.pct(t.transfer_s),
+                t.pct(Stage::Transfer),
                 t.train_s,
-                t.pct(t.train_s),
+                t.pct(Stage::Train),
             );
         }
         let (acc, _) = trainer.evaluate_sampled(&dataset.splits.val.clone(), &[20, 20, 20]);

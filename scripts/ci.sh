@@ -3,7 +3,8 @@
 #
 # The lint tier runs first: salient-lint (crates/lint) enforces the
 # workspace's standing invariants — documented unsafe, panic-free hot
-# paths, no wall-clock reads outside sim/bench/CLI code, acyclic lock
+# paths, no wall-clock reads outside trace/sim/bench/CLI code (pipeline
+# code stamps time through trace::Clock), acyclic lock
 # orders, and dependency freedom (std only, path deps between the
 # salient-* crates, so `--offline` can never silently start meaning
 # "from the local registry cache").
@@ -26,5 +27,16 @@ echo "== fault tier: deterministic fault-injection matrix"
 # The matrix installs its own scoped plans; the fixed seed here pins the
 # probabilistic-trigger schedules so failures reproduce bit-for-bit.
 SALIENT_FAULT_SEED=42 cargo test -q --offline --test fault_matrix
+
+echo "== observability tier: instrumented run on a virtual clock"
+# A 2-epoch SALIENT-executor run on a VirtualClock: prints the
+# stall-attribution report, exports the Chrome trace + metrics snapshot,
+# validates both with the in-repo JSON parser (no serde), and writes the
+# per-stage breakdown to BENCH_pipeline.json. Exits non-zero if any
+# artifact fails validation.
+cargo run -q --release --offline --example observe_pipeline
+test -s BENCH_pipeline.json
+test -s target/trace_pipeline.json
+test -s target/metrics_pipeline.json
 
 echo "CI OK"

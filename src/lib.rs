@@ -3,6 +3,7 @@
 //! This crate only re-exports the member crates so that the repository's
 //! `examples/` and `tests/` directories can exercise the full public API.
 pub use salient_batchprep as batchprep;
+pub use salient_bench as bench;
 pub use salient_core as core;
 pub use salient_ddp as ddp;
 pub use salient_fault as fault;
@@ -11,3 +12,4 @@ pub use salient_nn as nn;
 pub use salient_sampler as sampler;
 pub use salient_sim as sim;
 pub use salient_tensor as tensor;
+pub use salient_trace as trace;

@@ -5,6 +5,9 @@
 //! * every batch is accounted for — prepared, retried, or reported as a
 //!   terminal `BatchResult::Failed` marker (dropped messages excepted);
 //! * no pinned staging slot leaks, whatever dies;
+//! * every injected fault is *observable*: the trace registry's
+//!   retry / respawn / failed-batch counters and point events mirror the
+//!   supervisor's own `FaultStats` exactly;
 //! * DDP collectives surface typed `CommError`s instead of hanging;
 //! * checkpoint saves are crash-safe and loads detect corruption.
 //!
@@ -18,6 +21,7 @@ use salient_repro::ddp::CommErrorKind;
 use salient_repro::fault::{self, sites, FaultKind, FaultPlan, FaultSpec, Trigger};
 use salient_repro::graph::{Dataset, DatasetConfig};
 use salient_repro::tensor::Tensor;
+use salient_repro::trace::{names, Clock, Trace};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 use std::time::Duration;
 
@@ -45,6 +49,10 @@ fn prep_cfg(mode: PrepMode) -> PrepConfig {
         seed: 4,
         retry_budget: 1,
         respawn_budget: 1,
+        // A fresh per-run registry on a deterministic virtual clock, so every
+        // matrix scenario can cross-check its recovery path against the
+        // trace's fault counters and point events.
+        trace: Trace::new(Clock::virtual_with_tick(1_000)),
     }
 }
 
@@ -74,9 +82,36 @@ fn run_under_plan(
         pool.capacity(),
         "a staging slot leaked: {faults:?}"
     );
+    assert_faults_observable(&cfg.trace, &faults);
     ready.sort_unstable();
     failed.sort_unstable();
     (ready, failed, faults)
+}
+
+/// Every recovery action the supervisor takes must be visible in the trace
+/// registry: counters equal to `FaultStats`, plus one timeline point event
+/// per occurrence (so Chrome traces show *when* each fault fired).
+fn assert_faults_observable(trace: &Trace, faults: &FaultStats) {
+    let snap = trace.snapshot();
+    let c = |name: &str| snap.metrics.counter(name) as usize;
+    assert_eq!(c(names::counters::ITEM_PANICS), faults.item_panics, "{faults:?}");
+    assert_eq!(c(names::counters::RETRIES), faults.retries, "{faults:?}");
+    assert_eq!(c(names::counters::FAILED_BATCHES), faults.failed_batches, "{faults:?}");
+    assert_eq!(c(names::counters::WORKER_PANICS), faults.worker_panics, "{faults:?}");
+    assert_eq!(c(names::counters::RESPAWNS), faults.respawns, "{faults:?}");
+    assert_eq!(c(names::counters::DEGRADED) > 0, faults.degraded_inline, "{faults:?}");
+    assert_eq!(snap.count(names::events::RETRY), faults.retries, "{faults:?}");
+    assert_eq!(snap.count(names::events::RESPAWN), faults.respawns, "{faults:?}");
+    assert_eq!(
+        snap.count(names::events::FAILED_BATCH),
+        faults.failed_batches,
+        "{faults:?}"
+    );
+    assert_eq!(
+        snap.count(names::events::WORKER_PANIC),
+        faults.worker_panics,
+        "{faults:?}"
+    );
 }
 
 fn expected_batches() -> usize {
@@ -132,6 +167,27 @@ fn exhausted_retry_budget_yields_exactly_one_failed_marker() {
             assert_eq!(faults.failed_batches, 1, "{mode:?}/{site}");
         }
     }
+}
+
+#[test]
+fn fault_events_carry_the_failing_batch_id() {
+    let _s = serial();
+    let cfg = prep_cfg(PrepMode::SharedMemory);
+    // Batch 1 panics on every attempt: one retry event, then one terminal
+    // failed-batch event — both tagged with batch id 1 on the timeline.
+    let plan = FaultPlan::new(2).with_spec(always_panic_at(sites::PREP_SAMPLE, 1));
+    let (_ready, failed, _faults) = run_under_plan(plan, &cfg);
+    assert_eq!(failed, vec![(1, 2)]);
+    let snap = cfg.trace.snapshot();
+    let tagged = |name: &str| -> Vec<u64> {
+        snap.events
+            .iter()
+            .filter(|e| e.name == name)
+            .map(|e| e.batch)
+            .collect()
+    };
+    assert_eq!(tagged(names::events::RETRY), vec![1]);
+    assert_eq!(tagged(names::events::FAILED_BATCH), vec![1]);
 }
 
 #[test]

@@ -1,0 +1,100 @@
+//! Overhead guard: with tracing disabled, the per-batch hot-loop
+//! instrumentation (span guards, pre-resolved counters and histograms,
+//! point events) must perform **zero heap allocations**. A counting global
+//! allocator makes the assertion exact — this is its own test binary so the
+//! allocator hook cannot perturb any other suite.
+
+use salient_repro::trace::Trace;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Forwards to the system allocator, counting every allocation.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: pure pass-through to `System`, which upholds the `GlobalAlloc`
+// contract; the added relaxed counter increment has no effect on the
+// returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        // relaxed: a monotone event count; no ordering with the allocation
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `layout` is forwarded unchanged from our caller, who
+        // guarantees it is valid per the `GlobalAlloc` contract.
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr`/`layout` come from a matching `alloc` via `System`.
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    // relaxed: reads a monotone counter between single-threaded phases
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn disabled_tracing_batch_loop_allocates_nothing() {
+    let trace = Trace::disabled();
+    assert!(!trace.is_enabled());
+
+    // Pre-resolved instruments, exactly as the batch-prep workers and the
+    // DDP communicator hold them.
+    let batches = trace.counter("pipeline.batches");
+    let latency = trace.histogram("prep.batch_ns");
+
+    // Warm up once (lazy statics, TLS init) before the measured window.
+    for batch in 0..8u64 {
+        let _span = trace.span_batch("stage.prep", batch);
+        batches.inc();
+        latency.observe(1 + batch);
+    }
+
+    let before = allocations();
+    for batch in 0..10_000u64 {
+        let _span = trace.span_batch("stage.prep", batch);
+        let _inner = trace.span("prep.sample");
+        batches.inc();
+        latency.observe(1 + batch);
+        trace.instant("fault.retry", batch);
+        trace.add("pipeline.retries", 1);
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "disabled tracing must not allocate on the batch hot loop"
+    );
+
+    // The disabled registry also records nothing.
+    let snap = trace.snapshot();
+    assert!(snap.events.is_empty());
+    assert_eq!(snap.metrics.counter("pipeline.batches"), 0);
+}
+
+#[test]
+fn enabled_tracing_amortizes_event_allocations() {
+    // Not part of the zero-alloc guarantee, but pins the design point that
+    // enabled-mode recording is buffered: 1000 spans must cost far fewer
+    // than one allocation per span once the thread buffer exists.
+    let trace = Trace::new(salient_repro::trace::Clock::virtual_with_tick(10));
+    for batch in 0..64u64 {
+        let _span = trace.span_batch("warmup", batch);
+    }
+    let before = allocations();
+    for batch in 0..1_000u64 {
+        let _span = trace.span_batch("stage.prep", batch);
+    }
+    let after = allocations();
+    assert!(
+        after - before < 100,
+        "expected amortized event buffering, got {} allocations",
+        after - before
+    );
+}

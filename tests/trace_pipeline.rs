@@ -1,0 +1,113 @@
+//! Acceptance tests for the observability subsystem: a deterministic
+//! 2-epoch SALIENT-executor run on a `VirtualClock` must yield
+//!
+//! * a stall-attribution report whose prep/transfer/compute/other shares
+//!   sum to 100% and agree with the legacy `StageTimings` view within 1%;
+//! * a structurally valid Chrome trace with spans from ≥ 3 threads;
+//! * per-batch preparation-latency histograms with usable p50/p95.
+
+use salient_repro::core::{ExecutorKind, RunConfig, Stage, StageTimings, Trainer};
+use salient_repro::graph::DatasetConfig;
+use salient_repro::trace::export::{chrome_trace, metrics_json, render_report};
+use salient_repro::trace::json::{parse, validate_chrome_trace};
+use salient_repro::trace::{analyze, names, Clock, Trace};
+use std::sync::Arc;
+
+/// Runs two SALIENT epochs under a fresh virtual-clock registry and returns
+/// the trace plus the per-epoch legacy stats.
+fn traced_run() -> (Trace, Vec<salient_repro::core::EpochStats>) {
+    let trace = Trace::new(Clock::virtual_with_tick(1_000));
+    let dataset = Arc::new(DatasetConfig::tiny(5).build());
+    let run = RunConfig {
+        executor: ExecutorKind::Salient,
+        epochs: 2,
+        num_workers: 2,
+        ..RunConfig::test_tiny()
+    };
+    let mut trainer = Trainer::with_trace(dataset, run, trace.clone());
+    let stats = trainer.fit();
+    (trace, stats)
+}
+
+#[test]
+fn stall_attribution_sums_to_100_and_matches_legacy_timings() {
+    let (trace, stats) = traced_run();
+    assert_eq!(stats.len(), 2);
+    let snap = trace.snapshot();
+
+    // Whole-run report: the four shares partition the trainer wall-clock.
+    let report = analyze(&snap);
+    let pcts = report.stage_pcts();
+    let sum: f64 = pcts.iter().sum();
+    assert!((sum - 100.0).abs() < 1e-9, "shares must sum to 100: {pcts:?}");
+
+    // Per-epoch agreement: the trace-derived view over each epoch window
+    // must match the `StageTimings` the trainer returned (same clock reads,
+    // so the ISSUE's 1% tolerance is met with enormous margin).
+    let epochs: Vec<(u64, u64)> = snap
+        .spans(names::spans::EPOCH)
+        .map(|e| (e.start_ns, e.end_ns))
+        .collect();
+    assert_eq!(epochs.len(), 2);
+    for ((e0, e1), legacy) in epochs.into_iter().zip(&stats) {
+        let view = StageTimings::from_report(&analyze(&snap.window(e0, e1)));
+        for stage in [Stage::Prep, Stage::Transfer, Stage::Train] {
+            let (a, b) = (view.pct(stage), legacy.timings.pct(stage));
+            assert!((a - b).abs() < 1.0, "{stage:?}: trace {a}% vs legacy {b}%");
+        }
+        assert!(
+            (view.total_s - legacy.timings.total_s).abs() <= 0.01 * legacy.timings.total_s,
+            "epoch wall-clock: trace {} vs legacy {}",
+            view.total_s,
+            legacy.timings.total_s
+        );
+    }
+
+    // The report renders without panicking and names every stage.
+    let text = render_report(&report, &snap);
+    for needle in ["prep (blocked)", "transfer", "compute", "other"] {
+        assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+    }
+}
+
+#[test]
+fn chrome_trace_is_valid_and_spans_at_least_three_threads() {
+    let (trace, _) = traced_run();
+    let snap = trace.snapshot();
+    let out = chrome_trace(&snap);
+    let summary = validate_chrome_trace(&out).expect("valid Chrome trace");
+    assert!(summary.span_events > 0, "{summary:?}");
+    assert!(
+        summary.distinct_tids >= 3,
+        "trainer + per-epoch workers: {summary:?}"
+    );
+    assert_eq!(summary.distinct_tids, snap.distinct_tids(), "{summary:?}");
+}
+
+#[test]
+fn prep_latency_histograms_expose_quantiles() {
+    let (trace, stats) = traced_run();
+    let snap = trace.snapshot();
+    let batches: usize = stats.iter().map(|s| s.batches).sum();
+    let h = snap
+        .metrics
+        .histogram(names::hists::PREP_BATCH_NS)
+        .expect("per-batch prep latency histogram");
+    assert_eq!(h.count as usize, batches);
+    let (p50, p95, p99) = h.percentiles();
+    assert!(p50 > 0 && p50 <= p95 && p95 <= p99, "{p50} {p95} {p99}");
+
+    // The JSON exporter carries the same quantiles, and the in-repo parser
+    // can read them back.
+    let doc = parse(&metrics_json(&snap)).expect("valid metrics JSON");
+    let hists = doc.get("histograms").expect("histograms object");
+    let entry = hists
+        .get(names::hists::PREP_BATCH_NS)
+        .expect("prep.batch_ns entry");
+    assert_eq!(
+        entry.get("count").and_then(|v| v.as_num()),
+        Some(batches as f64)
+    );
+    assert_eq!(entry.get("p50").and_then(|v| v.as_num()), Some(p50 as f64));
+    assert_eq!(entry.get("p95").and_then(|v| v.as_num()), Some(p95 as f64));
+}
