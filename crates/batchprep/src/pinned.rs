@@ -6,15 +6,17 @@
 //! without large costs, so a fixed set of slots is recycled; the bounded pool
 //! also provides natural backpressure on how many batches are in flight.
 //!
-//! Here a slot is a pair of host buffers (half-precision features + labels).
-//! Returning a slot to the pool is automatic on drop.
+//! Here a slot is a pair of host buffers (packed features at the dataset's
+//! dtype — f16 by default, so the staged copy moves half the bytes — plus
+//! labels). Returning a slot to the pool is automatic on drop.
 
 use crate::channel::{bounded, Receiver, Sender};
-use salient_tensor::F16;
+use salient_graph::{FeatureRows, FeatureRowsMut, FeatureSlab};
+use salient_tensor::Dtype;
 
 #[derive(Debug)]
 struct Buffers {
-    features: Vec<F16>,
+    features: FeatureSlab,
     labels: Vec<u32>,
 }
 
@@ -38,7 +40,7 @@ impl PinnedSlot {
         let b = self.buffers.as_mut().expect("slot already returned");
         let need = num_nodes * dim;
         if b.features.len() < need {
-            b.features.resize(need, F16::ZERO);
+            b.features.resize(need);
         }
         if b.labels.len() < num_labels {
             b.labels.resize(num_labels, 0);
@@ -48,10 +50,10 @@ impl PinnedSlot {
     }
 
     /// The writable feature region sized by the last [`PinnedSlot::prepare`].
-    pub fn features_mut(&mut self) -> &mut [F16] {
+    pub fn features_mut(&mut self) -> FeatureRowsMut<'_> {
         let used = self.used_features;
         // lint: allow(panic-freedom, buffers are only None after Drop runs; unreachable through the public API)
-        &mut self.buffers.as_mut().expect("slot already returned").features[..used]
+        self.buffers.as_mut().expect("slot already returned").features.view_mut(0, used)
     }
 
     /// The writable label region.
@@ -62,9 +64,15 @@ impl PinnedSlot {
     }
 
     /// The filled feature region.
-    pub fn features(&self) -> &[F16] {
+    pub fn features(&self) -> FeatureRows<'_> {
         // lint: allow(panic-freedom, buffers are only None after Drop runs; unreachable through the public API)
-        &self.buffers.as_ref().expect("slot already returned").features[..self.used_features]
+        self.buffers.as_ref().expect("slot already returned").features.view(0, self.used_features)
+    }
+
+    /// The dtype the slot stages features at.
+    pub fn dtype(&self) -> Dtype {
+        // lint: allow(panic-freedom, buffers are only None after Drop runs; unreachable through the public API)
+        self.buffers.as_ref().expect("slot already returned").features.dtype()
     }
 
     /// The filled label region.
@@ -74,9 +82,10 @@ impl PinnedSlot {
     }
 
     /// Bytes of payload currently staged in this slot (what a CPU→GPU DMA
-    /// would move for features + labels).
+    /// would move for features + labels). Feature bytes scale with the
+    /// slot's dtype: an f16 pool stages half the bytes of an f32 pool.
     pub fn payload_bytes(&self) -> usize {
-        self.used_features * std::mem::size_of::<F16>()
+        self.used_features * self.dtype().size_of()
             + self.used_labels * std::mem::size_of::<u32>()
     }
 }
@@ -99,18 +108,18 @@ pub struct PinnedPool {
 }
 
 impl PinnedPool {
-    /// Creates a pool of `slots` buffers, each pre-sized for
-    /// `nodes_hint × dim` features and `labels_hint` labels.
+    /// Creates a pool of `slots` buffers staging features at `dtype`, each
+    /// pre-sized for `nodes_hint × dim` features and `labels_hint` labels.
     ///
     /// # Panics
     ///
     /// Panics if `slots == 0`.
-    pub fn new(slots: usize, nodes_hint: usize, dim: usize, labels_hint: usize) -> Self {
+    pub fn new(slots: usize, nodes_hint: usize, dim: usize, labels_hint: usize, dtype: Dtype) -> Self {
         assert!(slots > 0, "pool needs at least one slot");
         let (tx, rx) = bounded(slots);
         for _ in 0..slots {
             tx.send(Buffers {
-                features: vec![F16::ZERO; nodes_hint * dim],
+                features: FeatureSlab::new(dtype, nodes_hint * dim),
                 labels: vec![0; labels_hint],
             })
             // lint: allow(panic-freedom, both channel endpoints are held locally while filling; send cannot observe a disconnect)
@@ -213,7 +222,7 @@ mod tests {
 
     #[test]
     fn acquire_and_release_cycles() {
-        let pool = PinnedPool::new(2, 16, 4, 8);
+        let pool = PinnedPool::new(2, 16, 4, 8, Dtype::F16);
         assert_eq!(pool.available(), 2);
         let a = pool.acquire();
         let b = pool.acquire();
@@ -227,7 +236,7 @@ mod tests {
 
     #[test]
     fn prepare_grows_when_needed() {
-        let pool = PinnedPool::new(1, 2, 4, 2);
+        let pool = PinnedPool::new(1, 2, 4, 2, Dtype::F16);
         let mut slot = pool.acquire();
         slot.prepare(100, 4, 50);
         assert_eq!(slot.features_mut().len(), 400);
@@ -236,14 +245,24 @@ mod tests {
     }
 
     #[test]
+    fn f32_pool_stages_double_the_feature_bytes() {
+        let pool = PinnedPool::new(1, 2, 4, 2, Dtype::F32);
+        let mut slot = pool.acquire();
+        slot.prepare(100, 4, 50);
+        assert_eq!(slot.dtype(), Dtype::F32);
+        assert_eq!(slot.payload_bytes(), 400 * 4 + 50 * 4);
+    }
+
+    #[test]
     fn slot_contents_survive_round_trip() {
-        let pool = PinnedPool::new(1, 4, 1, 4);
+        let pool = PinnedPool::new(1, 4, 1, 4, Dtype::F16);
         {
             let mut slot = pool.acquire();
             slot.prepare(2, 1, 2);
-            slot.features_mut()[0] = F16::from_f32(1.5);
+            let staged = FeatureSlab::from_f32(Dtype::F16, &[1.5, -2.0]);
+            slot.features_mut().copy_from(staged.rows());
             slot.labels_mut()[1] = 42;
-            assert_eq!(slot.features()[0].to_f32(), 1.5);
+            assert_eq!(slot.features().to_f32_vec(), vec![1.5, -2.0]);
             assert_eq!(slot.labels()[1], 42);
         }
         // Buffer reuse is an implementation detail; what matters is the pool
@@ -255,7 +274,7 @@ mod tests {
     fn cancellable_acquire_returns_on_cancel() {
         use std::sync::atomic::{AtomicBool, Ordering};
         use std::sync::Arc;
-        let pool = PinnedPool::new(1, 1, 1, 1);
+        let pool = PinnedPool::new(1, 1, 1, 1, Dtype::F16);
         let held = pool.acquire(); // exhaust the pool
         let cancel = Arc::new(AtomicBool::new(false));
         let pool2 = pool.clone();
@@ -271,14 +290,14 @@ mod tests {
     #[test]
     fn cancellable_acquire_gets_slot_when_free() {
         use std::sync::atomic::AtomicBool;
-        let pool = PinnedPool::new(1, 1, 1, 1);
+        let pool = PinnedPool::new(1, 1, 1, 1, Dtype::F16);
         let cancel = AtomicBool::new(false);
         assert!(pool.acquire_cancellable(&cancel).is_some());
     }
 
     #[test]
     fn blocking_acquire_wakes_on_release() {
-        let pool = PinnedPool::new(1, 1, 1, 1);
+        let pool = PinnedPool::new(1, 1, 1, 1, Dtype::F16);
         let slot = pool.acquire();
         let pool2 = pool.clone();
         let handle = std::thread::spawn(move || {

@@ -34,7 +34,7 @@ use crate::stats::{EpochPrepStats, FaultStats, PrepTimings};
 use salient_fault as fault;
 use salient_graph::{Dataset, NodeId};
 use salient_sampler::{FastSampler, MessageFlowGraph, PygSampler};
-use salient_tensor::F16;
+use salient_graph::FeatureSlab;
 use salient_trace::{names, Counter, Histogram, Trace, NO_BATCH};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -348,7 +348,13 @@ pub fn run_epoch(dataset: &Arc<Dataset>, order: &[NodeId], cfg: &PrepConfig) -> 
     // common case.
     let expansion: usize = cfg.fanouts.iter().map(|f| f + 1).product();
     let nodes_hint = cfg.batch_size * expansion.min(256);
-    let pool = PinnedPool::new(cfg.slots, nodes_hint, dataset.features.dim(), cfg.batch_size);
+    let pool = PinnedPool::new(
+        cfg.slots,
+        nodes_hint,
+        dataset.features.dim(),
+        cfg.batch_size,
+        dataset.features.dtype(),
+    );
     let (tx, rx) = bounded::<BatchResult>(cfg.slots);
     let cancel = Arc::new(AtomicBool::new(false));
 
@@ -496,7 +502,7 @@ fn worker_loop(ctx: &WorkerCtx, worker: usize, inline: bool) -> EpochPrepStats {
         fault::fire(fault::sites::PREP_WORKER, worker as u64);
     }
     let mut sampler = AnySampler::new(ctx.cfg.sampler, worker_seed(ctx.cfg.seed, worker));
-    let mut private: Vec<F16> = Vec::new();
+    let mut private = FeatureSlab::new(ctx.dataset.features.dtype(), 0);
     let mut private_labels: Vec<u32> = Vec::new();
     let mut stats = EpochPrepStats::default();
     while !ctx.cancel.load(Ordering::Acquire) {
@@ -561,7 +567,7 @@ fn prepare_item(
     ctx: &WorkerCtx,
     sampler: &mut AnySampler,
     item: &WorkItem,
-    private: &mut Vec<F16>,
+    private: &mut FeatureSlab,
     private_labels: &mut Vec<u32>,
     stats: &mut EpochPrepStats,
 ) -> Option<PreparedBatch> {
@@ -602,13 +608,13 @@ fn prepare_item(
         }
         PrepMode::Multiprocessing => {
             // Slice into worker-private memory…
-            private.resize(mfg.num_nodes() * dim, F16::ZERO);
+            private.resize(mfg.num_nodes() * dim);
             private_labels.resize(mfg.batch_size(), 0);
-            slice_batch(&ctx.dataset, &mfg, private, private_labels);
+            slice_batch(&ctx.dataset, &mfg, private.rows_mut(), private_labels);
             let sliced = clock.now_ns();
             trace.record_span(names::spans::PREP_SLICE, bid, t1, sliced);
             // …then pay the shared-memory copy.
-            slot.features_mut().copy_from_slice(private);
+            slot.features_mut().copy_from(private.rows());
             slot.labels_mut().copy_from_slice(private_labels);
             let copied = clock.now_ns();
             trace.record_span(names::spans::PREP_COPY, bid, sliced, copied);
@@ -721,7 +727,7 @@ mod tests {
         for b in handle.batches.iter().filter_map(BatchResult::ready) {
             let dim = ds.features.dim();
             for (i, &v) in b.mfg.node_ids.iter().enumerate() {
-                assert_eq!(&b.slot.features()[i * dim..(i + 1) * dim], ds.features.row(v));
+                assert_eq!(b.slot.features().view(i * dim, dim), ds.features.row(v));
             }
             for (i, &v) in b.mfg.node_ids[..b.mfg.batch_size()].iter().enumerate() {
                 assert_eq!(b.slot.labels()[i], ds.labels[v as usize]);

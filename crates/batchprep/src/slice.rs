@@ -5,21 +5,26 @@
 //! y[ids[:batch_sz]]`). SALIENT runs this *serially per batch-prep thread*
 //! (§4.2) — the across-batch parallelism comes from the thread pool, which
 //! has better cache behaviour than PyTorch's within-tensor OpenMP split.
+//!
+//! Feature rows move at the dataset's storage dtype: an f16-stored matrix
+//! slices (and later DMAs) 2 bytes per value, the paper's conventional
+//! optimization (iii).
 
-use salient_graph::{Dataset, NodeId};
+use salient_graph::{Dataset, FeatureRowsMut, NodeId};
 use salient_sampler::MessageFlowGraph;
-use salient_tensor::F16;
+use salient_tensor::Dtype;
 
-/// Slices the features of every node of `mfg` into `out_features` and the
-/// labels of its batch nodes into `out_labels`, serially.
+/// Slices the features of every node of `mfg` into `out_features` (which
+/// must carry the dataset's dtype) and the labels of its batch nodes into
+/// `out_labels`, serially.
 ///
 /// # Panics
 ///
-/// Panics if the output buffers have the wrong size.
+/// Panics if the output buffers have the wrong size or dtype.
 pub fn slice_batch(
     dataset: &Dataset,
     mfg: &MessageFlowGraph,
-    out_features: &mut [F16],
+    out_features: FeatureRowsMut<'_>,
     out_labels: &mut [u32],
 ) {
     dataset.features.slice_into(&mfg.node_ids, out_features);
@@ -39,17 +44,17 @@ pub fn slice_labels(labels: &[u32], batch: &[NodeId], out: &mut [u32]) {
     }
 }
 
-/// Bytes moved by slicing one batch (features + labels), the quantity that
-/// feeds the DMA-transfer model.
-pub fn sliced_bytes(mfg: &MessageFlowGraph, feat_dim: usize) -> usize {
-    mfg.num_nodes() * feat_dim * std::mem::size_of::<F16>()
+/// Bytes moved by slicing one batch (features + labels) at the given
+/// feature dtype, the quantity that feeds the DMA-transfer model.
+pub fn sliced_bytes(mfg: &MessageFlowGraph, feat_dim: usize, dtype: Dtype) -> usize {
+    mfg.num_nodes() * feat_dim * dtype.size_of()
         + mfg.batch_size() * std::mem::size_of::<u32>()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use salient_graph::DatasetConfig;
+    use salient_graph::{DatasetConfig, FeatureSlab};
     use salient_sampler::FastSampler;
 
     #[test]
@@ -57,13 +62,13 @@ mod tests {
         let ds = DatasetConfig::tiny(10).build();
         let mfg = FastSampler::new(0).sample(&ds.graph, &ds.splits.train[..8], &[4, 4]);
         let dim = ds.features.dim();
-        let mut feats = vec![F16::ZERO; mfg.num_nodes() * dim];
+        let mut feats = FeatureSlab::new(ds.features.dtype(), mfg.num_nodes() * dim);
         let mut labels = vec![0u32; mfg.batch_size()];
-        slice_batch(&ds, &mfg, &mut feats, &mut labels);
+        slice_batch(&ds, &mfg, feats.rows_mut(), &mut labels);
 
         for (i, &v) in mfg.node_ids.iter().enumerate() {
             assert_eq!(
-                &feats[i * dim..(i + 1) * dim],
+                feats.view(i * dim, dim),
                 ds.features.row(v),
                 "row {i} (node {v}) mismatched"
             );
@@ -77,8 +82,16 @@ mod tests {
     fn sliced_bytes_formula() {
         let ds = DatasetConfig::tiny(10).build();
         let mfg = FastSampler::new(0).sample(&ds.graph, &ds.splits.train[..4], &[3]);
-        let bytes = sliced_bytes(&mfg, ds.features.dim());
-        assert_eq!(bytes, mfg.num_nodes() * ds.features.dim() * 2 + 4 * 4);
+        let dim = ds.features.dim();
+        assert_eq!(
+            sliced_bytes(&mfg, dim, Dtype::F16),
+            mfg.num_nodes() * dim * 2 + 4 * 4
+        );
+        // The f32 path moves exactly twice the feature bytes.
+        assert_eq!(
+            sliced_bytes(&mfg, dim, Dtype::F32),
+            mfg.num_nodes() * dim * 4 + 4 * 4
+        );
     }
 
     #[test]

@@ -6,9 +6,9 @@ use salient_bench::harness::{bench, report};
 use salient_batchprep::{
     make_work_items, slice_batch, DynamicQueue, PinnedPool, StaticPartition, WorkSource,
 };
-use salient_graph::{Dataset, DatasetConfig};
+use salient_graph::{Dataset, DatasetConfig, FeatureSlab};
 use salient_sampler::FastSampler;
-use salient_tensor::F16;
+use salient_tensor::Dtype;
 
 fn dataset() -> Dataset {
     DatasetConfig::products_sim(0.15).build()
@@ -18,24 +18,26 @@ fn bench_slicing(ds: &Dataset) {
     let mfg = FastSampler::new(0).sample(&ds.graph, &ds.splits.train[..256], &[15, 10, 5]);
     let dim = ds.features.dim();
 
+    let dtype = ds.features.dtype();
+
     // SALIENT: serial slice straight into the staging buffer.
-    let mut staged = vec![F16::ZERO; mfg.num_nodes() * dim];
+    let mut staged = FeatureSlab::new(dtype, mfg.num_nodes() * dim);
     let mut labels = vec![0u32; mfg.batch_size()];
     let zero_copy = bench("zero_copy_serial", || {
-        slice_batch(ds, &mfg, &mut staged, &mut labels);
-        staged[0]
+        slice_batch(ds, &mfg, staged.rows_mut(), &mut labels);
+        staged.len()
     });
 
     // Multiprocessing emulation: slice to private memory, then copy.
-    let mut staged2 = vec![F16::ZERO; mfg.num_nodes() * dim];
+    let mut staged2 = FeatureSlab::new(dtype, mfg.num_nodes() * dim);
     let mut labels2 = vec![0u32; mfg.batch_size()];
-    let mut private = vec![F16::ZERO; mfg.num_nodes() * dim];
+    let mut private = FeatureSlab::new(dtype, mfg.num_nodes() * dim);
     let with_copy = bench("slice_plus_shm_copy", || {
-        slice_batch(ds, &mfg, &mut private, &mut labels2);
-        staged2.copy_from_slice(&private);
-        staged2[0]
+        slice_batch(ds, &mfg, private.rows_mut(), &mut labels2);
+        staged2.rows_mut().copy_from(private.rows());
+        staged2.len()
     });
-    let bytes = (mfg.num_nodes() * dim * 2) as f64;
+    let bytes = (mfg.num_nodes() * dim * dtype.size_of()) as f64;
     println!(
         "  zero_copy {:.2} GB/s vs copy {:.2} GB/s",
         zero_copy.per_second(bytes) / 1e9,
@@ -68,7 +70,7 @@ fn bench_queues() {
 }
 
 fn bench_pinned_pool() {
-    let pool = PinnedPool::new(4, 4096, 32, 256);
+    let pool = PinnedPool::new(4, 4096, 32, 256, Dtype::F16);
     let s = bench("acquire_prepare_release", || {
         let mut slot = pool.acquire();
         slot.prepare(2048, 32, 128);

@@ -39,25 +39,38 @@ const BATCHES: usize = 20;
 /// Cap on iterations per batch (protects very cheap ops from huge loops).
 const MAX_ITERS: usize = 1_000_000;
 
+/// Measurement parameters, honouring `SALIENT_BENCH_SMOKE`: when the
+/// variable is set (the CI mixed-precision tier), batches are shorter and
+/// fewer, trading precision for runtime while keeping every code path and
+/// assertion identical to the full run.
+fn batch_params() -> (f64, usize) {
+    if std::env::var("SALIENT_BENCH_SMOKE").is_ok() {
+        (0.01, 5)
+    } else {
+        (BATCH_TARGET_S, BATCHES)
+    }
+}
+
 /// Measures `f`, returning per-iteration statistics.
 ///
 /// The closure should perform one unit of work and return a value; the
 /// result is passed through `std::hint::black_box` so the optimizer cannot
 /// elide the computation.
 pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> Sample {
+    let (batch_target_s, batches) = batch_params();
     // Warm up (page in code/data, let the thread pool spin up).
     let warm_start = Instant::now();
     std::hint::black_box(f());
     let first = warm_start.elapsed().as_secs_f64().max(1e-9);
 
     // Calibrate iterations per batch from the first observation.
-    let iters = ((BATCH_TARGET_S / first) as usize).clamp(1, MAX_ITERS);
+    let iters = ((batch_target_s / first) as usize).clamp(1, MAX_ITERS);
     for _ in 0..iters.min(3) {
         std::hint::black_box(f());
     }
 
-    let mut per_iter: Vec<f64> = Vec::with_capacity(BATCHES);
-    for _ in 0..BATCHES {
+    let mut per_iter: Vec<f64> = Vec::with_capacity(batches);
+    for _ in 0..batches {
         let t = Instant::now();
         for _ in 0..iters {
             std::hint::black_box(f());

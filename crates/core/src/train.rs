@@ -6,11 +6,11 @@ use crate::timing::StageTimings;
 use salient_tensor::rng::StdRng;
 use salient_tensor::rng::SliceRandom;
 use salient_batchprep::{run_epoch, BatchResult, PrepConfig, PrepMode, SamplerKind};
-use salient_graph::{Dataset, NodeId};
+use salient_graph::{Dataset, FeatureSlab, NodeId};
 use salient_nn::{build_model, metrics, GnnModel, Mode};
 use salient_sampler::{FastSampler, MessageFlowGraph, PygSampler};
 use salient_tensor::optim::{Adam, Optimizer};
-use salient_tensor::{dequantize_into, F16, Tape, Tensor};
+use salient_tensor::{Tape, Tensor};
 use salient_trace::{analyze, names, Clock, Trace, NO_BATCH};
 use std::sync::Arc;
 
@@ -196,7 +196,8 @@ impl Trainer {
         let epoch_start = clock.now_ns();
         let mut sampler = PygSampler::new(self.config.seed ^ self.epoch as u64);
         let dim = self.dataset.features.dim();
-        let mut staged: Vec<F16> = Vec::new();
+        let transfer_bytes = trace.counter(names::counters::TRANSFER_BYTES);
+        let mut staged = FeatureSlab::new(self.dataset.features.dtype(), 0);
         let mut total_loss = 0.0;
         let mut batches = 0usize;
         let dataset = Arc::clone(&self.dataset);
@@ -206,8 +207,8 @@ impl Trainer {
             // baseline this is real work on the trainer thread.
             let t0 = clock.now_ns();
             let mfg = sampler.sample(&dataset.graph, chunk, &self.config.train_fanouts);
-            staged.resize(mfg.num_nodes() * dim, F16::ZERO);
-            dataset.features.slice_into(&mfg.node_ids, &mut staged);
+            staged.resize(mfg.num_nodes() * dim);
+            dataset.features.slice_into(&mfg.node_ids, staged.rows_mut());
             let labels: Vec<u32> = mfg.node_ids[..mfg.batch_size()]
                 .iter()
                 .map(|&v| dataset.labels[v as usize])
@@ -215,10 +216,12 @@ impl Trainer {
             let t1 = clock.now_ns();
             trace.record_span(names::spans::STAGE_PREP, bid, t0, t1);
 
-            // Transfer: the f16→f32 upcast stands in for the PCIe copy +
-            // device-side widening (line 5).
+            // Transfer: the packed→f32 upcast stands in for the PCIe copy +
+            // device-side widening (line 5). The counted bytes are the
+            // *packed* payload — the quantity the copy would move.
             let mut wide = vec![0.0f32; staged.len()];
-            dequantize_into(&staged, &mut wide);
+            staged.widen_into(&mut wide);
+            transfer_bytes.add((staged.bytes() + labels.len() * std::mem::size_of::<u32>()) as u64);
             let features = Tensor::from_vec(wide, [mfg.num_nodes(), dim]);
             let t2 = clock.now_ns();
             trace.record_span(names::spans::STAGE_TRANSFER, bid, t1, t2);
@@ -253,6 +256,7 @@ impl Trainer {
         let clock = trace.clock();
         let wait_hist = trace.histogram(names::hists::PREP_WAIT_NS);
         let train_hist = trace.histogram(names::hists::TRAIN_BATCH_NS);
+        let transfer_bytes = trace.counter(names::counters::TRANSFER_BYTES);
         let epoch_start = clock.now_ns();
         let prep_cfg = PrepConfig {
             num_workers: self.config.num_workers,
@@ -292,7 +296,8 @@ impl Trainer {
             };
 
             let mut wide = vec![0.0f32; batch.mfg.num_nodes() * dim];
-            dequantize_into(batch.slot.features(), &mut wide);
+            batch.slot.features().widen_into(&mut wide);
+            transfer_bytes.add(batch.slot.payload_bytes() as u64);
             let features = Tensor::from_vec(wide, [batch.mfg.num_nodes(), dim]);
             let labels = batch.slot.labels().to_vec();
             let t2 = clock.now_ns();

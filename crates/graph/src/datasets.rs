@@ -11,6 +11,7 @@
 
 use crate::csr::CsrGraph;
 use crate::features::FeatureMatrix;
+use salient_tensor::Dtype;
 use crate::generate::{chung_lu_communities, ChungLuConfig};
 use crate::labels::{planted_features, PlantedFeatureConfig};
 use crate::split::Splits;
@@ -22,7 +23,7 @@ pub struct Dataset {
     pub name: String,
     /// Undirected input graph.
     pub graph: CsrGraph,
-    /// Half-precision node features.
+    /// Node features, packed at the configured [`Dtype`] (f16 by default).
     pub features: FeatureMatrix,
     /// Node labels (class = planted community).
     pub labels: Vec<u32>,
@@ -59,6 +60,9 @@ pub struct DatasetConfig {
     pub split_fracs: (f64, f64, f64),
     /// RNG seed.
     pub seed: u64,
+    /// Host storage dtype for node features. Presets read the
+    /// `SALIENT_DTYPE` environment knob (default: f16, the paper's layout).
+    pub dtype: Dtype,
 }
 
 impl DatasetConfig {
@@ -78,6 +82,7 @@ impl DatasetConfig {
             noise: 1.0,
             split_fracs: (0.54, 0.18, 0.28),
             seed: 0xA12,
+            dtype: Dtype::from_env(),
         }
     }
 
@@ -98,6 +103,7 @@ impl DatasetConfig {
             noise: 1.0,
             split_fracs: (0.082, 0.016, 0.90),
             seed: 0xB34,
+            dtype: Dtype::from_env(),
         }
     }
 
@@ -120,6 +126,7 @@ impl DatasetConfig {
             // 4x so the sim-scale train set is not degenerately small.
             split_fracs: (0.044, 0.0045, 0.0077),
             seed: 0xC56,
+            dtype: Dtype::from_env(),
         }
     }
 
@@ -138,6 +145,7 @@ impl DatasetConfig {
             noise: 0.8,
             split_fracs: (0.5, 0.2, 0.3),
             seed,
+            dtype: Dtype::from_env(),
         }
     }
 
@@ -160,7 +168,7 @@ impl DatasetConfig {
             seed: self.seed ^ 0xF00D,
         };
         let raw = planted_features(&cg.community, &feat_cfg);
-        let features = FeatureMatrix::from_f32(self.num_nodes, self.feat_dim, &raw);
+        let features = FeatureMatrix::from_f32_dtype(self.dtype, self.num_nodes, self.feat_dim, &raw);
         let (ft, fv, fs) = self.split_fracs;
         let splits = Splits::random(self.num_nodes, ft, fv, fs, self.seed ^ 0x5EED);
         Dataset {

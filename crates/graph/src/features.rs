@@ -1,14 +1,261 @@
-//! Node feature storage in host memory.
+//! Node feature storage in host memory, dtype-aware.
 //!
-//! Features are stored row-major in IEEE binary16, exactly as the paper's
-//! tuned baseline does ("half-precision floating point for feature vectors in
-//! host memory to reduce bandwidth pressure in slicing and CPU-to-GPU data
-//! transfers", §3). Slicing therefore moves 2 bytes per value and the
-//! (simulated) device widens to `f32` after transfer.
+//! By default features are stored row-major in IEEE binary16, exactly as the
+//! paper's tuned baseline does ("half-precision floating point for feature
+//! vectors in host memory to reduce bandwidth pressure in slicing and
+//! CPU-to-GPU data transfers", §3): slicing then moves 2 bytes per value and
+//! the (simulated) device widens to `f32` once, after the transfer. The same
+//! matrix can instead hold full-precision rows ([`Dtype::F32`], selected per
+//! dataset or via the `SALIENT_DTYPE` environment knob) so the byte-volume
+//! lever is measurable: the two layouts run the identical slice/transfer
+//! code paths and differ only in bytes moved.
+//!
+//! The storage itself is a [`FeatureSlab`] — an enum over packed `F16` or
+//! `f32` buffers — with borrowed views ([`FeatureRows`] /
+//! [`FeatureRowsMut`]) so staging buffers (pinned slots, worker-private
+//! scratch) can carry either dtype without generics spreading through the
+//! pipeline crates.
 
-use salient_tensor::{F16, Tensor};
+use salient_tensor::{kernels, Dtype, Tensor, F16};
 
-/// A dense `num_nodes × dim` feature matrix stored as binary16.
+/// A packed, dtype-tagged feature buffer: the backing storage for the
+/// dataset's feature matrix and for every staging buffer that carries sliced
+/// rows toward the trainer.
+#[derive(Clone, Debug)]
+pub enum FeatureSlab {
+    /// Packed binary16 values (2 bytes per feature).
+    Half(Vec<F16>),
+    /// Full-precision values (4 bytes per feature).
+    Full(Vec<f32>),
+}
+
+impl FeatureSlab {
+    /// A zero-filled slab of `len` values in the given dtype.
+    pub fn new(dtype: Dtype, len: usize) -> Self {
+        match dtype {
+            Dtype::F16 => FeatureSlab::Half(vec![F16::ZERO; len]),
+            Dtype::F32 => FeatureSlab::Full(vec![0.0; len]),
+        }
+    }
+
+    /// Quantizes (or copies) an `f32` buffer into a slab of the given dtype.
+    pub fn from_f32(dtype: Dtype, values: &[f32]) -> Self {
+        match dtype {
+            Dtype::F16 => FeatureSlab::Half(salient_tensor::quantize(values)),
+            Dtype::F32 => FeatureSlab::Full(values.to_vec()),
+        }
+    }
+
+    /// The element dtype.
+    pub fn dtype(&self) -> Dtype {
+        match self {
+            FeatureSlab::Half(_) => Dtype::F16,
+            FeatureSlab::Full(_) => Dtype::F32,
+        }
+    }
+
+    /// Number of values (not bytes).
+    pub fn len(&self) -> usize {
+        match self {
+            FeatureSlab::Half(v) => v.len(),
+            FeatureSlab::Full(v) => v.len(),
+        }
+    }
+
+    /// Whether the slab holds no values.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes occupied by the packed values — the quantity a slice or
+    /// host-to-device copy of this slab actually moves.
+    pub fn bytes(&self) -> usize {
+        self.len() * self.dtype().size_of()
+    }
+
+    /// Resizes to `len` values, zero-filling any growth.
+    pub fn resize(&mut self, len: usize) {
+        match self {
+            FeatureSlab::Half(v) => v.resize(len, F16::ZERO),
+            FeatureSlab::Full(v) => v.resize(len, 0.0),
+        }
+    }
+
+    /// Borrowed view of the whole slab.
+    pub fn rows(&self) -> FeatureRows<'_> {
+        self.view(0, self.len())
+    }
+
+    /// Borrowed view of `len` values starting at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn view(&self, start: usize, len: usize) -> FeatureRows<'_> {
+        match self {
+            FeatureSlab::Half(v) => FeatureRows::Half(&v[start..start + len]),
+            FeatureSlab::Full(v) => FeatureRows::Full(&v[start..start + len]),
+        }
+    }
+
+    /// Mutable view of the whole slab.
+    pub fn rows_mut(&mut self) -> FeatureRowsMut<'_> {
+        let len = self.len();
+        self.view_mut(0, len)
+    }
+
+    /// Mutable view of `len` values starting at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn view_mut(&mut self, start: usize, len: usize) -> FeatureRowsMut<'_> {
+        match self {
+            FeatureSlab::Half(v) => FeatureRowsMut::Half(&mut v[start..start + len]),
+            FeatureSlab::Full(v) => FeatureRowsMut::Full(&mut v[start..start + len]),
+        }
+    }
+
+    /// Widens the whole slab into `out` (the "device-side upcast": bulk F16C
+    /// for half slabs, a plain copy for full slabs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.len()`.
+    pub fn widen_into(&self, out: &mut [f32]) {
+        self.rows().widen_into(out);
+    }
+}
+
+/// A borrowed, dtype-tagged run of packed feature values.
+#[derive(Debug, Clone, Copy)]
+pub enum FeatureRows<'a> {
+    /// Binary16 values.
+    Half(&'a [F16]),
+    /// Full-precision values.
+    Full(&'a [f32]),
+}
+
+impl FeatureRows<'_> {
+    /// The element dtype.
+    pub fn dtype(&self) -> Dtype {
+        match self {
+            FeatureRows::Half(_) => Dtype::F16,
+            FeatureRows::Full(_) => Dtype::F32,
+        }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        match self {
+            FeatureRows::Half(v) => v.len(),
+            FeatureRows::Full(v) => v.len(),
+        }
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes the viewed values occupy (what copying them would move).
+    pub fn bytes(&self) -> usize {
+        self.len() * self.dtype().size_of()
+    }
+
+    /// Widens the values into `out` — bulk F16C for half rows, a plain copy
+    /// for full rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out.len() != self.len()`.
+    pub fn widen_into(&self, out: &mut [f32]) {
+        match self {
+            FeatureRows::Half(v) => salient_tensor::widen_into(v, out),
+            FeatureRows::Full(v) => out.copy_from_slice(v),
+        }
+    }
+
+    /// The values widened into a fresh `Vec<f32>`.
+    pub fn to_f32_vec(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.len()];
+        self.widen_into(&mut out);
+        out
+    }
+
+    /// Sub-view of `len` values starting at `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn view(&self, start: usize, len: usize) -> FeatureRows<'_> {
+        match self {
+            FeatureRows::Half(v) => FeatureRows::Half(&v[start..start + len]),
+            FeatureRows::Full(v) => FeatureRows::Full(&v[start..start + len]),
+        }
+    }
+}
+
+/// Value equality after widening (so a half view and a full view holding the
+/// same representable values compare equal). Inherits `f32` semantics:
+/// `-0.0 == +0.0`, `NaN != NaN`.
+impl PartialEq for FeatureRows<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        self.to_f32_vec() == other.to_f32_vec()
+    }
+}
+
+/// A mutable, dtype-tagged run of packed feature values.
+#[derive(Debug)]
+pub enum FeatureRowsMut<'a> {
+    /// Binary16 values.
+    Half(&'a mut [F16]),
+    /// Full-precision values.
+    Full(&'a mut [f32]),
+}
+
+impl FeatureRowsMut<'_> {
+    /// The element dtype.
+    pub fn dtype(&self) -> Dtype {
+        match self {
+            FeatureRowsMut::Half(_) => Dtype::F16,
+            FeatureRowsMut::Full(_) => Dtype::F32,
+        }
+    }
+
+    /// Number of values.
+    pub fn len(&self) -> usize {
+        match self {
+            FeatureRowsMut::Half(v) => v.len(),
+            FeatureRowsMut::Full(v) => v.len(),
+        }
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies packed values from `src` without changing representation (the
+    /// shared-memory copy stage: same dtype in, same dtype out).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dtypes differ or the lengths mismatch.
+    pub fn copy_from(&mut self, src: FeatureRows<'_>) {
+        match (self, src) {
+            (FeatureRowsMut::Half(d), FeatureRows::Half(s)) => d.copy_from_slice(s),
+            (FeatureRowsMut::Full(d), FeatureRows::Full(s)) => d.copy_from_slice(s),
+            _ => panic!("feature copy across dtypes (staging buffers must share the store's dtype)"),
+        }
+    }
+}
+
+/// A dense `num_nodes × dim` feature matrix in packed [`Dtype::F16`] or
+/// [`Dtype::F32`] storage.
 ///
 /// # Examples
 ///
@@ -22,21 +269,32 @@ use salient_tensor::{F16, Tensor};
 /// ```
 #[derive(Clone, Debug)]
 pub struct FeatureMatrix {
-    data: Vec<F16>,
+    data: FeatureSlab,
     num_nodes: usize,
     dim: usize,
 }
 
 impl FeatureMatrix {
-    /// Quantizes an `f32` buffer into half-precision storage.
+    /// Quantizes an `f32` buffer into half-precision storage (the paper's
+    /// default host layout). Use [`FeatureMatrix::from_f32_dtype`] to pick
+    /// the dtype explicitly.
     ///
     /// # Panics
     ///
     /// Panics if `values.len() != num_nodes * dim`.
     pub fn from_f32(num_nodes: usize, dim: usize, values: &[f32]) -> Self {
+        Self::from_f32_dtype(Dtype::F16, num_nodes, dim, values)
+    }
+
+    /// Packs an `f32` buffer into storage of the given dtype.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != num_nodes * dim`.
+    pub fn from_f32_dtype(dtype: Dtype, num_nodes: usize, dim: usize, values: &[f32]) -> Self {
         assert_eq!(values.len(), num_nodes * dim, "feature buffer size mismatch");
         FeatureMatrix {
-            data: salient_tensor::quantize(values),
+            data: FeatureSlab::from_f32(dtype, values),
             num_nodes,
             dim,
         }
@@ -50,7 +308,7 @@ impl FeatureMatrix {
     pub fn from_halves(num_nodes: usize, dim: usize, values: Vec<F16>) -> Self {
         assert_eq!(values.len(), num_nodes * dim, "feature buffer size mismatch");
         FeatureMatrix {
-            data: values,
+            data: FeatureSlab::Half(values),
             num_nodes,
             dim,
         }
@@ -66,34 +324,41 @@ impl FeatureMatrix {
         self.dim
     }
 
-    /// The raw half-precision buffer.
-    pub fn data(&self) -> &[F16] {
+    /// The storage dtype.
+    pub fn dtype(&self) -> Dtype {
+        self.data.dtype()
+    }
+
+    /// The packed backing storage.
+    pub fn slab(&self) -> &FeatureSlab {
         &self.data
     }
 
     /// Bytes occupied by the feature storage.
     pub fn memory_bytes(&self) -> usize {
-        self.data.len() * std::mem::size_of::<F16>()
+        self.data.bytes()
     }
 
-    /// The half-precision row of node `v`.
+    /// The packed row of node `v`.
     ///
     /// # Panics
     ///
     /// Panics if `v` is out of range.
-    pub fn row(&self, v: u32) -> &[F16] {
+    pub fn row(&self, v: u32) -> FeatureRows<'_> {
         let v = v as usize;
         assert!(v < self.num_nodes, "node {v} out of range");
-        &self.data[v * self.dim..(v + 1) * self.dim]
+        self.data.view(v * self.dim, self.dim)
     }
 
     /// Row `v` widened to `f32`.
     pub fn row_f32(&self, v: u32) -> Vec<f32> {
-        self.row(v).iter().map(|h| h.to_f32()).collect()
+        self.row(v).to_f32_vec()
     }
 
-    /// Serially slices the rows `ids` into `out` (half precision, the exact
-    /// data-movement kernel of the paper's batch preparation).
+    /// Serially slices the rows `ids` into `out` at the matrix's own dtype —
+    /// the exact data-movement kernel of the paper's batch preparation (a
+    /// half-stored matrix moves 2 bytes per value here, which is the whole
+    /// point of the layout).
     ///
     /// The kernel is deliberately *serial*: SALIENT's batch-prep threads each
     /// run a serial slice to keep cache locality and avoid inter-thread
@@ -101,27 +366,39 @@ impl FeatureMatrix {
     ///
     /// # Panics
     ///
-    /// Panics if `out.len() != ids.len() * dim` or any id is out of range.
-    pub fn slice_into(&self, ids: &[u32], out: &mut [F16]) {
+    /// Panics if `out.len() != ids.len() * dim`, the dtypes differ, or any id
+    /// is out of range.
+    pub fn slice_into(&self, ids: &[u32], out: FeatureRowsMut<'_>) {
         assert_eq!(out.len(), ids.len() * self.dim, "slice output size mismatch");
-        for (i, &v) in ids.iter().enumerate() {
-            let row = self.row(v);
-            out[i * self.dim..(i + 1) * self.dim].copy_from_slice(row);
+        let dim = self.dim;
+        match (&self.data, out) {
+            (FeatureSlab::Half(src), FeatureRowsMut::Half(dst)) => {
+                for (i, &v) in ids.iter().enumerate() {
+                    let v = v as usize;
+                    assert!(v < self.num_nodes, "node {v} out of range");
+                    dst[i * dim..(i + 1) * dim].copy_from_slice(&src[v * dim..(v + 1) * dim]);
+                }
+            }
+            (FeatureSlab::Full(src), FeatureRowsMut::Full(dst)) => {
+                for (i, &v) in ids.iter().enumerate() {
+                    let v = v as usize;
+                    assert!(v < self.num_nodes, "node {v} out of range");
+                    dst[i * dim..(i + 1) * dim].copy_from_slice(&src[v * dim..(v + 1) * dim]);
+                }
+            }
+            _ => panic!("slice output dtype must match the feature store"),
         }
     }
 
-    /// Slices rows and widens to an `f32` [`Tensor`] in one pass (used by the
-    /// real-execution training path after the "transfer").
+    /// Slices rows and widens to an `f32` [`Tensor`] in one pass (used by
+    /// eval and the gather-style training paths after the "transfer").
+    /// Dispatches to the parallel gather kernels: the fused f16 gather for
+    /// half storage, the plain row gather for full storage.
     pub fn gather_f32(&self, ids: &[u32]) -> Tensor {
-        let mut out = vec![0.0f32; ids.len() * self.dim];
-        for (i, &v) in ids.iter().enumerate() {
-            for (o, h) in out[i * self.dim..(i + 1) * self.dim]
-                .iter_mut()
-                .zip(self.row(v).iter())
-            {
-                *o = h.to_f32();
-            }
-        }
+        let out = match &self.data {
+            FeatureSlab::Half(v) => kernels::gather_rows_forward_f16(v, self.dim, ids),
+            FeatureSlab::Full(v) => kernels::gather_rows_forward(v, self.dim, ids),
+        };
         Tensor::from_vec(out, [ids.len(), self.dim])
     }
 }
@@ -135,32 +412,59 @@ mod tests {
         let f = FeatureMatrix::from_f32(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
         assert_eq!(f.row_f32(0), vec![1.0, 2.0]);
         assert_eq!(f.row_f32(2), vec![5.0, 6.0]);
+        assert_eq!(f.dtype(), Dtype::F16);
         assert_eq!(f.memory_bytes(), 12);
     }
 
     #[test]
+    fn full_precision_store_doubles_bytes() {
+        let vals: Vec<f32> = (0..6).map(|i| i as f32).collect();
+        let half = FeatureMatrix::from_f32_dtype(Dtype::F16, 3, 2, &vals);
+        let full = FeatureMatrix::from_f32_dtype(Dtype::F32, 3, 2, &vals);
+        assert_eq!(full.dtype(), Dtype::F32);
+        assert_eq!(full.memory_bytes(), 2 * half.memory_bytes());
+        assert_eq!(full.row_f32(1), vec![2.0, 3.0]);
+        // Same representable values ⇒ rows compare equal across dtypes.
+        assert_eq!(full.row(2), half.row(2));
+    }
+
+    #[test]
     fn slice_into_gathers_rows() {
-        let f = FeatureMatrix::from_f32(3, 2, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
-        let mut out = vec![F16::ZERO; 4];
-        f.slice_into(&[2, 0], &mut out);
-        let widened: Vec<f32> = out.iter().map(|h| h.to_f32()).collect();
-        assert_eq!(widened, vec![5.0, 6.0, 1.0, 2.0]);
+        let vals = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        for dtype in [Dtype::F16, Dtype::F32] {
+            let f = FeatureMatrix::from_f32_dtype(dtype, 3, 2, &vals);
+            let mut out = FeatureSlab::new(dtype, 4);
+            f.slice_into(&[2, 0], out.rows_mut());
+            assert_eq!(out.rows().to_f32_vec(), vec![5.0, 6.0, 1.0, 2.0]);
+            assert_eq!(out.bytes(), 4 * dtype.size_of());
+        }
     }
 
     #[test]
     fn gather_f32_matches_slice() {
-        let f = FeatureMatrix::from_f32(4, 3, &(0..12).map(|i| i as f32).collect::<Vec<_>>());
-        let t = f.gather_f32(&[1, 3]);
-        assert_eq!(t.shape().dims(), &[2, 3]);
-        assert_eq!(t.data(), &[3.0, 4.0, 5.0, 9.0, 10.0, 11.0]);
+        let vals: Vec<f32> = (0..12).map(|i| i as f32).collect();
+        for dtype in [Dtype::F16, Dtype::F32] {
+            let f = FeatureMatrix::from_f32_dtype(dtype, 4, 3, &vals);
+            let t = f.gather_f32(&[1, 3]);
+            assert_eq!(t.shape().dims(), &[2, 3]);
+            assert_eq!(t.data(), &[3.0, 4.0, 5.0, 9.0, 10.0, 11.0]);
+        }
     }
 
     #[test]
     #[should_panic(expected = "size mismatch")]
     fn slice_into_checks_output_len() {
         let f = FeatureMatrix::from_f32(2, 2, &[0.0; 4]);
-        let mut out = vec![F16::ZERO; 3];
-        f.slice_into(&[0], &mut out);
+        let mut out = FeatureSlab::new(Dtype::F16, 3);
+        f.slice_into(&[0], out.rows_mut());
+    }
+
+    #[test]
+    #[should_panic(expected = "dtype must match")]
+    fn slice_into_checks_dtype() {
+        let f = FeatureMatrix::from_f32(2, 2, &[0.0; 4]);
+        let mut out = FeatureSlab::new(Dtype::F32, 2);
+        f.slice_into(&[0], out.rows_mut());
     }
 
     #[test]
@@ -170,6 +474,20 @@ mod tests {
         for (i, &x) in xs.iter().enumerate() {
             let got = f.row_f32((i / 10) as u32)[i % 10];
             assert!((got - x).abs() <= x.abs() * 1e-3 + 1e-3);
+        }
+    }
+
+    #[test]
+    fn slab_widen_and_copy_round_trip() {
+        let vals: Vec<f32> = (0..8).map(|i| i as f32 * 0.5).collect();
+        for dtype in [Dtype::F16, Dtype::F32] {
+            let slab = FeatureSlab::from_f32(dtype, &vals);
+            let mut wide = vec![0.0f32; slab.len()];
+            slab.widen_into(&mut wide);
+            assert_eq!(wide, vals);
+            let mut copy = FeatureSlab::new(dtype, slab.len());
+            copy.rows_mut().copy_from(slab.rows());
+            assert_eq!(copy.rows(), slab.rows());
         }
     }
 }

@@ -2,8 +2,9 @@
 //!
 //! Graph storage and synthetic datasets for the SALIENT reproduction: CSR
 //! graphs (the input format of the neighborhood sampler), heavy-tailed random
-//! graph generators, half-precision feature storage, planted-label tasks, and
-//! the published statistics of the paper's OGB benchmarks.
+//! graph generators, dtype-aware packed feature storage (f16 by default),
+//! planted-label tasks, and the published statistics of the paper's OGB
+//! benchmarks.
 //!
 //! # Example
 //!
@@ -28,5 +29,5 @@ pub mod partition;
 
 pub use csr::{CsrGraph, NodeId};
 pub use datasets::{Dataset, DatasetConfig, DatasetStats};
-pub use features::FeatureMatrix;
+pub use features::{FeatureMatrix, FeatureRows, FeatureRowsMut, FeatureSlab};
 pub use split::Splits;

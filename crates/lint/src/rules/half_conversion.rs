@@ -1,0 +1,125 @@
+//! **half-conversion**: scalar `F16::from_f32(..)` / `.to_f32()` calls are
+//! forbidden in designated hot-path modules. One conversion per element in a
+//! per-row or per-edge loop is exactly the pattern the mixed-precision work
+//! removed: the bulk kernels (`widen_into` / `narrow_into` and the F16C
+//! vectorized paths behind them) convert whole rows at a time, so any scalar
+//! conversion that survives in the sampler, batch prep, the tensor kernels,
+//! or the DDP communicator is either a performance bug or needs a reasoned
+//! `// lint: allow(half-conversion, ...)` suppression explaining why the
+//! access pattern makes bulk conversion impossible (e.g. a strided read that
+//! touches one element per cache line). Test code is exempt.
+
+use super::{emit, HALF_CONVERSION};
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// Runs the rule over one file (no-op unless the file is hot-path).
+pub fn run(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    if !f.class.hot_path || f.class.test_file {
+        return;
+    }
+    let toks = &f.lexed.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if f.in_test_code(t.line) {
+            continue;
+        }
+        // `.to_f32()` — the scalar widening method. `to_f32_vec` and other
+        // bulk helpers are distinct identifiers and never match.
+        if t.is_punct('.') {
+            if let (Some(name), Some(paren)) = (toks.get(i + 1), toks.get(i + 2)) {
+                if paren.is_punct('(') && name.is_ident("to_f32") {
+                    emit(
+                        f,
+                        HALF_CONVERSION,
+                        name.line,
+                        name.col,
+                        "scalar `.to_f32()` in a hot-path module: convert whole rows with \
+                         `widen_into` (F16C-vectorized) or suppress with a reason"
+                            .to_string(),
+                        out,
+                    );
+                }
+            }
+        }
+        // `F16::from_f32(` — the scalar narrowing constructor. The qualifier
+        // is required so bulk constructors on other types (e.g.
+        // `FeatureSlab::from_f32`) never match.
+        if t.is_ident("from_f32")
+            && toks.get(i + 1).map(|n| n.is_punct('(')).unwrap_or(false)
+            && i >= 3
+            && toks[i - 1].is_punct(':')
+            && toks[i - 2].is_punct(':')
+            && toks[i - 3].is_ident("F16")
+        {
+            emit(
+                f,
+                HALF_CONVERSION,
+                t.line,
+                t.col,
+                "scalar `F16::from_f32(..)` in a hot-path module: convert whole rows with \
+                 `narrow_into` (F16C-vectorized) or suppress with a reason"
+                    .to_string(),
+                out,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{FileClass, SourceFile};
+
+    fn hot(src: &str) -> Vec<Diagnostic> {
+        let class = FileClass { hot_path: true, ..Default::default() };
+        let f = SourceFile::parse("hot.rs".into(), src, class);
+        let mut out = Vec::new();
+        run(&f, &mut out);
+        out
+    }
+
+    #[test]
+    fn scalar_conversions_fire() {
+        let diags = hot(
+            "fn f(h: &[F16]) -> f32 {\n    let x = h[0].to_f32();\n    let y = F16::from_f32(x);\n    y.to_f32()\n}\n",
+        );
+        assert_eq!(diags.len(), 3, "{diags:?}");
+        assert!(diags.iter().all(|d| d.rule == HALF_CONVERSION));
+    }
+
+    #[test]
+    fn bulk_helpers_do_not_fire() {
+        assert!(hot(
+            "fn f(h: &[F16], out: &mut [f32]) {\n    widen_into(h, out);\n    let v = rows.to_f32_vec();\n    let s = FeatureSlab::from_f32(dtype, out);\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn non_hot_files_are_skipped() {
+        let f = SourceFile::parse(
+            "cold.rs".into(),
+            "fn f(h: F16) -> f32 { h.to_f32() }",
+            FileClass::default(),
+        );
+        let mut out = Vec::new();
+        run(&f, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn test_code_is_exempt() {
+        let diags = hot("#[cfg(test)]\nmod tests {\n    fn t() { let x = h.to_f32(); }\n}\n");
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn suppression_with_reason_marks_not_counts() {
+        let diags = hot(
+            "fn at(d: &[F16], i: usize) -> f32 {\n    // lint: allow(half-conversion, strided read touches one element per cache line)\n    d[i].to_f32()\n}\n",
+        );
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].suppressed.is_some());
+    }
+}

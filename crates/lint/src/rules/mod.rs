@@ -5,6 +5,7 @@
 //! `// lint: allow(rule, reason)` suppressions uniformly.
 
 pub mod determinism;
+pub mod half_conversion;
 pub mod lock_discipline;
 pub mod panic_freedom;
 pub mod unsafe_audit;
@@ -20,6 +21,8 @@ pub const PANIC_FREEDOM: &str = "panic-freedom";
 pub const DETERMINISM: &str = "determinism";
 /// Rule id: lock-order cycles and unjustified `Ordering::Relaxed`.
 pub const LOCK_DISCIPLINE: &str = "lock-discipline";
+/// Rule id: scalar f16↔f32 conversions in designated hot-path modules.
+pub const HALF_CONVERSION: &str = "half-conversion";
 /// Rule id: non-path dependencies in a manifest.
 pub const DEPS: &str = "deps";
 /// Rule id: malformed suppressions (missing reason). Not suppressible.

@@ -157,6 +157,7 @@ pub fn run(root: &Path) -> std::io::Result<LintReport> {
     for f in &files {
         rules::unsafe_audit::run(f, &mut report.diagnostics, &mut report.unsafe_inventory);
         rules::panic_freedom::run(f, &mut report.diagnostics);
+        rules::half_conversion::run(f, &mut report.diagnostics);
         rules::determinism::run(f, &mut report.diagnostics);
         lock_discipline::check_relaxed(f, &mut report.diagnostics);
         rules::check_suppression_hygiene(f, &mut report.diagnostics);

@@ -1,5 +1,5 @@
-//! The CPU performance kernel layer: cache-blocked parallel GEMM and fused
-//! CSR-style gather/scatter aggregation.
+//! The CPU performance kernel layer: cache-blocked parallel GEMM (f32 and
+//! half-precision-input) and fused CSR-style gather/scatter aggregation.
 //!
 //! SALIENT's thesis is that the per-batch hot path must be performance-
 //! engineered end to end; for this CPU reproduction the dense update
@@ -12,21 +12,33 @@
 //! * **GEMM** is blocked (MC×KC×NC) with the `op(B)` panel packed into a
 //!   contiguous buffer once per (K-block, N-block) and `op(A)` packed per
 //!   row block into thread-local scratch, so all four transpose variants
-//!   run the same unit-stride inner kernel. On x86-64 with AVX2 + FMA
-//!   (detected at runtime, no compile-time flags needed) the inner kernel
-//!   is a register-tiled 4-row × 16-column micro-kernel: eight `ymm`
-//!   accumulators stay in registers across the whole K block, so each
-//!   packed-B load feeds four FMAs instead of one. Elsewhere a portable
-//!   4-way K-unrolled loop auto-vectorizes as well as the baseline ISA
-//!   allows.
+//!   run the same unit-stride inner kernel. Packing is generic over the
+//!   element type ([`GemmElem`]): `F16` operands are widened to `f32`
+//!   *during packing* (bulk F16C kernels on contiguous rows), so the inner
+//!   micro-kernel — and the fp32 accumulation order — is identical for half
+//!   and full precision inputs. On x86-64 the micro-kernel is selected at
+//!   runtime (no compile-time flags needed): an AVX-512 8-row × 32-column
+//!   register tile where the CPU has AVX-512F, else an AVX2 + FMA 4×16
+//!   tile, else a portable 4-way K-unrolled loop. Both vector kernels
+//!   software-prefetch the packed-B panel a few K steps ahead.
+//! * **Transposed A** (`ta = true`, the `dW = Aᵀ·g` backward shape) packs
+//!   the A panel K-major instead of row-major: the pack then copies (and
+//!   for `F16` bulk-widens) contiguous source rows instead of striding,
+//!   and the micro-kernel reads `apack[p*mb + i]` — same FLOPs, no strided
+//!   scalar pack loop.
 //! * **Aggregation** first builds a CSR index over the edge list (stable
 //!   counting sort by destination — or by source for backward passes), then
 //!   computes each output row *fully, in edge order* inside one task. No
 //!   atomics, no per-call allocation churn (index buffers come from a
 //!   thread-local scratch pool), and — because every output element is
 //!   produced by the same serial reduction regardless of how rows are
-//!   chunked — results are bitwise identical for any thread count.
+//!   chunked — results are bitwise identical for any thread count. Edge
+//!   endpoints are validated once per call, so the per-edge inner loops use
+//!   unchecked row reads plus a software prefetch of the next edge's row
+//!   (the per-edge bounds/slice overhead is the indirection tax the gather
+//!   path never paid).
 
+use crate::f16::F16;
 use crate::pool::{parallel_for, SendPtr};
 use crate::shape::Shape;
 use crate::tensor::Tensor;
@@ -77,6 +89,23 @@ pub(crate) fn put_f32(v: Vec<f32>) {
     SCRATCH.with(|s| s.borrow_mut().f32s.push(v));
 }
 
+/// Best-effort read prefetch (no-op off x86-64). Purely a scheduling hint.
+#[inline(always)]
+fn prefetch_read<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: PREFETCHh is architecturally non-faulting for any address
+        // and has no program-visible memory effects.
+        unsafe {
+            std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(p as *const i8)
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = p;
+    }
+}
+
 // ---------------------------------------------------------------------------
 // GEMM
 // ---------------------------------------------------------------------------
@@ -91,6 +120,42 @@ const NC: usize = 256;
 /// Below this many multiply-adds the blocked/parallel machinery costs more
 /// than it saves; fall back to the straightforward loop.
 const GEMM_SERIAL_FLOP_CUTOFF: usize = 1 << 15;
+
+/// A GEMM operand element: either `f32` (copied while packing) or [`F16`]
+/// (widened to `f32` while packing, via the bulk F16C kernels on contiguous
+/// runs). Packing is where precision ends: past it the micro-kernel only
+/// ever sees `f32` panels, so accumulation is always fp32.
+trait GemmElem: Copy + Send + Sync {
+    /// Appends `src`, widened to `f32`, onto `dst` (contiguous bulk path).
+    fn widen_append(src: &[Self], dst: &mut Vec<f32>);
+    /// Single-element widened read, for strided (transposed-B) packs.
+    fn at(d: &[Self], i: usize) -> f32;
+}
+
+impl GemmElem for f32 {
+    #[inline]
+    fn widen_append(src: &[f32], dst: &mut Vec<f32>) {
+        dst.extend_from_slice(src);
+    }
+    #[inline]
+    fn at(d: &[f32], i: usize) -> f32 {
+        d[i]
+    }
+}
+
+impl GemmElem for F16 {
+    #[inline]
+    fn widen_append(src: &[F16], dst: &mut Vec<f32>) {
+        let old = dst.len();
+        dst.resize(old + src.len(), 0.0);
+        crate::f16::widen_into(src, &mut dst[old..]);
+    }
+    #[inline]
+    fn at(d: &[F16], i: usize) -> f32 {
+        // lint: allow(half-conversion, strided transposed-B packing reads one element per cache line; the contiguous pack paths all use widen_append)
+        d[i].to_f32()
+    }
+}
 
 /// Dense matrix multiply `op(a) * op(b)` where `op` optionally transposes.
 ///
@@ -113,6 +178,86 @@ pub fn gemm(a: &Tensor, b: &Tensor, ta: bool, tb: bool) -> Tensor {
     let mut out = vec![0.0f32; m * n];
     gemm_into(&mut out, a.data(), b.data(), ta, tb, m, n, k, ac, bc);
     Tensor::from_vec(out, Shape::matrix(m, n))
+}
+
+/// Half-precision-input, fp32-accumulate GEMM: `op(a) * op(b)` where both
+/// operands are packed row-major [`F16`] buffers (`a` is `a_rows×a_cols`
+/// physical, likewise `b`).
+///
+/// Operand panels are widened to `f32` during packing, so the inner
+/// micro-kernel, the accumulation precision, and the K summation order are
+/// identical to the f32 [`gemm`]: on inputs that are exact halves the result
+/// is bitwise identical to `gemm` of the pre-widened tensors. The only error
+/// versus an end-to-end f32 computation is the input quantization itself
+/// (per-element relative error ≤ 2⁻¹¹; see DESIGN.md's precision policy for
+/// the elementwise bound `|C_half − C_f32| ≤ ~2.5·2⁻¹¹·(|A|·|B|)`).
+///
+/// # Panics
+///
+/// Panics if a buffer length disagrees with its shape or the inner
+/// dimensions do not agree.
+pub fn gemm_f16(
+    a: &[F16],
+    a_rows: usize,
+    a_cols: usize,
+    b: &[F16],
+    b_rows: usize,
+    b_cols: usize,
+    ta: bool,
+    tb: bool,
+) -> Tensor {
+    assert_eq!(a.len(), a_rows * a_cols, "gemm_f16: a buffer/shape mismatch");
+    assert_eq!(b.len(), b_rows * b_cols, "gemm_f16: b buffer/shape mismatch");
+    let (m, k1) = if ta { (a_cols, a_rows) } else { (a_rows, a_cols) };
+    let (k2, n) = if tb { (b_cols, b_rows) } else { (b_rows, b_cols) };
+    assert_eq!(k1, k2, "gemm_f16 inner dimension mismatch");
+    let mut out = vec![0.0f32; m * n];
+    gemm_into(&mut out, a, b, ta, tb, m, n, k1, a_cols, b_cols);
+    Tensor::from_vec(out, Shape::matrix(m, n))
+}
+
+/// Mixed-precision GEMM: a packed [`F16`] left operand (typically sliced
+/// features) against an `f32` right operand (typically a weight matrix).
+/// Same packing-time widening and fp32 accumulation as [`gemm_f16`].
+///
+/// # Panics
+///
+/// Panics if the `a` buffer length disagrees with its shape or the inner
+/// dimensions do not agree.
+pub fn gemm_f16_f32(
+    a: &[F16],
+    a_rows: usize,
+    a_cols: usize,
+    b: &Tensor,
+    ta: bool,
+    tb: bool,
+) -> Tensor {
+    assert_eq!(a.len(), a_rows * a_cols, "gemm_f16_f32: a buffer/shape mismatch");
+    let (br, bc) = (b.rows(), b.cols());
+    let (m, k1) = if ta { (a_cols, a_rows) } else { (a_rows, a_cols) };
+    let (k2, n) = if tb { (bc, br) } else { (br, bc) };
+    assert_eq!(k1, k2, "gemm_f16_f32 inner dimension mismatch");
+    let mut out = vec![0.0f32; m * n];
+    gemm_into(&mut out, a, b.data(), ta, tb, m, n, k1, a_cols, bc);
+    Tensor::from_vec(out, Shape::matrix(m, n))
+}
+
+/// Name of the active GEMM micro-kernel rung — `"avx512"`, `"avx2"`, or
+/// `"portable"` — for bench reports. Selection is automatic (CPUID) but can
+/// be pinned down-level with `SALIENT_GEMM_KERNEL=portable|avx2|avx512`.
+pub fn gemm_kernel_level() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    {
+        match simd::level() {
+            simd::Level::Avx512 => "avx512",
+            simd::Level::Avx2 => "avx2",
+            simd::Level::Portable => "portable",
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        "portable"
+    }
 }
 
 /// The seed's scalar triple-loop GEMM, kept as the correctness / performance
@@ -160,11 +305,12 @@ pub fn gemm_naive(a: &Tensor, b: &Tensor, ta: bool, tb: bool) -> Tensor {
     Tensor::from_vec(out, Shape::matrix(m, n))
 }
 
-/// Packs `op(b)[pc..pc+kcb, jc..jc+ncb]` row-major into `bpack`.
+/// Packs `op(b)[pc..pc+kcb, jc..jc+ncb]` row-major into `bpack`, widening
+/// to `f32` as it goes (bulk path for the contiguous `!tb` case).
 #[inline]
-fn pack_b(
+fn pack_b<TB: GemmElem>(
     bpack: &mut Vec<f32>,
-    bd: &[f32],
+    bd: &[TB],
     tb: bool,
     b_cols: usize,
     pc: usize,
@@ -176,23 +322,31 @@ fn pack_b(
     if !tb {
         for p in 0..kcb {
             let row = &bd[(pc + p) * b_cols + jc..(pc + p) * b_cols + jc + ncb];
-            bpack.extend_from_slice(row);
+            TB::widen_append(row, bpack);
         }
     } else {
         // b is n×k physical; op(b)[p][j] = b[j][p].
         for p in 0..kcb {
             for j in 0..ncb {
-                bpack.push(bd[(jc + j) * b_cols + (pc + p)]);
+                bpack.push(TB::at(bd, (jc + j) * b_cols + (pc + p)));
             }
         }
     }
 }
 
-/// Packs `op(a)[i0..i0+mb, pc..pc+kcb]` row-major into `apack`.
+/// Packs the A panel, widening to `f32`.
+///
+/// * `ta = false`: row-major `apack[i][p] = a[i0+i][pc+p]` — contiguous
+///   source rows, bulk-widened.
+/// * `ta = true`: **K-major** `apack[p][i] = a[pc+p][i0+i]` — also
+///   contiguous source rows (this is the transposed-output/backward-pass
+///   pack: `a` is k×m physical, so slicing row `pc+p` at columns
+///   `i0..i0+mb` is unit-stride). The micro-kernels index
+///   `apack[p*mb + i]` for this layout.
 #[inline]
-fn pack_a(
+fn pack_a<TA: GemmElem>(
     apack: &mut Vec<f32>,
-    ad: &[f32],
+    ad: &[TA],
     ta: bool,
     a_cols: usize,
     i0: usize,
@@ -204,21 +358,20 @@ fn pack_a(
     if !ta {
         for i in 0..mb {
             let row = &ad[(i0 + i) * a_cols + pc..(i0 + i) * a_cols + pc + kcb];
-            apack.extend_from_slice(row);
+            TA::widen_append(row, apack);
         }
     } else {
-        // a is k×m physical; op(a)[i][p] = a[p][i].
-        for i in 0..mb {
-            for p in 0..kcb {
-                apack.push(ad[(pc + p) * a_cols + (i0 + i)]);
-            }
+        for p in 0..kcb {
+            let row = &ad[(pc + p) * a_cols + i0..(pc + p) * a_cols + i0 + mb];
+            TA::widen_append(row, apack);
         }
     }
 }
 
-/// The packed inner kernel: `orow[0..ncb] += Σ_p arow[p] * bpack[p][0..ncb]`
-/// with the K loop 4-way unrolled so the output row is touched once per
-/// four K steps and the j-loop vectorizes to FMA chains.
+/// The packed inner kernel for row-major A panels:
+/// `orow[0..ncb] += Σ_p arow[p] * bpack[p][0..ncb]` with the K loop 4-way
+/// unrolled so the output row is touched once per four K steps and the
+/// j-loop vectorizes to FMA chains.
 #[inline]
 fn kernel_row(arow: &[f32], bpack: &[f32], orow: &mut [f32], kcb: usize, ncb: usize) {
     debug_assert_eq!(arow.len(), kcb);
@@ -248,21 +401,125 @@ fn kernel_row(arow: &[f32], bpack: &[f32], orow: &mut [f32], kcb: usize, ncb: us
     }
 }
 
-/// The AVX2 + FMA register-tiled micro-kernel, selected at runtime with
+/// [`kernel_row`] for K-major A panels (`ta = true`): the A value for row
+/// `i` at K step `p` lives at `apack[p*mb + i]`.
+#[inline]
+fn kernel_row_kmajor(
+    apack: &[f32],
+    i: usize,
+    mb: usize,
+    bpack: &[f32],
+    orow: &mut [f32],
+    kcb: usize,
+    ncb: usize,
+) {
+    debug_assert_eq!(orow.len(), ncb);
+    let mut p = 0;
+    while p + 4 <= kcb {
+        let a0 = apack[p * mb + i];
+        let a1 = apack[(p + 1) * mb + i];
+        let a2 = apack[(p + 2) * mb + i];
+        let a3 = apack[(p + 3) * mb + i];
+        let b0 = &bpack[p * ncb..p * ncb + ncb];
+        let b1 = &bpack[(p + 1) * ncb..(p + 1) * ncb + ncb];
+        let b2 = &bpack[(p + 2) * ncb..(p + 2) * ncb + ncb];
+        let b3 = &bpack[(p + 3) * ncb..(p + 3) * ncb + ncb];
+        for j in 0..ncb {
+            orow[j] += a0 * b0[j] + a1 * b1[j] + a2 * b2[j] + a3 * b3[j];
+        }
+        p += 4;
+    }
+    while p < kcb {
+        let a0 = apack[p * mb + i];
+        let b0 = &bpack[p * ncb..p * ncb + ncb];
+        for j in 0..ncb {
+            orow[j] += a0 * b0[j];
+        }
+        p += 1;
+    }
+}
+
+/// The register-tiled micro-kernels, selected at runtime with
 /// `is_x86_feature_detected!` so the crate still builds (and falls back to
 /// [`kernel_row`]) on the x86-64 baseline target and other architectures.
 #[cfg(target_arch = "x86_64")]
 mod simd {
     use std::arch::x86_64::*;
+    use std::sync::OnceLock;
 
-    /// One-time CPUID probe for AVX2 + FMA.
-    pub fn available() -> bool {
-        use std::sync::OnceLock;
-        static AVAIL: OnceLock<bool> = OnceLock::new();
-        *AVAIL.get_or_init(|| {
-            std::arch::is_x86_feature_detected!("avx2")
-                && std::arch::is_x86_feature_detected!("fma")
+    /// How many K steps ahead the packed-B panel is prefetched. One K step
+    /// reads one `ncb`-float panel row, so this covers ~4·NC·4 B = 4 KiB of
+    /// lookahead at full column blocks.
+    const PREFETCH_ROWS: usize = 4;
+
+    /// The micro-kernel rung picked for this process.
+    #[derive(Clone, Copy, PartialEq, Eq, Debug)]
+    pub enum Level {
+        /// No usable vector unit detected (or forced): [`super::kernel_row`].
+        Portable,
+        /// AVX2 + FMA 4×16 tile.
+        Avx2,
+        /// AVX-512F 8×32 tile.
+        Avx512,
+    }
+
+    /// One-time CPUID probe (overridable down-level with
+    /// `SALIENT_GEMM_KERNEL=portable|avx2|avx512` for benches and tests;
+    /// an override naming an unsupported rung falls back to detection).
+    pub fn level() -> Level {
+        static LEVEL: OnceLock<Level> = OnceLock::new();
+        *LEVEL.get_or_init(|| {
+            let avx2 = std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma");
+            let avx512 = std::arch::is_x86_feature_detected!("avx512f");
+            let auto = if avx512 {
+                Level::Avx512
+            } else if avx2 {
+                Level::Avx2
+            } else {
+                Level::Portable
+            };
+            match std::env::var("SALIENT_GEMM_KERNEL").ok().as_deref() {
+                Some("portable") => Level::Portable,
+                Some("avx2") if avx2 => Level::Avx2,
+                Some("avx512") if avx512 => Level::Avx512,
+                _ => auto,
+            }
         })
+    }
+
+    /// Reads the A-panel value for block row `i` at K step `p`, for either
+    /// panel layout (row-major `i*kcb + p`, or K-major `p*mb + i` when the
+    /// logical A is transposed).
+    ///
+    /// # Safety
+    ///
+    /// `apack` must cover `mb×kcb` packed floats with `i < mb`, `p < kcb`.
+    #[inline(always)]
+    unsafe fn a_elem<const KMAJOR: bool>(
+        apack: *const f32,
+        i: usize,
+        p: usize,
+        mb: usize,
+        kcb: usize,
+    ) -> f32 {
+        if KMAJOR {
+            *apack.add(p * mb + i)
+        } else {
+            *apack.add(i * kcb + p)
+        }
+    }
+
+    /// Prefetches the packed-B panel row `PREFETCH_ROWS` K steps ahead of
+    /// `bp`. `wrapping_add` keeps the (possibly past-the-end) hint address
+    /// from ever being formed as an out-of-allocation offset, and PREFETCHh
+    /// itself never faults.
+    #[inline(always)]
+    fn prefetch_b(bp: *const f32, ncb: usize) {
+        // SAFETY: PREFETCHh is architecturally non-faulting for any address.
+        unsafe {
+            _mm_prefetch::<_MM_HINT_T0>((bp as *const i8).wrapping_add(PREFETCH_ROWS * ncb * 4))
+        }
     }
 
     /// Mask with the first `rem` (1..=8) lanes enabled, for
@@ -280,7 +537,7 @@ mod simd {
     }
 
     /// `out[0..mb][0..ncb] += apack[mb×kcb] · bpack[kcb×ncb]`, where block
-    /// row `i` lives at `out0 + i*n`.
+    /// row `i` lives at `out0 + i*n` (AVX2 + FMA rung).
     ///
     /// The main tile is 4 output rows × 16 columns: eight `ymm` accumulators
     /// live in registers across the entire K loop, so each of the two
@@ -293,10 +550,10 @@ mod simd {
     ///
     /// # Safety
     ///
-    /// Caller must check [`available`], and the pointers must cover the
-    /// block extents described above.
+    /// Caller must check [`level`] ≥ AVX2, and the pointers must cover the
+    /// block extents described above (A panel layout per `KMAJOR`).
     #[target_feature(enable = "avx,avx2,fma")]
-    pub unsafe fn kernel_block(
+    pub unsafe fn kernel_block<const KMAJOR: bool>(
         apack: *const f32,
         bpack: *const f32,
         out0: *mut f32,
@@ -307,10 +564,6 @@ mod simd {
     ) {
         let mut i = 0;
         while i + 4 <= mb {
-            let a0 = apack.add(i * kcb);
-            let a1 = a0.add(kcb);
-            let a2 = a1.add(kcb);
-            let a3 = a2.add(kcb);
             let o0 = out0.add(i * n);
             let o1 = o0.add(n);
             let o2 = o1.add(n);
@@ -329,16 +582,17 @@ mod simd {
                 for p in 0..kcb {
                     let b0 = _mm256_loadu_ps(bp);
                     let b1 = _mm256_loadu_ps(bp.add(8));
-                    let av0 = _mm256_set1_ps(*a0.add(p));
+                    prefetch_b(bp, ncb);
+                    let av0 = _mm256_set1_ps(a_elem::<KMAJOR>(apack, i, p, mb, kcb));
                     c00 = _mm256_fmadd_ps(av0, b0, c00);
                     c01 = _mm256_fmadd_ps(av0, b1, c01);
-                    let av1 = _mm256_set1_ps(*a1.add(p));
+                    let av1 = _mm256_set1_ps(a_elem::<KMAJOR>(apack, i + 1, p, mb, kcb));
                     c10 = _mm256_fmadd_ps(av1, b0, c10);
                     c11 = _mm256_fmadd_ps(av1, b1, c11);
-                    let av2 = _mm256_set1_ps(*a2.add(p));
+                    let av2 = _mm256_set1_ps(a_elem::<KMAJOR>(apack, i + 2, p, mb, kcb));
                     c20 = _mm256_fmadd_ps(av2, b0, c20);
                     c21 = _mm256_fmadd_ps(av2, b1, c21);
-                    let av3 = _mm256_set1_ps(*a3.add(p));
+                    let av3 = _mm256_set1_ps(a_elem::<KMAJOR>(apack, i + 3, p, mb, kcb));
                     c30 = _mm256_fmadd_ps(av3, b0, c30);
                     c31 = _mm256_fmadd_ps(av3, b1, c31);
                     bp = bp.add(ncb);
@@ -363,10 +617,10 @@ mod simd {
                 let mut bp = bpack.add(j);
                 for p in 0..kcb {
                     let b = _mm256_maskload_ps(bp, mask);
-                    c0 = _mm256_fmadd_ps(_mm256_set1_ps(*a0.add(p)), b, c0);
-                    c1 = _mm256_fmadd_ps(_mm256_set1_ps(*a1.add(p)), b, c1);
-                    c2 = _mm256_fmadd_ps(_mm256_set1_ps(*a2.add(p)), b, c2);
-                    c3 = _mm256_fmadd_ps(_mm256_set1_ps(*a3.add(p)), b, c3);
+                    c0 = _mm256_fmadd_ps(_mm256_set1_ps(a_elem::<KMAJOR>(apack, i, p, mb, kcb)), b, c0);
+                    c1 = _mm256_fmadd_ps(_mm256_set1_ps(a_elem::<KMAJOR>(apack, i + 1, p, mb, kcb)), b, c1);
+                    c2 = _mm256_fmadd_ps(_mm256_set1_ps(a_elem::<KMAJOR>(apack, i + 2, p, mb, kcb)), b, c2);
+                    c3 = _mm256_fmadd_ps(_mm256_set1_ps(a_elem::<KMAJOR>(apack, i + 3, p, mb, kcb)), b, c3);
                     bp = bp.add(ncb);
                 }
                 _mm256_maskstore_ps(o0.add(j), mask, c0);
@@ -378,7 +632,6 @@ mod simd {
             i += 4;
         }
         while i < mb {
-            let a0 = apack.add(i * kcb);
             let o0 = out0.add(i * n);
             let mut j = 0;
             while j + 16 <= ncb {
@@ -386,7 +639,7 @@ mod simd {
                 let mut c1 = _mm256_loadu_ps(o0.add(j + 8));
                 let mut bp = bpack.add(j);
                 for p in 0..kcb {
-                    let av = _mm256_set1_ps(*a0.add(p));
+                    let av = _mm256_set1_ps(a_elem::<KMAJOR>(apack, i, p, mb, kcb));
                     c0 = _mm256_fmadd_ps(av, _mm256_loadu_ps(bp), c0);
                     c1 = _mm256_fmadd_ps(av, _mm256_loadu_ps(bp.add(8)), c1);
                     bp = bp.add(ncb);
@@ -402,7 +655,7 @@ mod simd {
                 let mut bp = bpack.add(j);
                 for p in 0..kcb {
                     let b = _mm256_maskload_ps(bp, mask);
-                    c = _mm256_fmadd_ps(_mm256_set1_ps(*a0.add(p)), b, c);
+                    c = _mm256_fmadd_ps(_mm256_set1_ps(a_elem::<KMAJOR>(apack, i, p, mb, kcb)), b, c);
                     bp = bp.add(ncb);
                 }
                 _mm256_maskstore_ps(o0.add(j), mask, c);
@@ -411,18 +664,129 @@ mod simd {
             i += 1;
         }
     }
+
+    /// The AVX-512F rung: 8 output rows × 32 columns per tile — sixteen
+    /// `zmm` accumulators live in registers across the K loop, so each of
+    /// the two packed-B loads per K step feeds eight FMAs. Column tails run
+    /// masked ≤16-wide (`__mmask16`) tiles and row tails a 1×32 kernel.
+    /// Every path accumulates one FMA per K step per output element in the
+    /// same fixed order as the AVX2 rung, so the two rungs (and any row
+    /// chunking) produce bitwise-identical results.
+    ///
+    /// # Safety
+    ///
+    /// Caller must check [`level`] == AVX-512, and the pointers must cover
+    /// the block extents (A panel layout per `KMAJOR`, B panel `kcb×ncb`,
+    /// output rows `i < mb` at `out0 + i*n + [0, ncb)`).
+    #[target_feature(enable = "avx512f")]
+    pub unsafe fn kernel_block_avx512<const KMAJOR: bool>(
+        apack: *const f32,
+        bpack: *const f32,
+        out0: *mut f32,
+        n: usize,
+        mb: usize,
+        kcb: usize,
+        ncb: usize,
+    ) {
+        let mut i = 0;
+        while i + 8 <= mb {
+            let mut j = 0;
+            while j + 32 <= ncb {
+                let mut c0 = [_mm512_setzero_ps(); 8];
+                let mut c1 = [_mm512_setzero_ps(); 8];
+                for r in 0..8 {
+                    let o = out0.add((i + r) * n + j);
+                    c0[r] = _mm512_loadu_ps(o);
+                    c1[r] = _mm512_loadu_ps(o.add(16));
+                }
+                let mut bp = bpack.add(j);
+                for p in 0..kcb {
+                    let b0 = _mm512_loadu_ps(bp);
+                    let b1 = _mm512_loadu_ps(bp.add(16));
+                    prefetch_b(bp, ncb);
+                    for r in 0..8 {
+                        let av = _mm512_set1_ps(a_elem::<KMAJOR>(apack, i + r, p, mb, kcb));
+                        c0[r] = _mm512_fmadd_ps(av, b0, c0[r]);
+                        c1[r] = _mm512_fmadd_ps(av, b1, c1[r]);
+                    }
+                    bp = bp.add(ncb);
+                }
+                for r in 0..8 {
+                    let o = out0.add((i + r) * n + j);
+                    _mm512_storeu_ps(o, c0[r]);
+                    _mm512_storeu_ps(o.add(16), c1[r]);
+                }
+                j += 32;
+            }
+            while j < ncb {
+                let rem = (ncb - j).min(16);
+                let mask: __mmask16 = ((1u32 << rem) - 1) as __mmask16;
+                let mut c = [_mm512_setzero_ps(); 8];
+                for r in 0..8 {
+                    c[r] = _mm512_maskz_loadu_ps(mask, out0.add((i + r) * n + j));
+                }
+                let mut bp = bpack.add(j);
+                for p in 0..kcb {
+                    let b = _mm512_maskz_loadu_ps(mask, bp);
+                    for r in 0..8 {
+                        let av = _mm512_set1_ps(a_elem::<KMAJOR>(apack, i + r, p, mb, kcb));
+                        c[r] = _mm512_fmadd_ps(av, b, c[r]);
+                    }
+                    bp = bp.add(ncb);
+                }
+                for r in 0..8 {
+                    _mm512_mask_storeu_ps(out0.add((i + r) * n + j), mask, c[r]);
+                }
+                j += rem;
+            }
+            i += 8;
+        }
+        while i < mb {
+            let o0 = out0.add(i * n);
+            let mut j = 0;
+            while j + 32 <= ncb {
+                let mut c0 = _mm512_loadu_ps(o0.add(j));
+                let mut c1 = _mm512_loadu_ps(o0.add(j + 16));
+                let mut bp = bpack.add(j);
+                for p in 0..kcb {
+                    let av = _mm512_set1_ps(a_elem::<KMAJOR>(apack, i, p, mb, kcb));
+                    c0 = _mm512_fmadd_ps(av, _mm512_loadu_ps(bp), c0);
+                    c1 = _mm512_fmadd_ps(av, _mm512_loadu_ps(bp.add(16)), c1);
+                    bp = bp.add(ncb);
+                }
+                _mm512_storeu_ps(o0.add(j), c0);
+                _mm512_storeu_ps(o0.add(j + 16), c1);
+                j += 32;
+            }
+            while j < ncb {
+                let rem = (ncb - j).min(16);
+                let mask: __mmask16 = ((1u32 << rem) - 1) as __mmask16;
+                let mut c = _mm512_maskz_loadu_ps(mask, o0.add(j));
+                let mut bp = bpack.add(j);
+                for p in 0..kcb {
+                    let av = _mm512_set1_ps(a_elem::<KMAJOR>(apack, i, p, mb, kcb));
+                    c = _mm512_fmadd_ps(av, _mm512_maskz_loadu_ps(mask, bp), c);
+                    bp = bp.add(ncb);
+                }
+                _mm512_mask_storeu_ps(o0.add(j), mask, c);
+                j += rem;
+            }
+            i += 1;
+        }
+    }
 }
 
-/// Blocked, packed, parallel GEMM into a pre-zeroed output buffer.
+/// Blocked, packed, parallel GEMM into a pre-zeroed output buffer, generic
+/// over the operand element types (`f32` or [`F16`] — see [`GemmElem`]).
 ///
 /// The loop nest is `jc → pc → (parallel over row blocks) → i`; K blocks
 /// are accumulated in increasing `pc` order for every output element, so
 /// the result is bitwise identical for any thread count.
 #[allow(clippy::too_many_arguments)]
-fn gemm_into(
+fn gemm_into<TA: GemmElem, TB: GemmElem>(
     out: &mut [f32],
-    ad: &[f32],
-    bd: &[f32],
+    ad: &[TA],
+    bd: &[TB],
     ta: bool,
     tb: bool,
     m: usize,
@@ -448,26 +812,46 @@ fn gemm_into(
                 pack_a(&mut apack, ad, ta, a_cols, i0, mb, pc, kcb);
                 // Row blocks are disjoint in i, so chunks never alias.
                 #[cfg(target_arch = "x86_64")]
-                if simd::available() {
-                    // SAFETY: `available()` checked AVX2+FMA; `out_ptr`
-                    // spans the m×n output, rows [i0, i1) are exclusive to
-                    // this task, and the packed operands cover mb×kcb and
-                    // kcb×ncb as `kernel_block` requires.
-                    unsafe {
-                        let out0 = out_ptr.0.add(i0 * n + jc);
-                        simd::kernel_block(apack.as_ptr(), bp.as_ptr(), out0, n, mb, kcb, ncb);
+                {
+                    let lvl = simd::level();
+                    if lvl != simd::Level::Portable {
+                        // SAFETY: `level()` verified the ISA; `out_ptr` spans
+                        // the m×n output, rows [i0, i1) are exclusive to this
+                        // task, and the packed operands cover mb×kcb (layout
+                        // K-major iff `ta`) and kcb×ncb as the kernels
+                        // require.
+                        unsafe {
+                            let out0 = out_ptr.0.add(i0 * n + jc);
+                            let (ap, bpp) = (apack.as_ptr(), bp.as_ptr());
+                            match (lvl, ta) {
+                                (simd::Level::Avx512, false) => {
+                                    simd::kernel_block_avx512::<false>(ap, bpp, out0, n, mb, kcb, ncb)
+                                }
+                                (simd::Level::Avx512, true) => {
+                                    simd::kernel_block_avx512::<true>(ap, bpp, out0, n, mb, kcb, ncb)
+                                }
+                                (_, false) => {
+                                    simd::kernel_block::<false>(ap, bpp, out0, n, mb, kcb, ncb)
+                                }
+                                (_, true) => {
+                                    simd::kernel_block::<true>(ap, bpp, out0, n, mb, kcb, ncb)
+                                }
+                            }
+                        }
+                        put_f32(apack);
+                        return;
                     }
-                    put_f32(apack);
-                    return;
                 }
                 for i in 0..mb {
-                    let arow = &apack[i * kcb..(i + 1) * kcb];
                     // SAFETY: output row i0 + i < m and jc + ncb <= n, so
                     // the slice stays inside the output buffer; row blocks
                     // are disjoint across tasks, so it is never aliased.
-                    let orow =
-                        unsafe { out_ptr.slice_mut((i0 + i) * n + jc, ncb) };
-                    kernel_row(arow, bp, orow, kcb, ncb);
+                    let orow = unsafe { out_ptr.slice_mut((i0 + i) * n + jc, ncb) };
+                    if ta {
+                        kernel_row_kmajor(&apack, i, mb, bp, orow, kcb, ncb);
+                    } else {
+                        kernel_row(&apack[i * kcb..(i + 1) * kcb], bp, orow, kcb, ncb);
+                    }
                 }
                 put_f32(apack);
             };
@@ -542,8 +926,44 @@ pub fn gather_rows_forward(xd: &[f32], cols: usize, idx: &[u32]) -> Vec<f32> {
         // bounds and unaliased.
         let orows = unsafe { out_ptr.slice_mut(e0 * cols, (e1 - e0) * cols) };
         for (e, orow) in (e0..e1).zip(orows.chunks_exact_mut(cols)) {
+            if e + 1 < e1 {
+                prefetch_read(xd.as_ptr().wrapping_add(idx[e + 1] as usize * cols));
+            }
             let i = idx[e] as usize;
             orow.copy_from_slice(&xd[i * cols..(i + 1) * cols]);
+        }
+    });
+    out
+}
+
+/// `out[i] = widen(x[idx[i]])` — parallel row gather over a packed [`F16`]
+/// feature buffer with the f16→f32 widening fused into the copy (bulk F16C
+/// per row). This is the half-precision transfer path: a consumer gathers
+/// binary16 rows — half the bytes of the f32 gather — and pays the (cheap,
+/// vectorized) widen exactly once.
+pub fn gather_rows_forward_f16(xd: &[F16], cols: usize, idx: &[u32]) -> Vec<f32> {
+    let mut out = vec![0.0f32; idx.len() * cols];
+    if idx.len() * cols < AGG_SERIAL_CUTOFF {
+        for (e, &i) in idx.iter().enumerate() {
+            crate::f16::widen_into(
+                &xd[i as usize * cols..(i as usize + 1) * cols],
+                &mut out[e * cols..(e + 1) * cols],
+            );
+        }
+        return out;
+    }
+    let out_ptr = SendPtr(out.as_mut_ptr());
+    parallel_for(idx.len(), AGG_MIN_CHUNK, &|e0, e1| {
+        // SAFETY: `out` has idx.len()·cols elements and parallel_for hands
+        // each task a disjoint [e0, e1) row range, so the slice is in
+        // bounds and unaliased.
+        let orows = unsafe { out_ptr.slice_mut(e0 * cols, (e1 - e0) * cols) };
+        for (e, orow) in (e0..e1).zip(orows.chunks_exact_mut(cols)) {
+            if e + 1 < e1 {
+                prefetch_read(xd.as_ptr().wrapping_add(idx[e + 1] as usize * cols));
+            }
+            let i = idx[e] as usize;
+            crate::f16::widen_into(&xd[i * cols..(i + 1) * cols], orow);
         }
     });
     out
@@ -553,8 +973,16 @@ pub fn gather_rows_forward(xd: &[f32], cols: usize, idx: &[u32]) -> Vec<f32> {
 /// into `dx[idx[e]]`. Parallelized by *destination* row via a CSR index so
 /// no two tasks write the same row and the per-row reduction order is
 /// fixed (bitwise deterministic for any thread count).
+///
+/// # Panics
+///
+/// Panics if `gd.len() != idx.len() * cols`.
 pub fn gather_rows_backward(gd: &[f32], cols: usize, idx: &[u32], n_src: usize) -> Vec<f32> {
+    assert_eq!(gd.len(), idx.len() * cols, "gather_rows_backward shape mismatch");
     let mut dx = vec![0.0f32; n_src * cols];
+    if cols == 0 {
+        return dx;
+    }
     with_csr(idx, n_src, |offsets, order| {
         let dx_ptr = SendPtr(dx.as_mut_ptr());
         let body = |r0: usize, r1: usize| {
@@ -563,8 +991,14 @@ pub fn gather_rows_backward(gd: &[f32], cols: usize, idx: &[u32], n_src: usize) 
             // slice is in bounds and unaliased.
             let rows = unsafe { dx_ptr.slice_mut(r0 * cols, (r1 - r0) * cols) };
             for (r, drow) in (r0..r1).zip(rows.chunks_exact_mut(cols)) {
-                for &e in &order[offsets[r] as usize..offsets[r + 1] as usize] {
-                    let grow = &gd[e as usize * cols..(e as usize + 1) * cols];
+                let edges = &order[offsets[r] as usize..offsets[r + 1] as usize];
+                for (ei, &e) in edges.iter().enumerate() {
+                    if ei + 1 < edges.len() {
+                        prefetch_read(gd.as_ptr().wrapping_add(edges[ei + 1] as usize * cols));
+                    }
+                    // SAFETY: `with_csr` yields edge ids e < idx.len(), and
+                    // gd.len() == idx.len()·cols was asserted on entry.
+                    let grow = unsafe { gd.get_unchecked(e as usize * cols..(e as usize + 1) * cols) };
                     for (d, &v) in drow.iter_mut().zip(grow) {
                         *d += v;
                     }
@@ -586,6 +1020,11 @@ pub fn gather_rows_backward(gd: &[f32], cols: usize, idx: &[u32], n_src: usize) 
 /// one task per destination-row chunk.
 ///
 /// `dst_weight`: `None` for sum (GIN), `Some(counts)` for mean (SAGE).
+///
+/// Edge endpoints are validated once up front (`src.len() == dst.len()`,
+/// every source row inside `xd`), so the per-edge loop reads rows unchecked
+/// and prefetches the next edge's source row — the per-edge slice-check
+/// overhead this removes is what the sequential gather kernel never paid.
 pub fn scatter_reduce_forward(
     xd: &[f32],
     cols: usize,
@@ -594,7 +1033,16 @@ pub fn scatter_reduce_forward(
     n_dst: usize,
     dst_weight: Option<&[f32]>,
 ) -> Vec<f32> {
+    assert_eq!(src.len(), dst.len(), "scatter edge lists must pair up");
     let mut out = vec![0.0f32; n_dst * cols];
+    if cols == 0 {
+        return out;
+    }
+    let n_rows = xd.len() / cols;
+    assert!(
+        src.iter().all(|&s| (s as usize) < n_rows),
+        "scatter source row out of range"
+    );
     with_csr(dst, n_dst, |offsets, order| {
         let out_ptr = SendPtr(out.as_mut_ptr());
         let body = |d0: usize, d1: usize| {
@@ -604,9 +1052,20 @@ pub fn scatter_reduce_forward(
             let rows = unsafe { out_ptr.slice_mut(d0 * cols, (d1 - d0) * cols) };
             for (d, orow) in (d0..d1).zip(rows.chunks_exact_mut(cols)) {
                 let edges = &order[offsets[d] as usize..offsets[d + 1] as usize];
-                for &e in edges {
-                    let s = src[e as usize] as usize;
-                    let xrow = &xd[s * cols..(s + 1) * cols];
+                for (ei, &e) in edges.iter().enumerate() {
+                    if ei + 1 < edges.len() {
+                        // SAFETY: edge ids from `with_csr` are < dst.len()
+                        // == src.len(); source rows were validated < n_rows.
+                        let nxt = unsafe { *src.get_unchecked(edges[ei + 1] as usize) } as usize;
+                        prefetch_read(xd.as_ptr().wrapping_add(nxt * cols));
+                    }
+                    // SAFETY: e < src.len() (CSR over dst, lengths asserted
+                    // equal) and src rows were validated < n_rows = the row
+                    // count of `xd`, so the row slice is in bounds.
+                    let xrow = unsafe {
+                        let s = *src.get_unchecked(e as usize) as usize;
+                        xd.get_unchecked(s * cols..(s + 1) * cols)
+                    };
                     for (o, &v) in orow.iter_mut().zip(xrow) {
                         *o += v;
                     }
@@ -634,7 +1093,8 @@ pub fn scatter_reduce_forward(
 /// Backward of [`scatter_reduce_forward`]: routes `g[dst]` (scaled by
 /// `1 / weight[dst]` for mean) back to each source row. Parallelized by
 /// source row via a CSR index over `src` — again write-disjoint and
-/// order-deterministic.
+/// order-deterministic, with the same validate-once / unchecked-per-edge
+/// row reads as the forward pass.
 pub fn scatter_reduce_backward(
     gd: &[f32],
     cols: usize,
@@ -643,7 +1103,19 @@ pub fn scatter_reduce_backward(
     n_src: usize,
     dst_weight: Option<&[f32]>,
 ) -> Vec<f32> {
+    assert_eq!(src.len(), dst.len(), "scatter edge lists must pair up");
     let mut dx = vec![0.0f32; n_src * cols];
+    if cols == 0 {
+        return dx;
+    }
+    let n_rows = gd.len() / cols;
+    assert!(
+        dst.iter().all(|&d| (d as usize) < n_rows),
+        "scatter destination row out of range"
+    );
+    if let Some(w) = dst_weight {
+        assert!(w.len() >= n_rows, "dst_weight shorter than gradient rows");
+    }
     with_csr(src, n_src, |offsets, order| {
         let dx_ptr = SendPtr(dx.as_mut_ptr());
         let body = |s0: usize, s1: usize| {
@@ -652,12 +1124,25 @@ pub fn scatter_reduce_backward(
             // slice is in bounds and unaliased.
             let rows = unsafe { dx_ptr.slice_mut(s0 * cols, (s1 - s0) * cols) };
             for (s, drow) in (s0..s1).zip(rows.chunks_exact_mut(cols)) {
-                for &e in &order[offsets[s] as usize..offsets[s + 1] as usize] {
-                    let d = dst[e as usize] as usize;
-                    let grow = &gd[d * cols..(d + 1) * cols];
+                let edges = &order[offsets[s] as usize..offsets[s + 1] as usize];
+                for (ei, &e) in edges.iter().enumerate() {
+                    if ei + 1 < edges.len() {
+                        // SAFETY: edge ids from `with_csr` are < src.len()
+                        // == dst.len(); dst rows were validated < n_rows.
+                        let nxt = unsafe { *dst.get_unchecked(edges[ei + 1] as usize) } as usize;
+                        prefetch_read(gd.as_ptr().wrapping_add(nxt * cols));
+                    }
+                    // SAFETY: e < dst.len() (CSR over src, lengths asserted
+                    // equal); dst rows validated < n_rows = gd row count, and
+                    // dst_weight (when present) covers n_rows entries.
+                    let (d, grow) = unsafe {
+                        let d = *dst.get_unchecked(e as usize) as usize;
+                        (d, gd.get_unchecked(d * cols..(d + 1) * cols))
+                    };
                     match dst_weight {
                         Some(w) => {
-                            let inv = 1.0 / w[d];
+                            // SAFETY: d < n_rows ≤ w.len(), asserted above.
+                            let inv = 1.0 / unsafe { *w.get_unchecked(d) };
                             for (x, &v) in drow.iter_mut().zip(grow) {
                                 *x += inv * v;
                             }
@@ -733,6 +1218,158 @@ mod tests {
     }
 
     #[test]
+    fn transposed_a_kmajor_path_straddles_blocks() {
+        // The K-major A pack (backward-pass dW = Aᵀ·g shape) across multiple
+        // MC/KC blocks, against the naive reference.
+        let mut rng = StdRng::seed_from_u64(11);
+        for (m, k, n) in [(MC + 5, KC + 9, 33), (2 * MC + 1, KC / 2 + 3, NC + 7)] {
+            let a = rand_tensor(k, m, &mut rng); // physical k×m, ta = true
+            let b = rand_tensor(k, n, &mut rng);
+            let diff = max_rel_diff(&gemm(&a, &b, true, false), &gemm_naive(&a, &b, true, false));
+            assert!(diff < 1e-4, "{m}x{k}x{n} (ta): rel diff {diff}");
+        }
+    }
+
+    #[test]
+    fn gemm_f16_is_bitwise_equal_to_f32_gemm_on_widened_inputs() {
+        // Packing widens F16 panels to f32 before any arithmetic, so on
+        // inputs that are exact halves the half-input GEMM must agree with
+        // the f32 GEMM of the pre-widened matrices *bitwise*, for all four
+        // transpose variants.
+        let mut rng = StdRng::seed_from_u64(0xF16);
+        for case in 0..16 {
+            let m = rng.random_range(1usize..80);
+            let k = rng.random_range(1usize..80);
+            let n = rng.random_range(1usize..80);
+            let (ta, tb) = (case % 2 == 1, (case / 2) % 2 == 1);
+            let (ar, ac) = if ta { (k, m) } else { (m, k) };
+            let (br, bc) = if tb { (n, k) } else { (k, n) };
+            let ah: Vec<F16> = (0..ar * ac)
+                .map(|_| F16::from_f32(rng.random_range(-2.0f32..2.0)))
+                .collect();
+            let bh: Vec<F16> = (0..br * bc)
+                .map(|_| F16::from_f32(rng.random_range(-2.0f32..2.0)))
+                .collect();
+            let aw = Tensor::from_vec(ah.iter().map(|h| h.to_f32()).collect(), Shape::matrix(ar, ac));
+            let bw = Tensor::from_vec(bh.iter().map(|h| h.to_f32()).collect(), Shape::matrix(br, bc));
+            let half = gemm_f16(&ah, ar, ac, &bh, br, bc, ta, tb);
+            let full = gemm(&aw, &bw, ta, tb);
+            assert_eq!(
+                half.data(),
+                full.data(),
+                "case {case} ({m}x{k}x{n}, ta={ta}, tb={tb})"
+            );
+        }
+    }
+
+    #[test]
+    fn gemm_f16_f32_mixed_matches_widened() {
+        let mut rng = StdRng::seed_from_u64(21);
+        for &(m, k, n, ta, tb) in
+            &[(40, 33, 25, false, false), (33, 40, 25, true, false), (40, 33, 25, false, true)]
+        {
+            let (ar, ac) = if ta { (k, m) } else { (m, k) };
+            let ah: Vec<F16> = (0..ar * ac)
+                .map(|_| F16::from_f32(rng.random_range(-2.0f32..2.0)))
+                .collect();
+            let aw = Tensor::from_vec(ah.iter().map(|h| h.to_f32()).collect(), Shape::matrix(ar, ac));
+            let b = if tb { rand_tensor(n, k, &mut rng) } else { rand_tensor(k, n, &mut rng) };
+            let mixed = gemm_f16_f32(&ah, ar, ac, &b, ta, tb);
+            let full = gemm(&aw, &b, ta, tb);
+            assert_eq!(mixed.data(), full.data(), "{m}x{k}x{n} ta={ta} tb={tb}");
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn micro_kernel_rungs_agree() {
+        // Drive each micro-kernel directly on the same packed panels. The
+        // AVX2 and AVX-512 rungs accumulate one FMA per K step per element
+        // in the same order, so they must agree *bitwise*; the portable
+        // kernel groups four products per step, so it gets a tolerance.
+        let avx2 = std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("fma");
+        let avx512 = std::arch::is_x86_feature_detected!("avx512f");
+        if !avx2 {
+            return;
+        }
+        let mut rng = StdRng::seed_from_u64(0xAB5);
+        let (mb, kcb, ncb) = (13, 37, 41); // odd sizes exercise all tails
+        let n = ncb;
+        let apack: Vec<f32> = (0..mb * kcb).map(|_| rng.random_range(-1.0f32..1.0)).collect();
+        let bpack: Vec<f32> = (0..kcb * ncb).map(|_| rng.random_range(-1.0f32..1.0)).collect();
+
+        let mut portable = vec![0.0f32; mb * n];
+        for i in 0..mb {
+            kernel_row(
+                &apack[i * kcb..(i + 1) * kcb],
+                &bpack,
+                &mut portable[i * n..(i + 1) * n],
+                kcb,
+                ncb,
+            );
+        }
+
+        let mut out2 = vec![0.0f32; mb * n];
+        // SAFETY: AVX2+FMA detected above; panels cover mb×kcb (row-major)
+        // and kcb×ncb; the output buffer covers mb rows of stride n.
+        unsafe {
+            simd::kernel_block::<false>(apack.as_ptr(), bpack.as_ptr(), out2.as_mut_ptr(), n, mb, kcb, ncb);
+        }
+        for (p, v) in portable.iter().zip(out2.iter()) {
+            assert!((p - v).abs() <= p.abs().max(1.0) * 1e-5, "avx2 vs portable: {p} vs {v}");
+        }
+
+        if avx512 {
+            let mut out5 = vec![0.0f32; mb * n];
+            // SAFETY: AVX-512F detected above; same panel/output extents.
+            unsafe {
+                simd::kernel_block_avx512::<false>(
+                    apack.as_ptr(),
+                    bpack.as_ptr(),
+                    out5.as_mut_ptr(),
+                    n,
+                    mb,
+                    kcb,
+                    ncb,
+                );
+            }
+            assert_eq!(out2, out5, "avx512 must be bitwise identical to avx2");
+        }
+
+        // K-major layout: repack A transposed and check both rungs agree
+        // with the row-major result bitwise (same values, same FMA order).
+        let mut akm = vec![0.0f32; mb * kcb];
+        for i in 0..mb {
+            for p in 0..kcb {
+                akm[p * mb + i] = apack[i * kcb + p];
+            }
+        }
+        let mut outk = vec![0.0f32; mb * n];
+        // SAFETY: AVX2+FMA detected above; K-major panel covers kcb×mb.
+        unsafe {
+            simd::kernel_block::<true>(akm.as_ptr(), bpack.as_ptr(), outk.as_mut_ptr(), n, mb, kcb, ncb);
+        }
+        assert_eq!(out2, outk, "k-major avx2 must match row-major bitwise");
+        if avx512 {
+            let mut outk5 = vec![0.0f32; mb * n];
+            // SAFETY: AVX-512F detected above; K-major panel covers kcb×mb.
+            unsafe {
+                simd::kernel_block_avx512::<true>(
+                    akm.as_ptr(),
+                    bpack.as_ptr(),
+                    outk5.as_mut_ptr(),
+                    n,
+                    mb,
+                    kcb,
+                    ncb,
+                );
+            }
+            assert_eq!(out2, outk5, "k-major avx512 must match row-major bitwise");
+        }
+    }
+
+    #[test]
     fn csr_index_is_stable_and_complete() {
         let keys = [2u32, 0, 2, 1, 0, 2];
         with_csr(&keys, 4, |offsets, order| {
@@ -768,6 +1405,14 @@ mod tests {
                 assert!((g - e).abs() < 1e-4, "scatter_add mismatch");
             }
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "source row out of range")]
+    fn scatter_forward_validates_source_rows() {
+        // The unchecked per-edge reads depend on this up-front validation.
+        let x = vec![0.0f32; 4]; // 2 rows × 2 cols
+        scatter_reduce_forward(&x, 2, &[5], &[0], 1, None);
     }
 
     #[test]
@@ -839,6 +1484,22 @@ mod tests {
         let g = vec![1.0f32; 6];
         let dx = gather_rows_backward(&g, 2, &idx, 3);
         assert_eq!(dx, vec![1.0, 1.0, 0.0, 0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn gather_f16_matches_widened_f32_gather() {
+        let mut rng = StdRng::seed_from_u64(33);
+        // Both below and above AGG_SERIAL_CUTOFF to cover serial + parallel.
+        for (rows, cols, picks) in [(50, 17, 40), (400, 64, 2000)] {
+            let xh: Vec<F16> = (0..rows * cols)
+                .map(|_| F16::from_f32(rng.random_range(-4.0f32..4.0)))
+                .collect();
+            let xw: Vec<f32> = xh.iter().map(|h| h.to_f32()).collect();
+            let idx: Vec<u32> = (0..picks).map(|_| rng.random_range(0..rows as u32)).collect();
+            let half = gather_rows_forward_f16(&xh, cols, &idx);
+            let full = gather_rows_forward(&xw, cols, &idx);
+            assert_eq!(half, full, "{rows}x{cols}, {picks} picks");
+        }
     }
 
     #[test]

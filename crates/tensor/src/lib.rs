@@ -63,8 +63,8 @@ pub mod schedule;
 pub mod sync;
 
 pub use autograd::{Gradients, Param, ParamId, Tape, Var};
-pub use f16::{dequantize_into, quantize, F16};
-pub use kernels::{gemm, gemm_naive};
+pub use f16::{dequantize_into, narrow_into, quantize, widen_into, Dtype, F16};
+pub use kernels::{gemm, gemm_f16, gemm_f16_f32, gemm_naive};
 pub use norm::column_stats;
 pub use shape::Shape;
 pub use tensor::Tensor;

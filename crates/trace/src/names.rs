@@ -43,6 +43,11 @@ pub mod counters {
     pub const PREP_EDGES: &str = "prep.edges";
     /// Staged payload bytes (what a CPU→GPU DMA would move).
     pub const PREP_BYTES: &str = "prep.bytes";
+    /// Packed bytes the trainer pulled through the transfer stage (staged
+    /// features at their storage dtype + labels). With f16 feature storage
+    /// this is ~half the f32 figure — the paper's optimization (iii) made
+    /// visible in the epoch report.
+    pub const TRANSFER_BYTES: &str = "transfer.bytes";
     /// Per-item panics caught inside prep workers.
     pub const ITEM_PANICS: &str = "fault.item_panics";
     /// Prep work items requeued for another attempt.

@@ -75,6 +75,24 @@ fn main() {
     std::fs::write("target/metrics_pipeline.json", &metrics).expect("write metrics");
     println!("metrics snapshot -> target/metrics_pipeline.json");
 
+    // Byte counters: workers stage `prep.bytes` into pinned slots and the
+    // trainer pulls `transfer.bytes` through the transfer stage, both at the
+    // feature store's packed dtype — so with f16 storage these are ~half of
+    // what an f32 store would report. They agree on every batch the trainer
+    // actually consumed (prep may stage more if an epoch is cut short).
+    let prep_bytes = snap.metrics.counter(names::counters::PREP_BYTES);
+    let transfer_bytes = snap.metrics.counter(names::counters::TRANSFER_BYTES);
+    assert!(transfer_bytes > 0, "trainer must record transfer bytes");
+    assert!(
+        transfer_bytes <= prep_bytes,
+        "trainer cannot consume more than the workers staged \
+         ({transfer_bytes} > {prep_bytes})"
+    );
+    println!(
+        "bytes: staged {prep_bytes}, transferred {transfer_bytes} ({} features)",
+        dataset.features.dtype()
+    );
+
     // BENCH_kernels.json-style summary for CI trend tracking.
     let hist = |name: &str| -> Json {
         match snap.metrics.histogram(name) {
@@ -108,6 +126,12 @@ fn main() {
             "batches".into(),
             Json::Num(snap.metrics.counter(names::counters::BATCHES) as f64),
         ),
+        (
+            "dtype".into(),
+            Json::Str(dataset.features.dtype().to_string()),
+        ),
+        ("prep_bytes".into(), Json::Num(prep_bytes as f64)),
+        ("transfer_bytes".into(), Json::Num(transfer_bytes as f64)),
         ("prep_batch".into(), hist(names::hists::PREP_BATCH_NS)),
         ("train_batch".into(), hist(names::hists::TRAIN_BATCH_NS)),
         ("prep_wait".into(), hist(names::hists::PREP_WAIT_NS)),

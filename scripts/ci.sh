@@ -39,4 +39,18 @@ test -s BENCH_pipeline.json
 test -s target/trace_pipeline.json
 test -s target/metrics_pipeline.json
 
+echo "== mixed-precision tier: f16 storage, half GEMM accuracy, byte traffic"
+# Integration tests: half GEMM inside the documented
+# 2.5*2^-11*(|A|.|B|) elementwise bound, f16 feature stores moving
+# <= 55% of the f32 store's transfer.bytes, training parity at both
+# dtypes, SALIENT_DTYPE parsing.
+cargo test -q --offline --test mixed_precision
+# The kernel bench doubles as the acceptance gate: it re-asserts the
+# GEMM bound at the full bench shapes and the <= 55% byte criterion on
+# the slice+widen path (through the transfer.bytes counter), then
+# regenerates BENCH_kernels.json. SALIENT_BENCH_SMOKE shrinks the
+# timing batches so this tier stays fast; every assertion still runs.
+SALIENT_BENCH_SMOKE=1 cargo bench -q -p salient-bench --bench kernels --offline
+test -s BENCH_kernels.json
+
 echo "CI OK"
