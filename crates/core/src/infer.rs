@@ -6,9 +6,25 @@
 //! builds a full-graph MFG — every hop is the complete (bipartite-ized)
 //! graph — which makes the layer-wise full-neighborhood computation run
 //! through the exact same model code.
+//!
+//! [`BatchInferencer`] is the staged inference path shared by offline
+//! evaluation and the online serving layer: features are sliced into a
+//! pinned staging slot (the same bounded [`PinnedPool`] the training
+//! pipeline uses), widened once at the simulated transfer, and fed through
+//! the model. Both phases run under a panic-isolation boundary, and the
+//! slot is held *outside* that boundary so an unwinding request returns it
+//! to the pool via the slot's own RAII drop — a poisoned request can never
+//! leak staging capacity.
 
-use salient_graph::{CsrGraph, NodeId};
+use salient_batchprep::{PinnedPool, PinnedSlot};
+use salient_graph::{CsrGraph, Dataset, NodeId};
+use salient_nn::{metrics, GnnModel, Mode};
 use salient_sampler::{MessageFlowGraph, MfgLayer};
+use salient_tensor::rng::StdRng;
+use salient_tensor::{Tape, Tensor};
+use salient_trace::{names, Counter, Trace};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// Builds an MFG whose every hop is the entire graph: `n_src = n_dst = |V|`
 /// and the edge list enumerates every edge. Feeding it to a model performs
@@ -35,6 +51,170 @@ pub fn full_graph_mfg(graph: &CsrGraph, num_layers: usize) -> MessageFlowGraph {
     }
 }
 
+/// A panic caught at the inference isolation boundary, reduced to its
+/// message (the payload itself is not `Send + Clone`-friendly).
+#[derive(Clone, Debug)]
+pub struct InferPanic {
+    /// The panic payload rendered as text.
+    pub message: String,
+}
+
+impl std::fmt::Display for InferPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "inference panicked: {}", self.message)
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Features for one sampled micro-batch, staged in a pinned slot at the
+/// dataset's storage dtype. Dropping it (consumed by
+/// [`BatchInferencer::forward`], or simply discarded when a deadline
+/// expires between stages) returns the slot to the pool.
+#[derive(Debug)]
+pub struct StagedBatch {
+    slot: PinnedSlot,
+    num_nodes: usize,
+}
+
+impl StagedBatch {
+    /// Packed payload bytes staged for this batch (what a CPU→GPU DMA would
+    /// move).
+    pub fn payload_bytes(&self) -> usize {
+        self.slot.payload_bytes()
+    }
+}
+
+/// Sampled mini-batch inference through a bounded pinned-slot pool, with a
+/// per-call panic-isolation boundary.
+///
+/// The two phases — [`stage`](BatchInferencer::stage) (slice features into
+/// a slot) and [`forward`](BatchInferencer::forward) (widen + model
+/// compute) — are split so callers with latency budgets (the serving layer)
+/// can check deadlines between them and abandon dead work early.
+///
+/// Staging at the store's dtype followed by one widen is numerically
+/// identical to `FeatureStore::gather_f32`: both read the same packed
+/// values and perform the same per-element widening.
+pub struct BatchInferencer {
+    dataset: Arc<Dataset>,
+    pool: PinnedPool,
+    transfer_bytes: Counter,
+}
+
+impl BatchInferencer {
+    /// A pool of `slots` staging buffers pre-sized for `nodes_hint` sampled
+    /// nodes, without instrumentation.
+    pub fn new(dataset: Arc<Dataset>, slots: usize, nodes_hint: usize) -> Self {
+        Self::with_trace(dataset, slots, nodes_hint, &Trace::disabled())
+    }
+
+    /// Like [`BatchInferencer::new`], counting staged bytes against the
+    /// trace's `transfer.bytes`.
+    pub fn with_trace(
+        dataset: Arc<Dataset>,
+        slots: usize,
+        nodes_hint: usize,
+        trace: &Trace,
+    ) -> Self {
+        let dim = dataset.features.dim();
+        let dtype = dataset.features.dtype();
+        let pool = PinnedPool::new(slots, nodes_hint, dim, 1, dtype);
+        let transfer_bytes = trace.counter(names::counters::TRANSFER_BYTES);
+        BatchInferencer { dataset, pool, transfer_bytes }
+    }
+
+    /// The staging pool (bounds concurrent in-flight batches; diagnostics
+    /// can assert `available() == capacity()` when idle to prove no request
+    /// leaked a slot).
+    pub fn pool(&self) -> &PinnedPool {
+        &self.pool
+    }
+
+    /// The dataset this inferencer slices from.
+    pub fn dataset(&self) -> &Arc<Dataset> {
+        &self.dataset
+    }
+
+    /// Slices `mfg`'s features into a pinned slot. Blocks until a slot is
+    /// free (the pool is the backpressure bound).
+    ///
+    /// # Errors
+    ///
+    /// A panic during slicing is caught here; the slot — held outside the
+    /// unwind boundary — returns to the pool before this function returns.
+    pub fn stage(&self, mfg: &MessageFlowGraph) -> Result<StagedBatch, InferPanic> {
+        let dim = self.dataset.features.dim();
+        let mut slot = self.pool.acquire();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            slot.prepare(mfg.num_nodes(), dim, 0);
+            self.dataset
+                .features
+                .slice_into(&mfg.node_ids, slot.features_mut());
+        }));
+        match outcome {
+            Ok(()) => Ok(StagedBatch { slot, num_nodes: mfg.num_nodes() }),
+            Err(payload) => Err(InferPanic { message: panic_message(payload) }),
+        }
+    }
+
+    /// Widens the staged features (the simulated host→device transfer,
+    /// counted in `transfer.bytes`) and runs the model forward in eval
+    /// mode. Returns argmax predictions for the micro-batch's seed nodes.
+    ///
+    /// # Errors
+    ///
+    /// A panicking model is caught at this boundary; the staged slot — held
+    /// outside it — returns to the pool either way.
+    pub fn forward(
+        &self,
+        staged: StagedBatch,
+        model: &mut dyn GnnModel,
+        mfg: &MessageFlowGraph,
+        rng: &mut StdRng,
+    ) -> Result<Vec<u32>, InferPanic> {
+        let StagedBatch { slot, num_nodes } = staged;
+        let dim = self.dataset.features.dim();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut wide = vec![0.0f32; num_nodes * dim];
+            slot.features().widen_into(&mut wide);
+            self.transfer_bytes.add(slot.payload_bytes() as u64);
+            let tape = Tape::new();
+            let x = tape.constant(Tensor::from_vec(wide, [num_nodes, dim]));
+            let out = model.forward(&tape, x, mfg, Mode::Eval, rng);
+            metrics::argmax_rows(&out.value())
+        }));
+        // `slot` drops here on success *and* on unwind: RAII release.
+        match outcome {
+            Ok(preds) => Ok(preds),
+            Err(payload) => Err(InferPanic { message: panic_message(payload) }),
+        }
+    }
+
+    /// Stage + forward in one call (the offline evaluation path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates a caught panic from either phase.
+    pub fn infer_mfg(
+        &self,
+        model: &mut dyn GnnModel,
+        mfg: &MessageFlowGraph,
+        rng: &mut StdRng,
+    ) -> Result<Vec<u32>, InferPanic> {
+        let staged = self.stage(mfg)?;
+        self.forward(staged, model, mfg, rng)
+    }
+}
+
 /// Host-memory bytes needed by layer-wise full inference: one activation
 /// matrix per layer boundary (the paper's reason sampled inference wins on
 /// memory; dense architectures must keep *all* layer results).
@@ -51,6 +231,104 @@ pub fn layerwise_memory_bytes(num_nodes: usize, hidden: usize, num_layers: usize
 mod tests {
     use super::*;
     use salient_graph::DatasetConfig;
+    use salient_nn::{build_model, ModelKind};
+    use salient_sampler::FastSampler;
+
+    /// A model that always panics — stands in for any poisoned request.
+    struct PoisonModel;
+
+    impl GnnModel for PoisonModel {
+        fn forward(
+            &mut self,
+            _tape: &Tape,
+            _x: salient_tensor::Var,
+            _mfg: &MessageFlowGraph,
+            _mode: Mode,
+            _rng: &mut StdRng,
+        ) -> salient_tensor::Var {
+            panic!("poisoned request");
+        }
+        fn params(&self) -> Vec<&salient_tensor::Param> {
+            Vec::new()
+        }
+        fn params_mut(&mut self) -> Vec<&mut salient_tensor::Param> {
+            Vec::new()
+        }
+        fn kind(&self) -> ModelKind {
+            ModelKind::Sage
+        }
+        fn num_layers(&self) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn staged_inference_matches_direct_gather() {
+        let ds = Arc::new(DatasetConfig::tiny(11).build());
+        let mut model = build_model(ModelKind::Sage, ds.features.dim(), 8, ds.num_classes, 2, 3);
+        let mut sampler = FastSampler::new(9);
+        let batch: Vec<NodeId> = ds.splits.val[..16].to_vec();
+        let mfg = sampler.sample(&ds.graph, &batch, &[4, 4]);
+        let inferencer = BatchInferencer::new(Arc::clone(&ds), 1, 32);
+        let mut rng = StdRng::seed_from_u64(0);
+        let staged = inferencer.infer_mfg(model.as_mut(), &mfg, &mut rng).unwrap();
+        // Reference: the pre-existing direct-gather path.
+        let tape = Tape::new();
+        let x = tape.constant(ds.features.gather_f32(&mfg.node_ids));
+        let mut rng2 = StdRng::seed_from_u64(0);
+        let out = model.forward(&tape, x, &mfg, Mode::Eval, &mut rng2);
+        assert_eq!(staged, metrics::argmax_rows(&out.value()));
+        assert_eq!(staged.len(), mfg.batch_size());
+    }
+
+    #[test]
+    fn panicking_forward_returns_slot_to_pool() {
+        let ds = Arc::new(DatasetConfig::tiny(12).build());
+        let mut sampler = FastSampler::new(1);
+        let batch: Vec<NodeId> = ds.splits.val[..8].to_vec();
+        let mfg = sampler.sample(&ds.graph, &batch, &[3, 3]);
+        // One slot: any leak would deadlock the second call instead of
+        // completing it.
+        let inferencer = BatchInferencer::new(Arc::clone(&ds), 1, 16);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut poison = PoisonModel;
+        for _ in 0..3 {
+            let err = inferencer
+                .infer_mfg(&mut poison, &mfg, &mut rng)
+                .unwrap_err();
+            assert!(err.message.contains("poisoned request"), "{err}");
+            assert_eq!(
+                inferencer.pool().available(),
+                inferencer.pool().capacity(),
+                "slot must return on unwind"
+            );
+        }
+        // The pool still works after the unwinds.
+        let mut model = build_model(ModelKind::Sage, ds.features.dim(), 8, ds.num_classes, 2, 0);
+        assert!(inferencer.infer_mfg(model.as_mut(), &mfg, &mut rng).is_ok());
+    }
+
+    #[test]
+    fn panicking_stage_returns_slot_to_pool() {
+        let ds = Arc::new(DatasetConfig::tiny(13).build());
+        let inferencer = BatchInferencer::new(Arc::clone(&ds), 1, 16);
+        // An MFG referencing a node outside the dataset: slicing panics.
+        let bogus = MessageFlowGraph {
+            node_ids: vec![ds.graph.num_nodes() as NodeId + 10],
+            layers: vec![MfgLayer { edge_src: vec![], edge_dst: vec![], n_src: 1, n_dst: 1 }],
+        };
+        assert!(inferencer.stage(&bogus).is_err());
+        assert_eq!(inferencer.pool().available(), inferencer.pool().capacity());
+        // Dropping a staged batch without forwarding it also frees the slot.
+        let mut sampler = FastSampler::new(2);
+        let batch: Vec<NodeId> = ds.splits.val[..4].to_vec();
+        let mfg = sampler.sample(&ds.graph, &batch, &[3]);
+        let staged = inferencer.stage(&mfg).unwrap();
+        assert!(staged.payload_bytes() > 0);
+        assert_eq!(inferencer.pool().available(), 0);
+        drop(staged);
+        assert_eq!(inferencer.pool().available(), 1);
+    }
 
     #[test]
     fn full_graph_mfg_is_valid_and_complete() {

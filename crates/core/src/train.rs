@@ -323,23 +323,37 @@ impl Trainer {
 
     /// Sampled mini-batch inference over `nodes` with the given fanouts.
     /// Returns `(accuracy, predictions)`.
+    ///
+    /// Runs through [`crate::infer::BatchInferencer`] — the same pinned-slot
+    /// staging path the serving layer uses, numerically identical to a
+    /// direct f32 gather (staging copies the packed values; the widen is the
+    /// same per-element conversion `gather_f32` performs).
     pub fn evaluate_sampled(&mut self, nodes: &[NodeId], fanouts: &[usize]) -> (f64, Vec<u32>) {
         let mut sampler = FastSampler::new(self.config.seed ^ 0x1FE2);
-        let dim = self.dataset.features.dim();
+        let inferencer = crate::infer::BatchInferencer::with_trace(
+            Arc::clone(&self.dataset),
+            1,
+            self.config.batch_size,
+            &self.trace,
+        );
         let mut preds = Vec::with_capacity(nodes.len());
-        let dataset = Arc::clone(&self.dataset);
         for chunk in nodes.chunks(self.config.batch_size) {
-            let mfg = sampler.sample(&dataset.graph, chunk, fanouts);
-            let tape = Tape::new();
-            let x = tape.constant(dataset.features.gather_f32(&mfg.node_ids));
-            let out = self
-                .model
-                .forward(&tape, x, &mfg, Mode::Eval, &mut self.rng);
-            preds.extend(metrics::argmax_rows(&out.value()));
-            let _ = dim;
+            let mfg = sampler.sample(&self.dataset.graph, chunk, fanouts);
+            let batch_preds = inferencer
+                .infer_mfg(self.model.as_mut(), &mfg, &mut self.rng)
+                // Offline evaluation keeps the old contract: a poisoned model
+                // is a caller bug, not load to shed — re-raise it.
+                .unwrap_or_else(|p| panic!("{p}"));
+            preds.extend(batch_preds);
         }
         let targets: Vec<u32> = nodes.iter().map(|&v| self.dataset.labels[v as usize]).collect();
         (metrics::accuracy(&preds, &targets), preds)
+    }
+
+    /// Consumes the trainer, handing its trained model to another owner
+    /// (the serving layer takes the model without the training scaffolding).
+    pub fn into_model(self) -> Box<dyn GnnModel> {
+        self.model
     }
 
     /// Full-neighborhood inference ("fanout: all" in Table 6) via the

@@ -27,6 +27,9 @@
 //! | `prep.worker` | worker id |
 //! | `ddp.send`, `ddp.recv`, `ddp.rank` | rank id |
 //! | `ckpt.write` | entry index |
+//! | `serve.request`, `serve.queue` | request id |
+//! | `serve.sampler`, `serve.slice`, `serve.gemm` | micro-batch sequence |
+//! | `serve.worker` | worker incarnation |
 //!
 //! # Example
 //!
@@ -67,6 +70,25 @@ pub mod sites {
     pub const DDP_RANK: &str = "ddp.rank";
     /// Checkpoint serialization, before writing an entry (occ = entry index).
     pub const CKPT_WRITE: &str = "ckpt.write";
+    /// Serving request handler, inside the per-request pipeline (occ =
+    /// request id). `panic` poisons exactly that request; the server's
+    /// isolation boundary must contain it.
+    pub const SERVE_REQUEST: &str = "serve.request";
+    /// Serving admission queue (occ = request id). Any triggered action is
+    /// treated as a forced queue-full: the request is shed with a typed
+    /// `Rejected::Overload`, never silently dropped.
+    pub const SERVE_QUEUE: &str = "serve.queue";
+    /// Serving sampler stage (occ = micro-batch sequence number). `delay`
+    /// models a slow-sampler stall; `panic` a crashed sampler.
+    pub const SERVE_SAMPLER: &str = "serve.sampler";
+    /// Serving feature-slice stage (occ = micro-batch sequence number).
+    pub const SERVE_SLICE: &str = "serve.slice";
+    /// Serving model-compute (GEMM) stage (occ = micro-batch sequence
+    /// number).
+    pub const SERVE_GEMM: &str = "serve.gemm";
+    /// Serving worker thread itself (occ = worker incarnation) — kills the
+    /// whole thread, exercising the serve supervisor's respawn path.
+    pub const SERVE_WORKER: &str = "serve.worker";
 
     /// Every known site, for spec validation and documentation.
     pub const ALL: &[&str] = &[
@@ -78,6 +100,12 @@ pub mod sites {
         DDP_RECV,
         DDP_RANK,
         CKPT_WRITE,
+        SERVE_REQUEST,
+        SERVE_QUEUE,
+        SERVE_SAMPLER,
+        SERVE_SLICE,
+        SERVE_GEMM,
+        SERVE_WORKER,
     ];
 }
 

@@ -19,6 +19,12 @@ pub const HOT_PATHS: &[&str] = &[
 /// Files allowed to read wall clocks, sleep, and exit: the trace crate
 /// (whose `Clock` *is* the sanctioned time source everything else must go
 /// through), the DES simulator, the bench harness, and CLI entry points.
+///
+/// `crates/serve/` is deliberately *not* here: the serving state machine's
+/// deadline math must stay replayable under a `VirtualClock`, so every
+/// time read it makes goes through `trace::Clock` and any real-clock
+/// escape hatch (an injected straggler sleep) carries an inline
+/// suppression naming its justification.
 pub const TIME_WHITELIST: &[&str] = &[
     "crates/trace/",
     "crates/sim/",
@@ -191,6 +197,10 @@ mod tests {
         assert!(classify("examples/quickstart.rs").time_whitelisted);
         assert!(!classify("crates/core/src/train.rs").time_whitelisted);
         assert!(!classify("crates/batchprep/src/prep.rs").time_whitelisted);
+        // The serving crate must route all time through trace::Clock.
+        assert!(!classify("crates/serve/src/core.rs").time_whitelisted);
+        assert!(!classify("crates/serve/src/server.rs").time_whitelisted);
+        assert!(!classify("crates/serve/src/core.rs").hot_path);
         assert!(classify("tests/end_to_end.rs").test_file);
         assert!(classify("crates/tensor/tests/gradcheck.rs").test_file);
         assert!(!classify("crates/tensor/src/tensor.rs").test_file);

@@ -1,0 +1,692 @@
+//! The deterministic serving state machine.
+//!
+//! [`ServerCore`] owns everything one serving instance needs — the trained
+//! model, a [`BatchInferencer`] (pinned-slot staging + panic isolation), a
+//! seeded sampler, the pending queue, the degradation [`Ladder`], and the
+//! circuit [`Breaker`] — and exposes exactly two operations:
+//! [`submit`](ServerCore::submit) (admission) and
+//! [`step`](ServerCore::step) (form and run one micro-batch). It reads
+//! time only through its [`Clock`], never spawns threads, and injects
+//! faults only via `salient_fault` sites, so a whole serving session under
+//! a `VirtualClock` is a pure function of (config, seed, arrival trace,
+//! fault plan). The threaded [`crate::Server`] is a thin supervised
+//! wrapper around it.
+//!
+//! # Deadline propagation
+//!
+//! A request's absolute deadline rides with it through the pipeline and is
+//! re-checked at every stage boundary: at harvest (queue expiry), after
+//! sampling, after slicing, and after the GEMM. A request found dead is
+//! retired immediately with [`Response::Expired`] naming the stage that
+//! overran, and when *every* live member of a micro-batch has expired the
+//! remaining stages are skipped entirely — dead work is dropped, not
+//! finished.
+
+use crate::breaker::{Breaker, BreakerMove, BreakerState};
+use crate::config::ServeConfig;
+use crate::ladder::{Ladder, LadderMove};
+use crate::loadgen::Arrival;
+use crate::{Rejected, Request, Response, Stage};
+use salient_core::BatchInferencer;
+use salient_fault::{self as fault, FaultAction};
+use salient_graph::Dataset;
+use salient_nn::GnnModel;
+use salient_sampler::{FastSampler, MessageFlowGraph};
+use salient_tensor::rng::StdRng;
+use salient_trace::{names, Clock, Counter, Gauge, Histogram, Trace};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+/// Completed latencies kept for the rolling p99 estimate.
+const LATENCY_WINDOW: usize = 128;
+
+/// EWMA smoothing for the per-batch service-time floor.
+const EWMA_ALPHA: f64 = 0.2;
+
+/// An admitted request waiting in the pending queue.
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    req: Request,
+    admitted_ns: u64,
+}
+
+/// Rolling window of completed-request latencies with a cached p99.
+#[derive(Debug, Default)]
+struct LatencyWindow {
+    buf: Vec<u64>,
+    next: usize,
+    cached_p99: u64,
+}
+
+impl LatencyWindow {
+    fn push(&mut self, v: u64) {
+        if self.buf.len() < LATENCY_WINDOW {
+            self.buf.push(v);
+        } else {
+            self.buf[self.next] = v;
+            self.next = (self.next + 1) % LATENCY_WINDOW;
+        }
+    }
+
+    /// Recomputes the cached p99 (called once per micro-batch, not per
+    /// submit, so admission stays cheap).
+    fn refresh(&mut self) {
+        if self.buf.is_empty() {
+            self.cached_p99 = 0;
+            return;
+        }
+        let mut sorted = self.buf.clone();
+        sorted.sort_unstable();
+        let idx = (sorted.len() as f64 * 0.99).ceil() as usize;
+        self.cached_p99 = sorted[idx.min(sorted.len()) - 1];
+    }
+
+    fn p99(&self) -> u64 {
+        self.cached_p99
+    }
+}
+
+/// Metric handles resolved once so the per-request path is atomic adds.
+struct Instruments {
+    admitted: Counter,
+    completed: Counter,
+    shed_overload: Counter,
+    shed_infeasible: Counter,
+    shed_breaker: Counter,
+    expired: Counter,
+    request_panics: Counter,
+    degrades: Counter,
+    restores: Counter,
+    breaker_opens: Counter,
+    latency_ns: Histogram,
+    batch_ns: Histogram,
+    queue_depth: Gauge,
+    fanout_level: Gauge,
+    breaker_state: Gauge,
+}
+
+impl Instruments {
+    fn new(trace: &Trace) -> Instruments {
+        Instruments {
+            admitted: trace.counter(names::counters::SERVE_ADMITTED),
+            completed: trace.counter(names::counters::SERVE_COMPLETED),
+            shed_overload: trace.counter(names::counters::SERVE_SHED_OVERLOAD),
+            shed_infeasible: trace.counter(names::counters::SERVE_SHED_INFEASIBLE),
+            shed_breaker: trace.counter(names::counters::SERVE_SHED_BREAKER),
+            expired: trace.counter(names::counters::SERVE_EXPIRED),
+            request_panics: trace.counter(names::counters::SERVE_REQUEST_PANICS),
+            degrades: trace.counter(names::counters::SERVE_DEGRADES),
+            restores: trace.counter(names::counters::SERVE_RESTORES),
+            breaker_opens: trace.counter(names::counters::SERVE_BREAKER_OPENS),
+            latency_ns: trace.histogram(names::hists::SERVE_LATENCY_NS),
+            batch_ns: trace.histogram(names::hists::SERVE_BATCH_NS),
+            queue_depth: trace.gauge("serve.queue_depth"),
+            fanout_level: trace.gauge("serve.fanout_level"),
+            breaker_state: trace.gauge("serve.breaker_state"),
+        }
+    }
+}
+
+/// What one [`ServerCore::step`] did.
+#[derive(Debug, Default)]
+pub struct StepOutcome {
+    /// Terminal responses emitted this step, keyed by request id. Includes
+    /// queue-expired requests retired during harvest even when no batch ran.
+    pub responses: Vec<(u64, Response)>,
+    /// Whether a micro-batch pipeline actually executed.
+    pub ran_batch: bool,
+}
+
+/// Applies an injected fault with clock-aware stalls: on a virtual clock a
+/// `Delay` advances it (deterministic stage-stall scripting); on the real
+/// clock it sleeps. Panics inline for `Panic` — callers wrap the stage in
+/// `catch_unwind`. Returns `true` for `Drop`.
+fn apply_fault(clock: &Clock, site: &'static str, occ: u64) -> bool {
+    match fault::point(site, occ) {
+        FaultAction::Proceed => false,
+        FaultAction::Panic => panic!("injected fault: panic at {site} (occ {occ})"),
+        FaultAction::Delay(d) => {
+            let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+            match clock.as_virtual() {
+                Some(v) => v.advance(ns),
+                // lint: allow(determinism, injected straggler stall on the real clock; the duration comes from the installed fault plan)
+                None => std::thread::sleep(d),
+            }
+            false
+        }
+        FaultAction::Drop => true,
+    }
+}
+
+/// The single-threaded serving state machine (see the module docs).
+pub struct ServerCore {
+    cfg: ServeConfig,
+    model: Box<dyn GnnModel>,
+    inferencer: BatchInferencer,
+    dataset: Arc<Dataset>,
+    sampler: FastSampler,
+    rng: StdRng,
+    clock: Clock,
+    trace: Trace,
+    pending: VecDeque<Pending>,
+    ladder: Ladder,
+    breaker: Breaker,
+    window: LatencyWindow,
+    /// EWMA of micro-batch pipeline nanoseconds: the admission floor for
+    /// `DeadlineInfeasible` (0 until the first batch completes).
+    ewma_batch_ns: f64,
+    batch_seq: u64,
+    ins: Instruments,
+}
+
+impl ServerCore {
+    /// Builds a serving instance around a trained model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is inconsistent or the ladder's hop
+    /// count does not match the model's layer count.
+    pub fn new(
+        model: Box<dyn GnnModel>,
+        dataset: Arc<Dataset>,
+        cfg: ServeConfig,
+        trace: Trace,
+    ) -> Self {
+        cfg.validate();
+        assert_eq!(
+            cfg.fanout_ladder[0].len(),
+            model.num_layers(),
+            "fanout ladder hop count must match the model's layers"
+        );
+        // Pre-size staging for a worst-case (level-0) micro-batch.
+        let expansion: usize = cfg.fanout_ladder[0].iter().map(|f| f + 1).product();
+        let nodes_hint = cfg.max_batch * expansion.min(256);
+        let inferencer =
+            BatchInferencer::with_trace(Arc::clone(&dataset), cfg.slots, nodes_hint, &trace);
+        let ladder = Ladder::new(
+            cfg.fanout_ladder.clone(),
+            cfg.degrade_after,
+            cfg.restore_after,
+        );
+        let breaker = Breaker::new(
+            cfg.breaker_open_after,
+            cfg.breaker_cooldown_ns,
+            cfg.breaker_probes,
+        );
+        let clock = trace.clock();
+        let ins = Instruments::new(&trace);
+        ServerCore {
+            sampler: FastSampler::new(cfg.seed ^ 0x5E21),
+            rng: StdRng::seed_from_u64(cfg.seed ^ 0x11FE),
+            model,
+            inferencer,
+            dataset,
+            clock,
+            trace,
+            pending: VecDeque::with_capacity(cfg.queue_capacity),
+            ladder,
+            breaker,
+            window: LatencyWindow::default(),
+            ewma_batch_ns: 0.0,
+            batch_seq: 0,
+            ins,
+            cfg,
+        }
+    }
+
+    /// The serving clock (shared with the trace registry).
+    pub fn clock(&self) -> Clock {
+        self.clock.clone()
+    }
+
+    /// Reads the serving clock.
+    pub fn now_ns(&self) -> u64 {
+        self.clock.now_ns()
+    }
+
+    /// The trace handle this server records against.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Requests currently admitted and waiting.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Current breaker state.
+    pub fn breaker_state(&self) -> BreakerState {
+        self.breaker.state()
+    }
+
+    /// Current degradation-ladder level (0 = full quality).
+    pub fn fanout_level(&self) -> usize {
+        self.ladder.level()
+    }
+
+    /// The rolling p99 latency estimate admission control consults (ns).
+    pub fn p99_estimate_ns(&self) -> u64 {
+        self.window.p99()
+    }
+
+    /// The staging pool (idle ⇒ `available() == capacity()`; anything less
+    /// is a leaked slot).
+    pub fn pool_available(&self) -> (usize, usize) {
+        (
+            self.inferencer.pool().available(),
+            self.inferencer.pool().capacity(),
+        )
+    }
+
+    /// Admission control. `Ok(())` means the request is queued and will
+    /// receive exactly one terminal [`Response`] from a later
+    /// [`step`](ServerCore::step); `Err` is the typed shed decision.
+    ///
+    /// Order of checks: deadline feasibility first (an infeasible deadline
+    /// is the caller's problem, reported as such even under overload), then
+    /// breaker, queue bound, and the p99 estimate.
+    ///
+    /// # Errors
+    ///
+    /// [`Rejected::DeadlineInfeasible`] for zero/past deadlines or budgets
+    /// below the observed service floor; [`Rejected::Overload`] when the
+    /// server sheds load.
+    pub fn submit(&mut self, req: Request) -> Result<(), Rejected> {
+        let now = self.clock.now_ns();
+
+        // Feasibility: a deadline at or before now, or a budget smaller
+        // than the smoothed batch service time, cannot be met even idle.
+        if req.deadline_ns <= now
+            || ((req.deadline_ns - now) as f64) < self.ewma_batch_ns
+        {
+            self.ins.shed_infeasible.inc();
+            return Err(Rejected::DeadlineInfeasible);
+        }
+
+        // Injected queue fault: any action here models a broken/full queue;
+        // the request is shed with the typed Overload response.
+        if fault::point(fault::sites::SERVE_QUEUE, req.id) != FaultAction::Proceed {
+            self.ins.shed_overload.inc();
+            return Err(Rejected::Overload);
+        }
+
+        // Breaker: while open, nothing is queued onto a broken pipeline.
+        self.poll_breaker(now);
+        if self.breaker.state() == BreakerState::Open {
+            self.ins.shed_breaker.inc();
+            self.ins.shed_overload.inc();
+            return Err(Rejected::Overload);
+        }
+
+        if self.pending.len() >= self.cfg.queue_capacity {
+            self.ins.shed_overload.inc();
+            return Err(Rejected::Overload);
+        }
+
+        if self.window.p99() > self.cfg.p99_shed_ns {
+            self.ins.shed_overload.inc();
+            return Err(Rejected::Overload);
+        }
+
+        self.pending.push_back(Pending { req, admitted_ns: now });
+        self.ins.admitted.inc();
+        self.ins.queue_depth.set(self.pending.len() as u64);
+        Ok(())
+    }
+
+    fn poll_breaker(&mut self, now: u64) {
+        if let Some(mv) = self.breaker.poll(now) {
+            self.record_breaker(mv);
+        }
+    }
+
+    fn record_breaker(&mut self, mv: BreakerMove) {
+        match mv {
+            BreakerMove::Opened => {
+                self.ins.breaker_opens.inc();
+                self.ins.breaker_state.set(1);
+                self.trace.instant(names::events::SERVE_BREAKER_OPEN, self.batch_seq);
+            }
+            BreakerMove::HalfOpened => {
+                self.ins.breaker_state.set(2);
+                self.trace
+                    .instant(names::events::SERVE_BREAKER_HALF_OPEN, self.batch_seq);
+            }
+            BreakerMove::Closed => {
+                self.ins.breaker_state.set(0);
+                self.trace.instant(names::events::SERVE_BREAKER_CLOSE, self.batch_seq);
+            }
+        }
+    }
+
+    fn record_ladder(&mut self, mv: LadderMove) {
+        match mv {
+            LadderMove::Degraded => {
+                self.ins.degrades.inc();
+                self.trace.instant(names::events::SERVE_DEGRADE, self.batch_seq);
+            }
+            LadderMove::Restored => {
+                self.ins.restores.inc();
+                self.trace.instant(names::events::SERVE_RESTORE, self.batch_seq);
+            }
+        }
+        self.ins.fanout_level.set(self.ladder.level() as u64);
+    }
+
+    /// Retires every member whose deadline has passed, tagging the stage
+    /// that overran. Returns the number still live.
+    fn expire_members(
+        members: &[Pending],
+        expired_at: &mut [Option<Stage>],
+        stage: Stage,
+        now: u64,
+        expired_counter: &Counter,
+    ) -> usize {
+        let mut live = 0;
+        for (i, m) in members.iter().enumerate() {
+            if expired_at[i].is_some() {
+                continue;
+            }
+            if m.req.deadline_ns <= now {
+                expired_at[i] = Some(stage);
+                expired_counter.inc();
+            } else {
+                live += 1;
+            }
+        }
+        live
+    }
+
+    /// Forms one micro-batch from the pending queue and runs it through
+    /// sample → slice → gemm with stage-boundary deadline checks. Returns
+    /// the terminal responses it emitted. A step with nothing pending
+    /// returns an empty outcome.
+    pub fn step(&mut self) -> StepOutcome {
+        let mut out = StepOutcome::default();
+        let step_start = self.clock.now_ns();
+        self.poll_breaker(step_start);
+
+        // Pressure is observed on the queue as the batch forms (before
+        // harvest drains it).
+        let pressured = self.pending.len() as f64
+            >= self.cfg.pressure_occupancy * self.cfg.queue_capacity as f64
+            && !self.pending.is_empty();
+
+        // Half-open: single-request probe batches only.
+        let limit = if self.breaker.state() == BreakerState::HalfOpen {
+            1
+        } else {
+            self.cfg.max_batch
+        };
+
+        // Harvest: retire queue-expired requests, isolate per-request
+        // handler faults, and coalesce the survivors.
+        let mut members: Vec<Pending> = Vec::with_capacity(limit);
+        while members.len() < limit {
+            let Some(p) = self.pending.pop_front() else { break };
+            if p.req.deadline_ns <= self.clock.now_ns() {
+                self.ins.expired.inc();
+                out.responses.push((p.req.id, Response::Expired(Stage::Queue)));
+                continue;
+            }
+            // Per-request isolation boundary: an injected handler panic (or
+            // drop) poisons exactly this request, never the server.
+            let id = p.req.id;
+            let clock = self.clock.clone();
+            let handled = catch_unwind(AssertUnwindSafe(|| {
+                apply_fault(&clock, fault::sites::SERVE_REQUEST, id)
+            }));
+            match handled {
+                Err(_) => {
+                    self.ins.request_panics.inc();
+                    out.responses.push((id, Response::Failed));
+                    continue;
+                }
+                Ok(true) => {
+                    // Handler dropped the request's effect: also a contained
+                    // per-request failure.
+                    self.ins.request_panics.inc();
+                    out.responses.push((id, Response::Failed));
+                    continue;
+                }
+                Ok(false) => members.push(p),
+            }
+        }
+        self.ins.queue_depth.set(self.pending.len() as u64);
+        if members.is_empty() {
+            return out;
+        }
+
+        out.ran_batch = true;
+        let seq = self.batch_seq;
+        self.batch_seq += 1;
+        let fanout_level = self.ladder.level();
+        let fanouts = self.ladder.fanouts().to_vec();
+        // Coalesced queries may repeat a node; the sampler requires unique
+        // seeds, so sample each distinct node once and fan the prediction
+        // back out to every member that asked for it.
+        let mut seeds: Vec<salient_graph::NodeId> = Vec::with_capacity(members.len());
+        let mut seed_idx: Vec<usize> = Vec::with_capacity(members.len());
+        for m in &members {
+            match seeds.iter().position(|&s| s == m.req.node) {
+                Some(i) => seed_idx.push(i),
+                None => {
+                    seed_idx.push(seeds.len());
+                    seeds.push(m.req.node);
+                }
+            }
+        }
+        let mut expired_at: Vec<Option<Stage>> = vec![None; members.len()];
+        let batch_start = self.clock.now_ns();
+
+        // ---- Stage 1: sample ------------------------------------------
+        let t0 = self.clock.now_ns();
+        let sample_res: Result<MessageFlowGraph, ()> = {
+            let sampler = &mut self.sampler;
+            let dataset = Arc::clone(&self.dataset);
+            let clock = self.clock.clone();
+            catch_unwind(AssertUnwindSafe(|| {
+                apply_fault(&clock, fault::sites::SERVE_SAMPLER, seq);
+                sampler.sample(&dataset.graph, &seeds, &fanouts)
+            }))
+            .map_err(|_| ())
+        };
+        let t1 = self.clock.now_ns();
+        self.trace.record_span(names::spans::SERVE_SAMPLE, seq, t0, t1);
+        let mfg = match sample_res {
+            Ok(mfg) => mfg,
+            Err(()) => {
+                // Crashed sampler: deterministic respawn (re-seeded from the
+                // batch sequence, mirroring batchprep's retry re-seeding).
+                self.sampler = FastSampler::new(self.cfg.seed ^ 0x5A17 ^ seq);
+                return self.fail_batch(members, expired_at, out, pressured, batch_start);
+            }
+        };
+        let live = Self::expire_members(&members, &mut expired_at, Stage::Sample, t1, &self.ins.expired);
+        if live == 0 {
+            // Every member died waiting on the sampler: drop the dead work
+            // before paying for slice + gemm.
+            return self.finish_batch(members, expired_at, None, out, pressured, fanout_level, batch_start);
+        }
+
+        // ---- Stage 2: slice into a pinned slot ------------------------
+        let t2 = self.clock.now_ns();
+        let staged = {
+            let clock = self.clock.clone();
+            match catch_unwind(AssertUnwindSafe(|| {
+                apply_fault(&clock, fault::sites::SERVE_SLICE, seq)
+            })) {
+                Err(_) => Err(()),
+                Ok(_) => self.inferencer.stage(&mfg).map_err(|_| ()),
+            }
+        };
+        let t3 = self.clock.now_ns();
+        self.trace.record_span(names::spans::SERVE_SLICE, seq, t2, t3);
+        let staged = match staged {
+            Ok(s) => s,
+            Err(()) => return self.fail_batch(members, expired_at, out, pressured, batch_start),
+        };
+        let live = Self::expire_members(&members, &mut expired_at, Stage::Slice, t3, &self.ins.expired);
+        if live == 0 {
+            // Dropping `staged` returns the slot; skip the GEMM entirely.
+            drop(staged);
+            return self.finish_batch(members, expired_at, None, out, pressured, fanout_level, batch_start);
+        }
+
+        // ---- Stage 3: widen + GEMM ------------------------------------
+        let t4 = self.clock.now_ns();
+        let preds = {
+            let clock = self.clock.clone();
+            match catch_unwind(AssertUnwindSafe(|| {
+                apply_fault(&clock, fault::sites::SERVE_GEMM, seq)
+            })) {
+                Err(_) => Err(()),
+                Ok(_) => self
+                    .inferencer
+                    .forward(staged, self.model.as_mut(), &mfg, &mut self.rng)
+                    .map_err(|_| ()),
+            }
+        };
+        let t5 = self.clock.now_ns();
+        self.trace.record_span(names::spans::SERVE_GEMM, seq, t4, t5);
+        match preds {
+            Ok(mut preds) => {
+                Self::expire_members(&members, &mut expired_at, Stage::Gemm, t5, &self.ins.expired);
+                // Fan distinct-seed predictions back out to members.
+                preds = seed_idx.iter().map(|&i| preds[i]).collect();
+                self.finish_batch(members, expired_at, Some(preds), out, pressured, fanout_level, batch_start)
+            }
+            Err(()) => self.fail_batch(members, expired_at, out, pressured, batch_start),
+        }
+    }
+
+    /// Retires a batch whose pipeline panicked: every not-yet-expired
+    /// member gets [`Response::Failed`], and the breaker records the
+    /// failure (possibly tripping open).
+    fn fail_batch(
+        &mut self,
+        members: Vec<Pending>,
+        expired_at: Vec<Option<Stage>>,
+        mut out: StepOutcome,
+        pressured: bool,
+        batch_start: u64,
+    ) -> StepOutcome {
+        for (m, exp) in members.iter().zip(&expired_at) {
+            match exp {
+                Some(stage) => out.responses.push((m.req.id, Response::Expired(*stage))),
+                None => out.responses.push((m.req.id, Response::Failed)),
+            }
+        }
+        let now = self.clock.now_ns();
+        if let Some(mv) = self.breaker.on_failure(now) {
+            self.record_breaker(mv);
+        }
+        self.after_batch(batch_start, now, pressured);
+        out
+    }
+
+    /// Retires a batch whose pipeline ran to the point recorded in
+    /// `expired_at` / `preds`: expired members report their stage, live
+    /// members (when `preds` is present) complete.
+    #[allow(clippy::too_many_arguments)]
+    fn finish_batch(
+        &mut self,
+        members: Vec<Pending>,
+        expired_at: Vec<Option<Stage>>,
+        preds: Option<Vec<u32>>,
+        mut out: StepOutcome,
+        pressured: bool,
+        fanout_level: usize,
+        batch_start: u64,
+    ) -> StepOutcome {
+        let now = self.clock.now_ns();
+        for (i, m) in members.iter().enumerate() {
+            match expired_at[i] {
+                Some(stage) => out.responses.push((m.req.id, Response::Expired(stage))),
+                None => {
+                    // `preds` is present whenever any member is live (the
+                    // pipeline only short-circuits when all expired).
+                    let class = preds.as_ref().map(|p| p[i]).unwrap_or(0);
+                    let latency_ns = now.saturating_sub(m.admitted_ns);
+                    self.ins.completed.inc();
+                    self.ins.latency_ns.observe(latency_ns);
+                    self.window.push(latency_ns);
+                    out.responses.push((
+                        m.req.id,
+                        Response::Done { class, latency_ns, fanout_level },
+                    ));
+                }
+            }
+        }
+        if let Some(mv) = self.breaker.on_success() {
+            self.record_breaker(mv);
+        }
+        self.after_batch(batch_start, now, pressured);
+        out
+    }
+
+    /// Post-batch bookkeeping shared by success and failure paths: batch
+    /// histogram, p99 cache, EWMA service floor, and the degradation
+    /// ladder (fed the pressure observed when the batch formed).
+    fn after_batch(&mut self, batch_start: u64, now: u64, pressured: bool) {
+        self.ins.batch_ns.observe(now.saturating_sub(batch_start));
+        self.window.refresh();
+        let dur = now.saturating_sub(batch_start) as f64;
+        self.ewma_batch_ns = if self.ewma_batch_ns == 0.0 {
+            dur
+        } else {
+            (1.0 - EWMA_ALPHA) * self.ewma_batch_ns + EWMA_ALPHA * dur
+        };
+        if let Some(mv) = self.ladder.observe(pressured) {
+            self.record_ladder(mv);
+        }
+    }
+}
+
+/// Drives `core` through an arrival trace on its **virtual** clock: the
+/// clock jumps to each arrival instant (stepping off any work already due
+/// first), every admission decision is returned inline, and remaining work
+/// is drained after the last arrival. Request ids are the arrival indices.
+///
+/// Running the same (config, seed, trace, fault plan) twice yields
+/// identical response sequences — the determinism the serving tests and
+/// the fault matrix assert.
+///
+/// # Panics
+///
+/// Panics if the core's clock is not virtual (real-clock driving belongs
+/// to the threaded [`crate::Server`] or the bench example).
+pub fn run_trace(core: &mut ServerCore, arrivals: &[Arrival]) -> Vec<(u64, Response)> {
+    let clock = core.clock();
+    let vc = Arc::clone(
+        clock
+            .as_virtual()
+            .expect("run_trace requires a VirtualClock-backed core"),
+    );
+    let mut out = Vec::new();
+    for (i, a) in arrivals.iter().enumerate() {
+        // Serve whatever is already due before this arrival lands.
+        while core.pending() > 0 && clock.now_ns() < a.at_ns {
+            let step = core.step();
+            out.extend(step.responses);
+        }
+        if clock.now_ns() < a.at_ns {
+            vc.set(a.at_ns);
+        }
+        let id = i as u64;
+        let req = Request {
+            id,
+            node: a.node,
+            deadline_ns: a.at_ns.saturating_add(a.budget_ns),
+        };
+        if let Err(rej) = core.submit(req) {
+            out.push((id, Response::Rejected(rej)));
+        }
+    }
+    while core.pending() > 0 {
+        let step = core.step();
+        out.extend(step.responses);
+    }
+    out
+}

@@ -31,6 +31,12 @@ pub mod spans {
     pub const COMM_STEP: &str = "ddp.step";
     /// One rank's whole epoch in a DDP run.
     pub const RANK_EPOCH: &str = "ddp.epoch";
+    /// Serving micro-batch neighborhood sampling.
+    pub const SERVE_SAMPLE: &str = "serve.sample";
+    /// Serving micro-batch feature slicing into a pinned slot.
+    pub const SERVE_SLICE: &str = "serve.slice";
+    /// Serving micro-batch model compute (widen + forward).
+    pub const SERVE_GEMM: &str = "serve.gemm";
 }
 
 /// Counter names.
@@ -64,6 +70,28 @@ pub mod counters {
     pub const DDP_BYTES: &str = "ddp.bytes_sent";
     /// DDP ring steps completed.
     pub const DDP_STEPS: &str = "ddp.steps";
+    /// Serving requests accepted past admission control.
+    pub const SERVE_ADMITTED: &str = "serve.admitted";
+    /// Serving requests answered with a prediction.
+    pub const SERVE_COMPLETED: &str = "serve.completed";
+    /// Serving requests shed at admission with `Rejected::Overload`.
+    pub const SERVE_SHED_OVERLOAD: &str = "serve.shed_overload";
+    /// Serving requests shed with `Rejected::DeadlineInfeasible`.
+    pub const SERVE_SHED_INFEASIBLE: &str = "serve.shed_deadline_infeasible";
+    /// Overload sheds attributable to an open circuit breaker.
+    pub const SERVE_SHED_BREAKER: &str = "serve.shed_breaker";
+    /// Admitted requests whose deadline expired mid-pipeline (dropped early).
+    pub const SERVE_EXPIRED: &str = "serve.deadline_expired";
+    /// Per-request panics caught at the serving isolation boundary.
+    pub const SERVE_REQUEST_PANICS: &str = "serve.request_panics";
+    /// Degradation-ladder steps down (fanout reduced).
+    pub const SERVE_DEGRADES: &str = "serve.degrades";
+    /// Degradation-ladder steps up (fanout restored).
+    pub const SERVE_RESTORES: &str = "serve.restores";
+    /// Circuit-breaker Closed→Open transitions.
+    pub const SERVE_BREAKER_OPENS: &str = "serve.breaker_opens";
+    /// Serving worker threads respawned by the supervisor.
+    pub const SERVE_RESPAWNS: &str = "serve.respawns";
 }
 
 /// Histogram names.
@@ -74,6 +102,10 @@ pub mod hists {
     pub const TRAIN_BATCH_NS: &str = "train.batch_ns";
     /// Trainer blocking-wait nanoseconds per batch.
     pub const PREP_WAIT_NS: &str = "prep.wait_ns";
+    /// End-to-end serving latency (submit → response) per completed request.
+    pub const SERVE_LATENCY_NS: &str = "serve.latency_ns";
+    /// Serving micro-batch pipeline nanoseconds (sample + slice + gemm).
+    pub const SERVE_BATCH_NS: &str = "serve.batch_ns";
 }
 
 /// Point-event names.
@@ -88,4 +120,14 @@ pub mod events {
     pub const DEGRADED_INLINE: &str = "fault.degraded";
     /// A whole prep-worker thread died.
     pub const WORKER_PANIC: &str = "fault.worker_panic";
+    /// The serving degradation ladder stepped down one fanout level.
+    pub const SERVE_DEGRADE: &str = "serve.degrade";
+    /// The serving degradation ladder stepped back up one level.
+    pub const SERVE_RESTORE: &str = "serve.restore";
+    /// Serving circuit breaker tripped Closed→Open.
+    pub const SERVE_BREAKER_OPEN: &str = "serve.breaker.open";
+    /// Serving circuit breaker cooled down Open→HalfOpen.
+    pub const SERVE_BREAKER_HALF_OPEN: &str = "serve.breaker.half_open";
+    /// Serving circuit breaker probe succeeded: HalfOpen→Closed.
+    pub const SERVE_BREAKER_CLOSE: &str = "serve.breaker.close";
 }

@@ -53,4 +53,16 @@ cargo test -q --offline --test mixed_precision
 SALIENT_BENCH_SMOKE=1 cargo bench -q -p salient-bench --bench kernels --offline
 test -s BENCH_kernels.json
 
+echo "== serving tier: deadlines, admission control, degradation ladder"
+# Deterministic VirtualClock tests first: deadline expiry at every stage
+# boundary, breaker open -> half-open -> close, ladder degrade/restore
+# hysteresis, and exact replay equality under a seeded bursty trace.
+cargo test -q --offline --test serving
+# Then the real-clock frontier: trains a model, sweeps Poisson load at
+# 0.3x/0.7x/2x calibrated capacity, and asserts the overload contract
+# in-bench (no shedding below the knee, typed shedding at 2x, p99 within
+# 5x of the knee, no throughput collapse) before writing the frontier.
+SALIENT_BENCH_SMOKE=1 cargo run -q --release --offline --example serve_inference
+test -s BENCH_serving.json
+
 echo "CI OK"

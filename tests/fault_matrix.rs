@@ -20,6 +20,7 @@ use salient_repro::core::{train_ddp, DdpError, RunConfig};
 use salient_repro::ddp::CommErrorKind;
 use salient_repro::fault::{self, sites, FaultKind, FaultPlan, FaultSpec, Trigger};
 use salient_repro::graph::{Dataset, DatasetConfig};
+use salient_repro::serve::{Rejected, Request, Response, ServeConfig, ServerCore};
 use salient_repro::tensor::Tensor;
 use salient_repro::trace::{names, Clock, Trace};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
@@ -391,4 +392,158 @@ fn disabled_injection_points_are_inert() {
         assert!(!faults.any(), "{mode:?}: {faults:?}");
         assert_eq!(pool.available(), pool.capacity(), "{mode:?}");
     }
+}
+
+// ---------------------------------------------------------------------------
+// Serving-layer scenarios: the same fault grammar drives the online
+// inference front-end. Invariants mirror the prep matrix: no hangs, no
+// silent drops (every refusal and failure is typed), no leaked staging
+// slots, and every recovery action observable in the trace registry.
+// ---------------------------------------------------------------------------
+
+/// A serving core over a manual virtual clock (tests advance time only
+/// through injected delays, so pressure is a pure function of the script).
+fn serve_core(seed: u64) -> ServerCore {
+    use salient_repro::core::Trainer;
+    let ds = dataset();
+    let model = Trainer::new(Arc::clone(&ds), RunConfig::test_tiny()).into_model();
+    let cfg = ServeConfig {
+        max_batch: 4,
+        queue_capacity: 8,
+        fanout_ladder: vec![vec![5, 5], vec![2, 2]],
+        pressure_occupancy: 0.5,
+        degrade_after: 2,
+        restore_after: 3,
+        breaker_open_after: 3,
+        breaker_cooldown_ns: 1_000_000,
+        breaker_probes: 2,
+        seed,
+        ..ServeConfig::default()
+    };
+    ServerCore::new(model, ds, cfg, Trace::new(Clock::virtual_manual()))
+}
+
+fn serve_pool_intact(core: &ServerCore) {
+    let (avail, cap) = core.pool_available();
+    assert_eq!(avail, cap, "a serving staging slot leaked");
+}
+
+const SERVE_BUDGET: u64 = 1_000_000_000; // generous: never expires here
+
+fn serve_submit(core: &mut ServerCore, id: u64) -> Result<(), Rejected> {
+    let deadline = core.now_ns() + SERVE_BUDGET;
+    core.submit(Request { id, node: (id % 64) as u32, deadline_ns: deadline })
+}
+
+#[test]
+fn serving_queue_fault_sheds_typed_overload_and_serving_continues() {
+    let _s = serial();
+    let mut core = serve_core(31);
+    // Request id 1's admission hits a forced queue fault: shed as typed
+    // Overload; neighbors are untouched.
+    let _guard = fault::scoped(FaultPlan::new(31).drop_at(sites::SERVE_QUEUE, 1));
+    assert!(serve_submit(&mut core, 0).is_ok());
+    assert_eq!(serve_submit(&mut core, 1), Err(Rejected::Overload));
+    assert!(serve_submit(&mut core, 2).is_ok());
+    let out = core.step();
+    assert_eq!(out.responses.len(), 2);
+    assert!(out.responses.iter().all(|(_, r)| r.is_done()));
+    let snap = core.trace().snapshot();
+    assert_eq!(snap.metrics.counter(names::counters::SERVE_ADMITTED), 2);
+    assert_eq!(snap.metrics.counter(names::counters::SERVE_SHED_OVERLOAD), 1);
+    serve_pool_intact(&core);
+}
+
+#[test]
+fn serving_breaker_reopens_on_probe_failure_then_closes_when_healed() {
+    let _s = serial();
+    let mut core = serve_core(32);
+    let vc = Arc::clone(core.clock().as_virtual().unwrap());
+    // Budget 4: three failures trip the breaker, the half-open probe fails
+    // once more (re-opening it), then the pipeline heals for good.
+    let _guard = fault::scoped(FaultPlan::new(32).with_spec(FaultSpec {
+        site: sites::SERVE_GEMM.to_string(),
+        kind: FaultKind::Panic,
+        trigger: Trigger::Always,
+        budget: Some(4),
+    }));
+    for id in 0..3 {
+        assert!(serve_submit(&mut core, id).is_ok());
+        let out = core.step();
+        assert_eq!(out.responses, vec![(id, Response::Failed)]);
+        serve_pool_intact(&core);
+    }
+    // Open: shed instantly.
+    assert_eq!(serve_submit(&mut core, 3), Err(Rejected::Overload));
+    // First probe after cooldown still crashes → re-open.
+    vc.advance(1_000_000);
+    assert!(serve_submit(&mut core, 4).is_ok());
+    assert_eq!(core.step().responses, vec![(4, Response::Failed)]);
+    assert_eq!(serve_submit(&mut core, 5), Err(Rejected::Overload));
+    // Healed: two probes close the breaker; full batches flow again.
+    vc.advance(1_000_000);
+    for id in [6, 7] {
+        assert!(serve_submit(&mut core, id).is_ok());
+        let out = core.step();
+        assert!(out.responses[0].1.is_done(), "probe must succeed: {out:?}");
+    }
+    let snap = core.trace().snapshot();
+    assert_eq!(snap.metrics.counter(names::counters::SERVE_BREAKER_OPENS), 2);
+    assert_eq!(snap.count(names::events::SERVE_BREAKER_OPEN), 2);
+    assert_eq!(snap.count(names::events::SERVE_BREAKER_HALF_OPEN), 2);
+    assert_eq!(snap.count(names::events::SERVE_BREAKER_CLOSE), 1);
+    assert_eq!(snap.metrics.counter(names::counters::SERVE_SHED_BREAKER), 2);
+    serve_pool_intact(&core);
+}
+
+#[test]
+fn serving_degrades_under_sustained_pressure_and_restores_with_hysteresis() {
+    let _s = serial();
+    let mut core = serve_core(33);
+    // Every micro-batch costs 20 µs of injected GEMM delay; the script
+    // refills the queue to capacity before each step, so every batch forms
+    // under pressure until the load stops.
+    let _guard = fault::scoped(FaultPlan::new(33).with_spec(FaultSpec {
+        site: sites::SERVE_GEMM.to_string(),
+        kind: FaultKind::Delay(Duration::from_micros(20)),
+        trigger: Trigger::Always,
+        budget: None,
+    }));
+    let mut next_id = 0u64;
+    let mut degraded_done = 0usize;
+    for _ in 0..3 {
+        while core.pending() < 8 {
+            serve_submit(&mut core, next_id).unwrap();
+            next_id += 1;
+        }
+        let out = core.step();
+        degraded_done += out
+            .responses
+            .iter()
+            .filter(|(_, r)| matches!(r, Response::Done { fanout_level, .. } if *fanout_level > 0))
+            .count();
+    }
+    assert_eq!(core.fanout_level(), 1, "two pressured batches must degrade");
+    // Calm traffic: one request per batch; three calm batches restore.
+    for _ in 0..4 {
+        while core.pending() > 0 {
+            core.step();
+        }
+        serve_submit(&mut core, next_id).unwrap();
+        next_id += 1;
+        let out = core.step();
+        degraded_done += out
+            .responses
+            .iter()
+            .filter(|(_, r)| matches!(r, Response::Done { fanout_level, .. } if *fanout_level > 0))
+            .count();
+    }
+    assert_eq!(core.fanout_level(), 0, "calm must restore full fidelity");
+    assert!(degraded_done > 0, "some answers must have been served degraded");
+    let snap = core.trace().snapshot();
+    assert_eq!(snap.metrics.counter(names::counters::SERVE_DEGRADES), 1);
+    assert_eq!(snap.metrics.counter(names::counters::SERVE_RESTORES), 1);
+    assert_eq!(snap.count(names::events::SERVE_DEGRADE), 1);
+    assert_eq!(snap.count(names::events::SERVE_RESTORE), 1);
+    serve_pool_intact(&core);
 }
