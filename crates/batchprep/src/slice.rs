@@ -21,6 +21,7 @@ use salient_tensor::Dtype;
 /// # Panics
 ///
 /// Panics if the output buffers have the wrong size or dtype.
+// lint: entry(panic-reachability)
 pub fn slice_batch(
     dataset: &Dataset,
     mfg: &MessageFlowGraph,
@@ -28,6 +29,7 @@ pub fn slice_batch(
     out_labels: &mut [u32],
 ) {
     dataset.features.slice_into(&mfg.node_ids, out_features);
+    // lint: allow(panic-reachability, the MFG builder guarantees batch_size <= node_ids.len(); output sizes are asserted on entry)
     let batch = &mfg.node_ids[..mfg.batch_size()];
     slice_labels(&dataset.labels, batch, out_labels);
 }

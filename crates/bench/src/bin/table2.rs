@@ -9,7 +9,7 @@ use salient_bench::{arg_f64, fmt_s, fmt_x, render_table};
 use salient_graph::{DatasetConfig, DatasetStats};
 use salient_sampler::{FastSampler, PygSampler};
 use salient_sim::{expected_batch, CostModel, Impl};
-use salient_trace::{Clock, Trace};
+use salient_trace::{names, Clock, Trace};
 
 fn main() {
     let model = CostModel::paper_hardware();
@@ -88,7 +88,7 @@ fn main() {
     let mut pyg = PygSampler::new(7);
     let mut pyg_edges = 0usize;
     {
-        let _span = trace.span("bench.sample_pyg");
+        let _span = trace.span(names::spans::BENCH_SAMPLE_PYG);
         for _ in 0..reps {
             pyg_edges += pyg.sample(&ds.graph, &batch, &fanouts).num_edges();
         }
@@ -97,14 +97,14 @@ fn main() {
     let mut fast = FastSampler::new(7);
     let mut fast_edges = 0usize;
     {
-        let _span = trace.span("bench.sample_fast");
+        let _span = trace.span(names::spans::BENCH_SAMPLE_FAST);
         for _ in 0..reps {
             fast_edges += fast.sample(&ds.graph, &batch, &fanouts).num_edges();
         }
     }
     let snap = trace.snapshot();
-    let pyg_t = snap.sum_ns("bench.sample_pyg") as f64 / 1e9;
-    let fast_t = snap.sum_ns("bench.sample_fast") as f64 / 1e9;
+    let pyg_t = snap.sum_ns(names::spans::BENCH_SAMPLE_PYG) as f64 / 1e9;
+    let fast_t = snap.sum_ns(names::spans::BENCH_SAMPLE_FAST) as f64 / 1e9;
 
     println!("Real single-thread sampler measurement (products-sim, scale {scale}):");
     println!(

@@ -117,7 +117,6 @@ pub fn train_ddp_traced(
         let handle = std::thread::Builder::new()
             .name(format!("salient-ddp-rank-{rank}"))
             .spawn(move || rank_loop(rank, ranks, comm, dataset, config, trace))
-            // lint: allow(panic-freedom, thread-spawn failure is unrecoverable resource exhaustion at run start)
             .expect("failed to spawn ddp rank");
         handles.push(handle);
     }

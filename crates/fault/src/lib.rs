@@ -499,7 +499,11 @@ pub fn point(site: &str, occ: u64) -> FaultAction {
 
 #[cold]
 fn point_slow(site: &str, occ: u64) -> FaultAction {
-    let guard = PLAN.lock().unwrap();
+    // Poison recovery: the lock guards a read-mostly `Option<Plan>` whose
+    // critical sections are plain reads/assignments, so a poisoned guard
+    // carries no broken invariant — and decision points sit on hot paths
+    // that must stay panic-free.
+    let guard = PLAN.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     match guard.as_ref() {
         Some(plan) => plan.decide(site, occ),
         None => FaultAction::Proceed,

@@ -112,6 +112,7 @@ impl CsrGraph {
     /// Panics if `v` is out of range.
     pub fn degree(&self, v: NodeId) -> usize {
         let v = v as usize;
+        // lint: allow(panic-reachability, the CSR contract: indptr has num_nodes+1 entries and node ids are validated < num_nodes at build)
         self.indptr[v + 1] - self.indptr[v]
     }
 

@@ -93,6 +93,7 @@ impl FeatureSlab {
     /// Panics if the range is out of bounds.
     pub fn view(&self, start: usize, len: usize) -> FeatureRows<'_> {
         match self {
+            // lint: allow(panic-reachability, row ranges derive from node ids validated against num_nodes when the dataset is built)
             FeatureSlab::Half(v) => FeatureRows::Half(&v[start..start + len]),
             FeatureSlab::Full(v) => FeatureRows::Full(&v[start..start + len]),
         }
@@ -386,6 +387,7 @@ impl FeatureMatrix {
                     dst[i * dim..(i + 1) * dim].copy_from_slice(&src[v * dim..(v + 1) * dim]);
                 }
             }
+            // lint: allow(panic-reachability, documented dtype contract (# Panics); a mismatch is a wiring bug caught on the first batch, not a runtime fault)
             _ => panic!("slice output dtype must match the feature store"),
         }
     }

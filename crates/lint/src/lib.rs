@@ -16,21 +16,34 @@
 //! |------|-----------|
 //! | `unsafe-audit` | every `unsafe` block/fn/impl carries a `// SAFETY:` comment (or `# Safety` doc) |
 //! | `panic-freedom` | no `.unwrap()` / `.expect()` / `panic!` / `todo!` / `unimplemented!` in hot-path modules |
+//! | `panic-reachability` | no panicking construct (incl. `[i]` indexing) in any fn transitively reachable from a `// lint: entry(panic-reachability)` declaration, via the workspace call graph |
+//! | `name-registry` | every trace/fault name at a call site is a `trace::names` / `fault::sites` constant; every constant is used and listed in its module's `ALL` slice |
+//! | `alloc-freedom` | no allocation (`Vec::new`, `vec!`, `.push`, `.clone`, `format!`, …) inside a `// lint: region(no_alloc)` block |
 //! | `determinism` | no `Instant::now` / `SystemTime::now` / `thread::sleep` / `process::exit` outside sim, bench, and CLI code |
 //! | `lock-discipline` | no lock-order cycles; every `Ordering::Relaxed` is justified by a comment |
 //! | `deps` | every manifest dependency is `path` or `workspace = true` (offline-buildable) |
-//! | `suppression` | every `// lint: allow(rule, reason)` carries a non-empty reason |
+//! | `suppression` | every `// lint: allow(rule, reason)` carries a non-empty reason, still silences something, and every `entry`/`region` annotation is well-formed |
+//!
+//! ## Semantic substrate
+//!
+//! [`parser`] lifts the token stream to items (modules, `impl` blocks,
+//! `fn`s with their call expressions) and [`callgraph`] links them into a
+//! cross-crate call graph with declared hot-path entry points — the
+//! substrate for `panic-reachability` and the `salient-lint graph` report.
 //!
 //! ## Suppressions
 //!
 //! `// lint: allow(rule-name, reason)` on the offending line or the line
 //! above silences one rule there; the reason string is mandatory and is
 //! itself linted. Suppressed findings still appear in the report (marked),
-//! so the suppression inventory stays auditable.
+//! so the suppression inventory stays auditable — and a suppression that
+//! stops matching any finding becomes a finding itself.
 
+pub mod callgraph;
 pub mod deps;
 pub mod diag;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 pub mod source;
 pub mod workspace;

@@ -4,13 +4,16 @@
 //! salient-lint check [--format json] [--root DIR]    # all rules (default)
 //! salient-lint deps  [--format json] [--root DIR]    # manifest guard only
 //! salient-lint unsafe-inventory [--format json] [--root DIR]
+//! salient-lint graph [--root DIR]                    # call-graph JSON
 //! ```
 //!
 //! Exit codes: 0 clean, 1 unsuppressed findings, 2 usage or I/O error.
 
+use salient_lint::callgraph::CallGraph;
 use salient_lint::diag::{json_escape, render_json};
 use salient_lint::workspace;
 use std::path::PathBuf;
+use std::time::Instant;
 
 // CLI entry point: process::exit is the whitelisted way out.
 struct Opts {
@@ -36,7 +39,7 @@ fn parse_args() -> Result<Opts, String> {
             },
             "-h" | "--help" => {
                 println!(
-                    "usage: salient-lint [check|deps|unsafe-inventory] [--format json|text] [--root DIR]"
+                    "usage: salient-lint [check|deps|unsafe-inventory|graph] [--format json|text] [--root DIR]"
                 );
                 std::process::exit(0);
             }
@@ -70,6 +73,7 @@ fn main() {
 
     match opts.cmd.as_str() {
         "check" => {
+            let start = Instant::now();
             let report = match workspace::run(&root) {
                 Ok(r) => r,
                 Err(e) => {
@@ -77,6 +81,7 @@ fn main() {
                     std::process::exit(2);
                 }
             };
+            let elapsed_ms = start.elapsed().as_millis();
             let unsuppressed = report.unsuppressed_count();
             if opts.json {
                 println!("{}", render_json(&report.diagnostics));
@@ -84,16 +89,41 @@ fn main() {
                 for d in &report.diagnostics {
                     println!("{}", d.render_text());
                 }
+                for (rule, total, open) in report.counts_by_rule() {
+                    println!(
+                        "  {rule:<20} {total:>3} finding(s), {open} unsuppressed"
+                    );
+                }
                 let suppressed = report.diagnostics.len() - unsuppressed;
                 println!(
-                    "salient-lint: {} file(s), {} finding(s) ({} suppressed), {} unsafe site(s)",
+                    "salient-lint: {} file(s), {} finding(s) ({} suppressed), {} unsafe site(s) in {} ms",
                     report.files_scanned,
                     report.diagnostics.len(),
                     suppressed,
-                    report.unsafe_inventory.len()
+                    report.unsafe_inventory.len(),
+                    elapsed_ms
                 );
             }
             std::process::exit(if unsuppressed > 0 { 1 } else { 0 });
+        }
+        "graph" => {
+            let (_files, parsed) = match workspace::analyze(&root) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("salient-lint: {e}");
+                    std::process::exit(2);
+                }
+            };
+            let graph = CallGraph::build(&parsed);
+            let json = salient_lint::callgraph::render_json(&graph, &parsed);
+            // The dump is a CI artifact: self-validate it through the
+            // in-repo JSON parser before anything downstream consumes it.
+            if let Err(e) = salient_trace::json::parse(&json) {
+                eprintln!("salient-lint graph: internal error — invalid JSON: {e}");
+                std::process::exit(2);
+            }
+            println!("{json}");
+            std::process::exit(0);
         }
         "deps" => {
             let diags = match workspace::run_deps(&root) {
@@ -149,7 +179,9 @@ fn main() {
             std::process::exit(0);
         }
         other => {
-            eprintln!("salient-lint: unknown command `{other}` (try check|deps|unsafe-inventory)");
+            eprintln!(
+                "salient-lint: unknown command `{other}` (try check|deps|unsafe-inventory|graph)"
+            );
             std::process::exit(2);
         }
     }

@@ -4,19 +4,31 @@
 //! [`Diagnostic`]s through [`emit`], which applies inline
 //! `// lint: allow(rule, reason)` suppressions uniformly.
 
+pub mod alloc_freedom;
 pub mod determinism;
 pub mod half_conversion;
 pub mod lock_discipline;
+pub mod name_registry;
 pub mod panic_freedom;
+pub mod panic_reachability;
 pub mod unsafe_audit;
 
 use crate::diag::Diagnostic;
+use crate::parser::ParsedFile;
 use crate::source::SourceFile;
 
 /// Rule id: `unsafe` without a `// SAFETY:` justification.
 pub const UNSAFE_AUDIT: &str = "unsafe-audit";
 /// Rule id: panicking constructs in designated hot-path modules.
 pub const PANIC_FREEDOM: &str = "panic-freedom";
+/// Rule id: panicking constructs transitively reachable from a declared
+/// `// lint: entry(panic-reachability)` hot-path entry point.
+pub const PANIC_REACHABILITY: &str = "panic-reachability";
+/// Rule id: stringly-typed trace/fault names, dead registry constants,
+/// incomplete exporter `ALL` lists.
+pub const NAME_REGISTRY: &str = "name-registry";
+/// Rule id: allocation inside a `// lint: region(no_alloc)` block.
+pub const ALLOC_FREEDOM: &str = "alloc-freedom";
 /// Rule id: wall-clock / sleep / exit outside the whitelist.
 pub const DETERMINISM: &str = "determinism";
 /// Rule id: lock-order cycles and unjustified `Ordering::Relaxed`.
@@ -25,8 +37,23 @@ pub const LOCK_DISCIPLINE: &str = "lock-discipline";
 pub const HALF_CONVERSION: &str = "half-conversion";
 /// Rule id: non-path dependencies in a manifest.
 pub const DEPS: &str = "deps";
-/// Rule id: malformed suppressions (missing reason). Not suppressible.
+/// Rule id: malformed, unused, or unattached lint annotations. Not
+/// suppressible.
 pub const SUPPRESSION: &str = "suppression";
+
+/// Every rule id, in report order (the per-rule count table).
+pub const ALL_RULES: &[&str] = &[
+    UNSAFE_AUDIT,
+    PANIC_FREEDOM,
+    PANIC_REACHABILITY,
+    NAME_REGISTRY,
+    ALLOC_FREEDOM,
+    DETERMINISM,
+    LOCK_DISCIPLINE,
+    HALF_CONVERSION,
+    DEPS,
+    SUPPRESSION,
+];
 
 /// Builds a diagnostic at `line:col`, resolving suppressions.
 pub fn emit(
@@ -63,6 +90,79 @@ pub fn check_suppression_hygiene(f: &SourceFile, out: &mut Vec<Diagnostic>) {
                     s.rule, s.rule
                 ),
                 snippet: f.line(s.line).trim().to_string(),
+                suppressed: None,
+            });
+        }
+    }
+}
+
+/// Reports suppressions that no longer silence anything. Must run after
+/// **every** other rule (including the cross-file passes), because rules
+/// mark a suppression used when they resolve a diagnostic against it.
+pub fn check_unused_suppressions(f: &SourceFile, out: &mut Vec<Diagnostic>) {
+    for s in &f.suppressions {
+        if !s.used.get() {
+            out.push(Diagnostic {
+                rule: SUPPRESSION,
+                file: f.path.clone(),
+                line: s.line,
+                col: 1,
+                message: format!(
+                    "suppression for `{}` no longer silences any finding — delete it",
+                    s.rule
+                ),
+                snippet: f.line(s.line).trim().to_string(),
+                suppressed: None,
+            });
+        }
+    }
+}
+
+/// Reports malformed lint annotations: an `// lint: entry(...)` naming an
+/// unknown rule, or a `// lint: region(...)` that attaches to no block or
+/// names an unknown region kind.
+pub fn check_annotations(f: &SourceFile, pf: &ParsedFile, out: &mut Vec<Diagnostic>) {
+    for e in &pf.entries {
+        if e.rule != PANIC_REACHABILITY {
+            out.push(Diagnostic {
+                rule: SUPPRESSION,
+                file: f.path.clone(),
+                line: e.line,
+                col: 1,
+                message: format!(
+                    "`lint: entry({})` names an unknown rule — only `panic-reachability` \
+                     takes entry declarations",
+                    e.rule
+                ),
+                snippet: f.line(e.line).trim().to_string(),
+                suppressed: None,
+            });
+        }
+    }
+    for r in &pf.regions {
+        if r.kind != "no_alloc" {
+            out.push(Diagnostic {
+                rule: SUPPRESSION,
+                file: f.path.clone(),
+                line: r.line,
+                col: 1,
+                message: format!(
+                    "`lint: region({})` names an unknown region kind — only `no_alloc` exists",
+                    r.kind
+                ),
+                snippet: f.line(r.line).trim().to_string(),
+                suppressed: None,
+            });
+        } else if r.body.is_none() {
+            out.push(Diagnostic {
+                rule: SUPPRESSION,
+                file: f.path.clone(),
+                line: r.line,
+                col: 1,
+                message: "`lint: region(no_alloc)` attaches to no block — put it on or \
+                          directly above the `{` it governs"
+                    .to_string(),
+                snippet: f.line(r.line).trim().to_string(),
                 suppressed: None,
             });
         }

@@ -1,0 +1,279 @@
+//! **name-registry**: trace and fault names are a closed, declared
+//! vocabulary. Three checks keep `trace::names`, `fault::sites`, the
+//! exporter, and every call site from drifting apart:
+//!
+//! 1. **No stringly-typed names** — a string literal passed directly to a
+//!    span/counter/gauge/histogram/event or fault API must instead be a
+//!    constant from `crates/trace/src/names.rs` or `fault::sites`. When
+//!    the literal's value is already registered, the finding names the
+//!    constant to use.
+//! 2. **No dead constants** — every registered constant must be
+//!    referenced outside its declaring file (otherwise it is registry
+//!    rot and gets deleted).
+//! 3. **Complete `ALL` lists** — every constant in a registry module
+//!    must also appear in that module's `ALL` slice (the exporter's
+//!    known-name list), i.e. at least twice in the declaring file.
+//!
+//! The `trace`, `fault`, and `lint` crates themselves are exempt from
+//! check 1: their unit tests and rule tables exercise the machinery with
+//! deliberately synthetic names.
+
+use super::{emit, NAME_REGISTRY};
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::parser::ParsedFile;
+use crate::source::SourceFile;
+use std::collections::BTreeMap;
+
+/// File that declares the trace-name registry.
+const NAMES_FILE: &str = "crates/trace/src/names.rs";
+/// File whose `sites` module declares the fault-site registry.
+const FAULT_FILE: &str = "crates/fault/src/lib.rs";
+
+/// APIs whose first argument is a registered name.
+const NAME_APIS: &[&str] = &[
+    // trace::Trace / Registry
+    "span", "span_batch", "record_span", "instant", "counter", "gauge",
+    "histogram", "add", "observe",
+    // fault injection + plan builders
+    "point", "decide", "fire", "panic_at", "delay_at", "drop_at", "prob",
+];
+
+/// Crates whose internals may use raw name strings (they implement or
+/// test the machinery itself).
+const EXEMPT_PREFIXES: &[&str] = &["crates/trace/", "crates/fault/", "crates/lint/"];
+
+struct RegConst {
+    name: String,
+    value: String,
+    /// `names::spans::EPOCH`-style display path for fix suggestions.
+    display: String,
+    file: usize,
+    line: usize,
+}
+
+/// Runs all three checks workspace-wide.
+pub fn run(files: &[SourceFile], parsed: &[ParsedFile], out: &mut Vec<Diagnostic>) {
+    // -- Collect the registry -------------------------------------------
+    let mut registry: Vec<RegConst> = Vec::new();
+    for (fi, pf) in parsed.iter().enumerate() {
+        if pf.path == NAMES_FILE {
+            for c in &pf.consts {
+                let module = c.module.join("::");
+                registry.push(RegConst {
+                    name: c.name.clone(),
+                    value: c.value.clone(),
+                    display: if module.is_empty() {
+                        format!("names::{}", c.name)
+                    } else {
+                        format!("names::{}::{}", module, c.name)
+                    },
+                    file: fi,
+                    line: c.line,
+                });
+            }
+        } else if pf.path == FAULT_FILE {
+            for c in &pf.consts {
+                if c.module.last().map(|m| m.as_str()) == Some("sites") {
+                    registry.push(RegConst {
+                        name: c.name.clone(),
+                        value: c.value.clone(),
+                        display: format!("fault::sites::{}", c.name),
+                        file: fi,
+                        line: c.line,
+                    });
+                }
+            }
+        }
+    }
+    let by_value: BTreeMap<&str, &RegConst> =
+        registry.iter().map(|r| (r.value.as_str(), r)).collect();
+
+    // -- Check 1: stringly-typed names at API call sites ----------------
+    for f in files {
+        if EXEMPT_PREFIXES.iter().any(|p| f.path.starts_with(p)) {
+            continue;
+        }
+        let toks = &f.lexed.tokens;
+        for i in 0..toks.len() {
+            let t = &toks[i];
+            if t.kind != TokKind::Ident || !NAME_APIS.contains(&t.text.as_str()) {
+                continue;
+            }
+            let (Some(paren), Some(arg)) = (toks.get(i + 1), toks.get(i + 2)) else {
+                continue;
+            };
+            if !paren.is_punct('(') || arg.kind != TokKind::Literal || !arg.text.starts_with('"') {
+                continue;
+            }
+            let value = arg.text.trim_matches('"');
+            let hint = match by_value.get(value) {
+                Some(r) => format!("use `{}`", r.display),
+                None => "declare it in trace::names / fault::sites and use the constant"
+                    .to_string(),
+            };
+            emit(
+                f,
+                NAME_REGISTRY,
+                arg.line,
+                arg.col,
+                format!(
+                    "stringly-typed name \"{}\" passed to `{}`: {}",
+                    value, t.text, hint
+                ),
+                out,
+            );
+        }
+    }
+
+    // -- Checks 2 + 3: dead constants, incomplete ALL lists -------------
+    // Which files mention each registry identifier, and how often the
+    // declaring file itself repeats it (decl + ALL-slice membership).
+    for r in &registry {
+        let mut used_elsewhere = false;
+        let mut own_file_count = 0usize;
+        for (fi, f) in files.iter().enumerate() {
+            let hits = f
+                .lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokKind::Ident && t.text == r.name)
+                .count();
+            if fi == r.file {
+                own_file_count = hits;
+            } else if hits > 0 {
+                used_elsewhere = true;
+            }
+        }
+        let f = &files[r.file];
+        if !used_elsewhere {
+            emit(
+                f,
+                NAME_REGISTRY,
+                r.line,
+                1,
+                format!(
+                    "`{}` (\"{}\") is declared but never used outside the registry — \
+                     delete it or instrument the site it was meant for",
+                    r.display, r.value
+                ),
+                out,
+            );
+        }
+        if own_file_count < 2 {
+            emit(
+                f,
+                NAME_REGISTRY,
+                r.line,
+                1,
+                format!(
+                    "`{}` is missing from its module's `ALL` slice — the exporter's \
+                     known-name list must stay complete",
+                    r.display
+                ),
+                out,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+    use crate::source::{FileClass, SourceFile};
+
+    fn check(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let sfs: Vec<SourceFile> = files
+            .iter()
+            .map(|(p, s)| SourceFile::parse((*p).into(), s, FileClass::default()))
+            .collect();
+        let parsed: Vec<ParsedFile> = sfs.iter().map(parse_file).collect();
+        let mut out = Vec::new();
+        run(&sfs, &parsed, &mut out);
+        out
+    }
+
+    const NAMES: &str = "pub mod spans {\n    pub const EPOCH: &str = \"epoch\";\n    pub const ALL: &[&str] = &[EPOCH];\n}\n";
+
+    #[test]
+    fn string_literal_at_api_site_suggests_the_constant() {
+        let out = check(&[
+            (NAMES_FILE, NAMES),
+            ("crates/core/src/train.rs", "fn f(t: &Trace) { t.span(names::spans::EPOCH); }\n"),
+            ("examples/demo.rs", "fn g(t: &Trace) { t.span(\"epoch\"); }\n"),
+        ]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].file.contains("demo"));
+        assert!(out[0].message.contains("names::spans::EPOCH"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn unregistered_literal_is_flagged_too() {
+        let out = check(&[
+            (NAMES_FILE, NAMES),
+            ("crates/core/src/train.rs", "fn f(t: &Trace) { t.span(names::spans::EPOCH); t.counter(\"mystery\"); }\n"),
+        ]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("declare it"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn dead_constant_is_flagged() {
+        let out = check(&[(
+            NAMES_FILE,
+            "pub mod spans {\n    pub const UNUSED: &str = \"nobody\";\n    pub const ALL: &[&str] = &[UNUSED];\n}\n",
+        )]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("never used"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn constant_missing_from_all_slice_is_flagged() {
+        let out = check(&[
+            (
+                NAMES_FILE,
+                "pub mod spans {\n    pub const EPOCH: &str = \"epoch\";\n    pub const ALL: &[&str] = &[];\n}\n",
+            ),
+            ("crates/core/src/train.rs", "fn f(t: &Trace) { t.span(names::spans::EPOCH); }\n"),
+        ]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("ALL"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn trace_and_fault_internals_are_exempt_from_literals() {
+        let out = check(&[
+            (NAMES_FILE, NAMES),
+            ("crates/core/src/x.rs", "fn f(t: &Trace) { t.span(names::spans::EPOCH); }\n"),
+            ("crates/trace/src/span.rs", "fn t(tr: &Trace) { tr.span(\"synthetic\"); }\n"),
+            ("crates/fault/src/tests.rs", "fn t() { point(\"synthetic\", 0); }\n"),
+        ]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn fault_sites_register_from_the_sites_module() {
+        let out = check(&[
+            (NAMES_FILE, NAMES),
+            (
+                FAULT_FILE,
+                "pub mod sites {\n    pub const PREP: &str = \"prep\";\n    pub const ALL: &[&str] = &[PREP];\n}\n",
+            ),
+            ("crates/core/src/x.rs", "fn f(t: &Trace) { t.span(names::spans::EPOCH); fault::point(fault::sites::PREP, 0); }\n"),
+        ]);
+        assert!(out.is_empty(), "{out:?}");
+        let bad = check(&[
+            (NAMES_FILE, NAMES),
+            (
+                FAULT_FILE,
+                "pub mod sites {\n    pub const PREP: &str = \"prep\";\n    pub const ALL: &[&str] = &[PREP];\n}\n",
+            ),
+            // The constant stays referenced at a second site, so the only
+            // finding is the stringly-typed literal — not a dead constant.
+            ("crates/core/src/x.rs", "fn f(t: &Trace) { t.span(names::spans::EPOCH); fault::point(\"prep\", 0); fault::decide(fault::sites::PREP); }\n"),
+        ]);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].message.contains("fault::sites::PREP"), "{}", bad[0].message);
+    }
+}

@@ -1,0 +1,205 @@
+//! **panic-reachability**: from the declared hot-path entry points
+//! (`// lint: entry(panic-reachability)` on the sampler step, the tensor
+//! GEMM/gather/scatter kernels, `slice_batch`, and the serve core stage
+//! fns), no transitively reachable function may contain a panicking
+//! construct. This replaces the old whitelist-of-files approximation:
+//! `panic-freedom` still polices the hot *files* lexically, while this
+//! rule follows the call graph into `core`, `trace`, `graph`, and
+//! `fault`, catching panics hidden one call away.
+//!
+//! Two site classes:
+//! - `.unwrap()` / `.expect(` / `panic!` / `todo!` / `unimplemented!` —
+//!   reported per site with the entry→fn call path as evidence. Sites in
+//!   files already under `panic-freedom` are skipped (one rule per site).
+//! - `[i]` slice/array indexing — reported as **one aggregated finding
+//!   per file** (count + first site) so the audit burden is one reasoned
+//!   suppression per file, not per bracket; the reason documents the
+//!   bounds invariant covering the file's reachable kernels.
+
+use super::{emit, PANIC_REACHABILITY};
+use crate::callgraph::CallGraph;
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::parser::ParsedFile;
+use crate::source::SourceFile;
+
+/// Runs the rule workspace-wide.
+pub fn run(
+    files: &[SourceFile],
+    parsed: &[ParsedFile],
+    graph: &CallGraph,
+    out: &mut Vec<Diagnostic>,
+) {
+    let reach = graph.reachability();
+    // Group reachable fns by file, preserving node ids for evidence.
+    let mut per_file: Vec<Vec<usize>> = vec![Vec::new(); parsed.len()];
+    for (n, info) in graph.nodes.iter().enumerate() {
+        if reach.from[n].is_some() && !parsed[info.file].fns[info.item].is_test {
+            per_file[info.file].push(n);
+        }
+    }
+
+    for (fi, nodes) in per_file.iter().enumerate() {
+        if nodes.is_empty() {
+            continue;
+        }
+        let f = &files[fi];
+        let pf = &parsed[fi];
+        // (line, col, count, fn node) of indexing sites, aggregated later.
+        let mut index_sites: Vec<(usize, usize, usize)> = Vec::new();
+        for &n in nodes {
+            let item = &pf.fns[graph.nodes[n].item];
+            let Some((open, close)) = item.body else { continue };
+            let toks = &f.lexed.tokens;
+            for i in open..=close.min(toks.len().saturating_sub(1)) {
+                let t = &toks[i];
+                // `.unwrap()` / `.expect(`
+                if t.is_punct('.') {
+                    if let (Some(name), Some(paren)) = (toks.get(i + 1), toks.get(i + 2)) {
+                        if paren.is_punct('(')
+                            && (name.is_ident("unwrap") || name.is_ident("expect"))
+                            && !f.class.hot_path
+                        {
+                            emit(
+                                f,
+                                PANIC_REACHABILITY,
+                                name.line,
+                                name.col,
+                                format!(
+                                    "`.{}()` reachable from a hot-path entry: {}",
+                                    name.text,
+                                    graph.path_display(&reach, n)
+                                ),
+                                out,
+                            );
+                        }
+                    }
+                }
+                // `panic!` / `todo!` / `unimplemented!`
+                if !f.class.hot_path
+                    && toks.get(i + 1).map(|x| x.is_punct('!')).unwrap_or(false)
+                    && (t.is_ident("panic") || t.is_ident("todo") || t.is_ident("unimplemented"))
+                {
+                    emit(
+                        f,
+                        PANIC_REACHABILITY,
+                        t.line,
+                        t.col,
+                        format!(
+                            "`{}!` reachable from a hot-path entry: {}",
+                            t.text,
+                            graph.path_display(&reach, n)
+                        ),
+                        out,
+                    );
+                }
+                // Postfix `[` indexing: the token before the bracket is an
+                // expression tail (`ident[`, `)[`, `][`). Attribute `#[`,
+                // macro `ident![`, and type/array positions (`: [u8;4]`,
+                // `= [0; n]`, `&[…]`) never match this shape.
+                if t.is_punct('[') && i > open {
+                    let prev = &toks[i - 1];
+                    let is_expr_tail = match prev.kind {
+                        TokKind::Ident => !is_keyword(&prev.text),
+                        TokKind::Punct(')') | TokKind::Punct(']') => true,
+                        _ => false,
+                    };
+                    if is_expr_tail {
+                        index_sites.push((t.line, t.col, n));
+                    }
+                }
+            }
+        }
+        index_sites.sort_unstable();
+        if let Some(&(line, col, n)) = index_sites.first() {
+            emit(
+                f,
+                PANIC_REACHABILITY,
+                line,
+                col,
+                format!(
+                    "{} slice-indexing site(s) inside entry-reachable fns of this file \
+                     (first here; {}): every index must be covered by a checked invariant \
+                     — use `.get()`/iterators or suppress with the bounds argument",
+                    index_sites.len(),
+                    graph.path_display(&reach, n)
+                ),
+                out,
+            );
+        }
+    }
+}
+
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "if" | "else" | "match" | "while" | "for" | "loop" | "return" | "in"
+            | "as" | "let" | "mut" | "ref" | "move" | "break" | "continue"
+            | "unsafe" | "where" | "impl" | "dyn" | "fn" | "use" | "pub"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use crate::parser::parse_file;
+    use crate::source::{FileClass, SourceFile};
+
+    fn check(files: &[(&str, &str)]) -> Vec<Diagnostic> {
+        let sfs: Vec<SourceFile> = files
+            .iter()
+            .map(|(p, s)| SourceFile::parse((*p).into(), s, FileClass::default()))
+            .collect();
+        let parsed: Vec<ParsedFile> = sfs.iter().map(parse_file).collect();
+        let graph = CallGraph::build(&parsed);
+        let mut out = Vec::new();
+        run(&sfs, &parsed, &graph, &mut out);
+        out
+    }
+
+    #[test]
+    fn panic_one_call_deep_is_found_with_a_path() {
+        let out = check(&[
+            (
+                "crates/a/src/lib.rs",
+                "// lint: entry(panic-reachability)\npub fn entry() { b::helper(); }\n",
+            ),
+            ("crates/b/src/lib.rs", "pub fn helper() { x.unwrap(); }\n"),
+        ]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("a::entry -> b::helper"), "{}", out[0].message);
+    }
+
+    #[test]
+    fn unreachable_panics_are_ignored() {
+        let out = check(&[(
+            "crates/a/src/lib.rs",
+            "// lint: entry(panic-reachability)\npub fn entry() {}\npub fn cold() { x.unwrap(); panic!(); }\n",
+        )]);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn indexing_is_aggregated_per_file() {
+        let out = check(&[(
+            "crates/a/src/lib.rs",
+            "// lint: entry(panic-reachability)\npub fn entry(v: &[u32], i: usize) -> u32 {\n    let a = v[i];\n    let b = v[i + 1];\n    a + b\n}\n",
+        )]);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("2 slice-indexing site(s)"), "{}", out[0].message);
+        assert_eq!(out[0].line, 3);
+    }
+
+    #[test]
+    fn attributes_and_array_types_are_not_indexing() {
+        let out = check(&[(
+            "crates/a/src/lib.rs",
+            "// lint: entry(panic-reachability)\n#[inline]\npub fn entry() {\n    let _a: [u8; 4] = [0; 4];\n    let _v = vec![1, 2];\n    let _s = &[1u8][..0];\n}\n",
+        )]);
+        // `&[1u8][..0]` is real postfix indexing on a literal; everything
+        // else stays quiet. (`][` — prev token `]` — is the one site.)
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].message.contains("1 slice-indexing"), "{}", out[0].message);
+    }
+}

@@ -1,7 +1,9 @@
 //! Workspace discovery, file classification, and the full lint pass.
 
+use crate::callgraph::CallGraph;
 use crate::deps;
 use crate::diag::Diagnostic;
+use crate::parser::{self, ParsedFile};
 use crate::rules::{self, lock_discipline, unsafe_audit::UnsafeSite};
 use crate::source::{FileClass, SourceFile};
 use std::collections::BTreeMap;
@@ -71,6 +73,23 @@ impl LintReport {
     /// Number of unsuppressed findings (the CI gate).
     pub fn unsuppressed_count(&self) -> usize {
         self.unsuppressed().count()
+    }
+
+    /// `(rule, total, unsuppressed)` for every rule in catalog order —
+    /// the per-rule table CI prints so lint-cost regressions are visible.
+    pub fn counts_by_rule(&self) -> Vec<(&'static str, usize, usize)> {
+        rules::ALL_RULES
+            .iter()
+            .map(|&rule| {
+                let total = self.diagnostics.iter().filter(|d| d.rule == rule).count();
+                let open = self
+                    .diagnostics
+                    .iter()
+                    .filter(|d| d.rule == rule && d.suppressed.is_none())
+                    .count();
+                (rule, total, open)
+            })
+            .collect()
     }
 }
 
@@ -148,32 +167,53 @@ pub fn run_deps(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
     Ok(out)
 }
 
-/// Runs every rule over the workspace rooted at `root`.
-pub fn run(root: &Path) -> std::io::Result<LintReport> {
-    let mut report = LintReport::default();
+/// Lexes and item-parses every workspace source file — the shared
+/// substrate for `run` and the `graph` subcommand.
+pub fn analyze(root: &Path) -> std::io::Result<(Vec<SourceFile>, Vec<ParsedFile>)> {
     let mut files: Vec<SourceFile> = Vec::new();
     for path in collect_rs_files(root)? {
         let text = std::fs::read_to_string(&path)?;
         let rel = rel_path(root, &path);
         files.push(SourceFile::parse(rel.clone(), &text, classify(&rel)));
     }
+    let parsed: Vec<ParsedFile> = files.iter().map(parser::parse_file).collect();
+    Ok((files, parsed))
+}
+
+/// Runs every rule over the workspace rooted at `root`.
+pub fn run(root: &Path) -> std::io::Result<LintReport> {
+    let mut report = LintReport::default();
+    let (files, parsed) = analyze(root)?;
     report.files_scanned = files.len();
 
     let mut summaries = Vec::new();
-    for f in &files {
+    for (f, pf) in files.iter().zip(&parsed) {
         rules::unsafe_audit::run(f, &mut report.diagnostics, &mut report.unsafe_inventory);
         rules::panic_freedom::run(f, &mut report.diagnostics);
         rules::half_conversion::run(f, &mut report.diagnostics);
         rules::determinism::run(f, &mut report.diagnostics);
+        rules::alloc_freedom::run(f, pf, &mut report.diagnostics);
         lock_discipline::check_relaxed(f, &mut report.diagnostics);
         rules::check_suppression_hygiene(f, &mut report.diagnostics);
+        rules::check_annotations(f, pf, &mut report.diagnostics);
         summaries.extend(lock_discipline::extract(f));
     }
     let by_path: BTreeMap<String, &SourceFile> =
         files.iter().map(|f| (f.path.clone(), f)).collect();
     lock_discipline::check_order(&summaries, &by_path, &mut report.diagnostics);
 
+    let graph = CallGraph::build(&parsed);
+    rules::panic_reachability::run(&files, &parsed, &graph, &mut report.diagnostics);
+    rules::name_registry::run(&files, &parsed, &mut report.diagnostics);
+
     report.diagnostics.extend(run_deps(root)?);
+
+    // Last, after every rule has had its chance to consume a suppression:
+    // anything still unused is stale and must be deleted.
+    for f in &files {
+        rules::check_unused_suppressions(f, &mut report.diagnostics);
+    }
+
     report
         .diagnostics
         .sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));

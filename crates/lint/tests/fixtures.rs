@@ -5,8 +5,10 @@
 //! produce. The fixture directory is excluded from the workspace walk, so
 //! these deliberately rule-breaking files never pollute the live report.
 
+use salient_lint::callgraph::CallGraph;
+use salient_lint::parser::{parse_file, ParsedFile};
 use salient_lint::rules::{self, lock_discipline};
-use salient_lint::{FileClass, SourceFile};
+use salient_lint::{Diagnostic, FileClass, SourceFile};
 use std::collections::BTreeMap;
 use std::path::Path;
 
@@ -158,6 +160,165 @@ fn unjustified_relaxed_is_flagged_once() {
     lock_discipline::check_relaxed(&f, &mut out);
     assert_eq!(out.len(), 1, "{out:?}");
     assert_eq!(out[0].line, 6);
+}
+
+/// Parses fixture `name` under an explicit workspace-relative `path` (for
+/// rules that key on file identity, like the name registry).
+fn parse_at(name: &str, path: &str, class: FileClass) -> SourceFile {
+    SourceFile::parse(path.to_string(), &load(name), class)
+}
+
+/// Runs the call-graph rule over a set of already-parsed files.
+fn run_reachability(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let parsed: Vec<ParsedFile> = files.iter().map(parse_file).collect();
+    let graph = CallGraph::build(&parsed);
+    let mut out = Vec::new();
+    rules::panic_reachability::run(files, &parsed, &graph, &mut out);
+    out
+}
+
+fn run_registry(files: &[SourceFile]) -> Vec<Diagnostic> {
+    let parsed: Vec<ParsedFile> = files.iter().map(parse_file).collect();
+    let mut out = Vec::new();
+    rules::name_registry::run(files, &parsed, &mut out);
+    out
+}
+
+#[test]
+fn reachable_panics_fire_with_call_path_evidence() {
+    let f = parse("bad_panic_reachability.rs", FileClass::default());
+    let out = run_reachability(std::slice::from_ref(&f));
+    assert_eq!(out.len(), 2, "{out:?}");
+    assert!(out.iter().all(|d| d.rule == "panic-reachability"));
+    let unwrap = out
+        .iter()
+        .find(|d| d.message.contains("`.unwrap()`"))
+        .expect("unwrap finding");
+    assert!(
+        unwrap.message.contains("fixture::hot_entry -> fixture::helper -> fixture::deep"),
+        "evidence path missing: {}",
+        unwrap.message
+    );
+    let index = out
+        .iter()
+        .find(|d| d.message.contains("slice-indexing"))
+        .expect("indexing finding");
+    assert!(index.message.contains("1 slice-indexing site(s)"), "{}", index.message);
+    // `cold` panics too, but no entry reaches it — evidence the rule is
+    // reachability-driven, not lexical.
+    assert!(out.iter().all(|d| d.suppressed.is_none()));
+}
+
+#[test]
+fn unreachable_panic_free_chain_is_accepted() {
+    let f = parse("good_panic_reachability.rs", FileClass::default());
+    let out = run_reachability(std::slice::from_ref(&f));
+    assert!(out.is_empty(), "{out:?}");
+}
+
+#[test]
+fn stringly_typed_names_fire_at_call_sites() {
+    let files = vec![
+        parse_at("names_registry.rs", "crates/trace/src/names.rs", FileClass::default()),
+        parse_at("bad_name_registry.rs", "crates/core/src/instrument.rs", FileClass::default()),
+        // The fixed file also rides along so every constant stays referenced.
+        parse_at("good_name_registry.rs", "crates/core/src/instrument_ok.rs", FileClass::default()),
+    ];
+    let out = run_registry(&files);
+    assert_eq!(out.len(), 2, "{out:?}");
+    assert!(out.iter().all(|d| d.rule == "name-registry"));
+    assert!(out.iter().all(|d| d.file.contains("instrument.rs")));
+    let registered = out
+        .iter()
+        .find(|d| d.message.contains("\"serve.batch\""))
+        .expect("registered-literal finding");
+    assert!(
+        registered.message.contains("names::spans::SERVE_BATCH"),
+        "fix hint names the constant: {}",
+        registered.message
+    );
+    let unknown = out
+        .iter()
+        .find(|d| d.message.contains("\"mystery.counter\""))
+        .expect("unregistered-literal finding");
+    assert!(unknown.message.contains("declare it"), "{}", unknown.message);
+}
+
+#[test]
+fn constants_at_call_sites_are_accepted() {
+    let files = vec![
+        parse_at("names_registry.rs", "crates/trace/src/names.rs", FileClass::default()),
+        parse_at("good_name_registry.rs", "crates/core/src/instrument_ok.rs", FileClass::default()),
+    ];
+    let out = run_registry(&files);
+    assert!(out.is_empty(), "{out:?}");
+}
+
+#[test]
+fn dead_constants_and_incomplete_all_lists_fire() {
+    let files = vec![
+        parse_at("bad_names_registry_decl.rs", "crates/trace/src/names.rs", FileClass::default()),
+        SourceFile::parse(
+            "crates/core/src/site.rs".to_string(),
+            "pub fn f(t: &Trace) { t.add(names::counters::LIVE, 1); t.add(names::counters::DROPPED, 1); }\n",
+            FileClass::default(),
+        ),
+    ];
+    let out = run_registry(&files);
+    assert_eq!(out.len(), 2, "{out:?}");
+    let dead = out
+        .iter()
+        .find(|d| d.message.contains("never used"))
+        .expect("dead-constant finding");
+    assert!(dead.message.contains("ORPHANED"), "{}", dead.message);
+    let drift = out
+        .iter()
+        .find(|d| d.message.contains("ALL"))
+        .expect("exporter-drift finding");
+    assert!(drift.message.contains("DROPPED"), "{}", drift.message);
+}
+
+#[test]
+fn allocations_inside_no_alloc_region_fire() {
+    let f = parse("bad_alloc_region.rs", FileClass::default());
+    let pf = parse_file(&f);
+    let mut out = Vec::new();
+    rules::alloc_freedom::run(&f, &pf, &mut out);
+    assert_eq!(out.len(), 4, "{out:?}");
+    assert!(out.iter().all(|d| d.rule == "alloc-freedom"));
+    for needle in ["Vec::new", "format!", ".push()", ".clone()"] {
+        assert!(
+            out.iter().any(|d| d.message.contains(needle)),
+            "missing {needle}: {out:?}"
+        );
+    }
+    // The identical constructs outside the region produced no findings:
+    // exactly the four seeded sites fired.
+}
+
+#[test]
+fn alloc_free_region_is_accepted() {
+    let f = parse("good_alloc_region.rs", FileClass::default());
+    let pf = parse_file(&f);
+    let mut out = Vec::new();
+    rules::alloc_freedom::run(&f, &pf, &mut out);
+    assert!(out.is_empty(), "{out:?}");
+}
+
+#[test]
+fn stale_suppression_is_flagged_and_live_one_is_not() {
+    let f = parse("unused_suppression.rs", hot());
+    let mut panics = Vec::new();
+    rules::panic_freedom::run(&f, &mut panics);
+    assert_eq!(panics.len(), 1, "{panics:?}");
+    assert!(panics[0].suppressed.is_some(), "the live suppression still works");
+    let mut unused = Vec::new();
+    rules::check_unused_suppressions(&f, &mut unused);
+    assert_eq!(unused.len(), 1, "{unused:?}");
+    assert_eq!(unused[0].rule, "suppression");
+    assert!(unused[0].message.contains("no longer silences"), "{}", unused[0].message);
+    assert!(unused[0].suppressed.is_none(), "stale-suppression findings are not suppressible");
+    assert!(unused[0].snippet.contains("stale"), "flags the second, stale annotation");
 }
 
 #[test]

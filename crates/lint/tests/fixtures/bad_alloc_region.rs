@@ -1,0 +1,15 @@
+//! Seeded violation: four allocation sites inside a `no_alloc` region,
+//! while identical constructs outside the region stay legal.
+
+pub fn kernel(buf: &mut Vec<u32>, acc: &mut [f32]) {
+    let staged = Vec::with_capacity(8); // legal: outside the region
+    // lint: region(no_alloc)
+    {
+        let v: Vec<u32> = Vec::new();
+        let s = format!("x{}", acc.len());
+        buf.push(1);
+        let c = buf.clone();
+        drop((v, s, c));
+    }
+    buf.extend(staged); // legal again: the region ended
+}

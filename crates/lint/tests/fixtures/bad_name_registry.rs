@@ -1,0 +1,9 @@
+//! Seeded violation: a registered name spelled as a string literal at a
+//! trace API call site, and a second literal that is not registered at
+//! all. Parsed under `crates/core/...` by the fixture test (the `trace`,
+//! `fault`, and `lint` crates themselves are exempt).
+
+pub fn instrument(t: &Trace) {
+    let _g = t.span("serve.batch"); // registered: must use the constant
+    t.add("mystery.counter", 1); // unregistered: must be declared first
+}

@@ -1,0 +1,14 @@
+//! Seeded registry-side violations: one constant nobody references (dead)
+//! and one referenced constant missing from its module's `ALL` slice
+//! (exporter drift). Parsed under `crates/trace/src/names.rs` by the
+//! fixture test, alongside a call-site file that keeps `LIVE` and
+//! `DROPPED` referenced.
+
+pub mod counters {
+    pub const LIVE: &str = "live.counter";
+    /// Never referenced outside this file: a dead-constant finding.
+    pub const ORPHANED: &str = "orphaned.counter";
+    /// Referenced at a call site but absent from `ALL`: drift finding.
+    pub const DROPPED: &str = "dropped.counter";
+    pub const ALL: &[&str] = &[LIVE, ORPHANED];
+}

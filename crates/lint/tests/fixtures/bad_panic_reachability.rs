@@ -1,0 +1,20 @@
+//! Seeded violation: the declared entry point reaches a panic two calls
+//! deep, plus unchecked slice indexing inside a reachable fn.
+
+// lint: entry(panic-reachability)
+pub fn hot_entry(v: &[u32]) -> u32 {
+    helper(v)
+}
+
+fn helper(v: &[u32]) -> u32 {
+    deep(v) + v[0]
+}
+
+fn deep(v: &[u32]) -> u32 {
+    *v.first().unwrap()
+}
+
+/// Not reachable from the entry: stays unreported.
+pub fn cold(v: &[u32]) -> u32 {
+    v[1] + v.first().copied().unwrap()
+}

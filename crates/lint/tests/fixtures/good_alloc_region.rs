@@ -1,0 +1,14 @@
+//! The fixed form of `bad_alloc_region.rs`: the region body works in
+//! place over preallocated buffers — index math, iterators, and unsafe
+//! pointer reads only.
+
+pub fn kernel(buf: &mut [u32], acc: &mut [f32], p: *const f32) {
+    // lint: region(no_alloc)
+    {
+        let x = unsafe { *p.add(1) };
+        acc[0] += x;
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = i as u32;
+        }
+    }
+}

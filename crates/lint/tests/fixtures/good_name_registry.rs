@@ -1,0 +1,7 @@
+//! The fixed form of `bad_name_registry.rs`: every name reaches the API
+//! as a constant from the registry.
+
+pub fn instrument(t: &Trace) {
+    let _g = t.span(names::spans::SERVE_BATCH);
+    t.add(names::counters::SERVE_QUERIES, 1);
+}

@@ -1,0 +1,20 @@
+//! The fixed form of `bad_panic_reachability.rs`: the reachable chain
+//! uses `.get()` and iterators, so nothing the entry can reach panics.
+
+// lint: entry(panic-reachability)
+pub fn hot_entry(v: &[u32]) -> u32 {
+    helper(v)
+}
+
+fn helper(v: &[u32]) -> u32 {
+    deep(v) + v.first().copied().unwrap_or(0)
+}
+
+fn deep(v: &[u32]) -> u32 {
+    v.iter().sum()
+}
+
+/// Unreachable code may still panic without findings.
+pub fn cold(v: &[u32]) -> u32 {
+    v[1] + v.first().copied().unwrap()
+}

@@ -1,0 +1,14 @@
+//! A miniature, fully-consistent `trace::names` for the name-registry
+//! fixtures: every constant is referenced at a call site and listed in
+//! its module's `ALL` slice. Parsed under `crates/trace/src/names.rs` by
+//! the fixture test.
+
+pub mod spans {
+    pub const SERVE_BATCH: &str = "serve.batch";
+    pub const ALL: &[&str] = &[SERVE_BATCH];
+}
+
+pub mod counters {
+    pub const SERVE_QUERIES: &str = "serve.queries";
+    pub const ALL: &[&str] = &[SERVE_QUERIES];
+}

@@ -1,0 +1,11 @@
+//! Seeded violation: the first suppression still silences a finding; the
+//! second attaches to a line that violates nothing, so the suppression
+//! itself becomes the finding.
+
+pub fn f(x: Option<u32>) -> u32 {
+    // lint: allow(panic-freedom, checked is_some on the line above in the real caller)
+    let v = x.unwrap();
+    // lint: allow(panic-freedom, stale: the unwrap this covered was refactored away)
+    let w = v + 1;
+    w
+}

@@ -48,6 +48,30 @@ fn every_unsafe_site_is_documented() {
 }
 
 #[test]
+fn call_graph_json_is_valid_and_has_declared_entries() {
+    let (_files, parsed) =
+        salient_lint::workspace::analyze(&workspace_root()).expect("analyze");
+    let graph = salient_lint::callgraph::CallGraph::build(&parsed);
+    let json = salient_lint::callgraph::render_json(&graph, &parsed);
+    // The dump must round-trip through the in-repo JSON parser (the same
+    // self-validation `salient-lint graph` performs before printing).
+    let value = salient_trace::json::parse(&json).expect("graph JSON parses");
+    let nodes = value
+        .get("nodes")
+        .and_then(|v| v.as_arr())
+        .expect("nodes array");
+    assert!(nodes.len() > 100, "only {} call-graph nodes — wrong root?", nodes.len());
+    let entries = nodes
+        .iter()
+        .filter(|n| n.get("entry") == Some(&salient_trace::json::Value::Bool(true)))
+        .count();
+    // The declared hot-path entry points: sampler step, tensor kernels,
+    // slice_batch, and the serve core stage fns.
+    assert!(entries >= 10, "only {entries} declared entry points");
+    assert!(value.get("edges").and_then(|v| v.as_arr()).is_some(), "edges array");
+}
+
+#[test]
 fn workspace_manifests_are_dependency_free() {
     let diags = salient_lint::run_deps(&workspace_root()).expect("deps pass");
     assert!(

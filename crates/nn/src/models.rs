@@ -132,6 +132,7 @@ fn check_input(x: &Var, mfg: &MessageFlowGraph, layers: usize) {
     );
     assert_eq!(
         x.shape().rows(),
+        // lint: allow(panic-reachability, check_input runs behind the non-empty-layers assert shared by every model constructor)
         mfg.layers[0].n_src,
         "feature rows must match the MFG node count"
     );

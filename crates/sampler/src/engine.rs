@@ -128,6 +128,7 @@ pub struct EngineScratch {
 /// # Panics
 ///
 /// Panics if `batch` is empty, contains duplicates, or `fanouts` is empty.
+// lint: entry(panic-reachability)
 pub fn sample_with<M: IdMap, S: NeighborSet>(
     graph: &CsrGraph,
     batch: &[NodeId],
@@ -162,6 +163,7 @@ pub fn sample_with<M: IdMap, S: NeighborSet>(
 
         if opts.fused {
             for i in 0..frontier_len {
+                // lint: allow(panic-reachability, frontier indices are produced by the same loop bounds that size node_ids)
                 let v = node_ids[i];
                 let neighbors = graph.neighbors(v);
                 let degree = neighbors.len();

@@ -73,6 +73,7 @@ impl LayerwiseSampler {
             let mut pool: Vec<NodeId> = Vec::new();
             let mut pool_seen = FlatIdMap::with_capacity(frontier_len * 8);
             for i in 0..frontier_len {
+                // lint: allow(panic-reachability, hop frontiers index node_ids within the bounds the previous hop appended)
                 for &u in graph.neighbors(node_ids[i]) {
                     let (_, new) = pool_seen.get_or_insert(u, 0);
                     if new {

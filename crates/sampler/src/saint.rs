@@ -64,6 +64,7 @@ impl SaintSampler {
                 if ns.is_empty() {
                     break;
                 }
+                // lint: allow(panic-reachability, random_range(0..ns.len()) is in bounds and ns is checked non-empty before the walk step)
                 cur = ns[self.rng.random_range(0..ns.len())];
                 let fallback = node_ids.len() as u32;
                 let (_, new) = self.map.get_or_insert(cur, fallback);

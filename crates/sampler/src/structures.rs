@@ -131,6 +131,7 @@ impl FlatIdMap {
         let mask = self.keys.len() - 1;
         let mut i = fib_hash(key, self.bits);
         loop {
+            // lint: allow(panic-reachability, probe indices are masked by the power-of-two table capacity on every step)
             if self.keys[i] == EMPTY {
                 self.keys[i] = key;
                 self.vals[i] = val;

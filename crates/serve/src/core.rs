@@ -64,6 +64,7 @@ impl LatencyWindow {
         if self.buf.len() < LATENCY_WINDOW {
             self.buf.push(v);
         } else {
+            // lint: allow(panic-reachability, ring invariant next < LATENCY_WINDOW == buf.len(); batch-member indices run over equal-length vecs built in step)
             self.buf[self.next] = v;
             self.next = (self.next + 1) % LATENCY_WINDOW;
         }
@@ -121,9 +122,9 @@ impl Instruments {
             breaker_opens: trace.counter(names::counters::SERVE_BREAKER_OPENS),
             latency_ns: trace.histogram(names::hists::SERVE_LATENCY_NS),
             batch_ns: trace.histogram(names::hists::SERVE_BATCH_NS),
-            queue_depth: trace.gauge("serve.queue_depth"),
-            fanout_level: trace.gauge("serve.fanout_level"),
-            breaker_state: trace.gauge("serve.breaker_state"),
+            queue_depth: trace.gauge(names::gauges::QUEUE_DEPTH),
+            fanout_level: trace.gauge(names::gauges::FANOUT_LEVEL),
+            breaker_state: trace.gauge(names::gauges::BREAKER_STATE),
         }
     }
 }
@@ -145,6 +146,7 @@ pub struct StepOutcome {
 fn apply_fault(clock: &Clock, site: &'static str, occ: u64) -> bool {
     match fault::point(site, occ) {
         FaultAction::Proceed => false,
+        // lint: allow(panic-reachability, injected fault demands a panic; every serving stage wraps it in catch_unwind)
         FaultAction::Panic => panic!("injected fault: panic at {site} (occ {occ})"),
         FaultAction::Delay(d) => {
             let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
@@ -292,6 +294,7 @@ impl ServerCore {
     /// [`Rejected::DeadlineInfeasible`] for zero/past deadlines or budgets
     /// below the observed service floor; [`Rejected::Overload`] when the
     /// server sheds load.
+    // lint: entry(panic-reachability)
     pub fn submit(&mut self, req: Request) -> Result<(), Rejected> {
         let now = self.clock.now_ns();
 
@@ -402,6 +405,7 @@ impl ServerCore {
     /// sample → slice → gemm with stage-boundary deadline checks. Returns
     /// the terminal responses it emitted. A step with nothing pending
     /// returns an empty outcome.
+    // lint: entry(panic-reachability)
     pub fn step(&mut self) -> StepOutcome {
         let mut out = StepOutcome::default();
         let step_start = self.clock.now_ns();

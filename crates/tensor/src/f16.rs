@@ -395,7 +395,6 @@ mod simd {
         }
         while i < n {
             // Scalar tail (< 8 elements); bit-identical to the vector body.
-            // lint: allow(half-conversion, sub-vector tail of the bulk widen kernel itself)
             // SAFETY (covered by the fn contract): i < n on both slices.
             *op.add(i) = F16::from_bits(*sp.add(i)).to_f32();
             i += 1;
@@ -429,7 +428,6 @@ mod simd {
         while i < n {
             // Scalar tail (< 8 elements); bit-identical to the vector body
             // for all non-NaN inputs (NaN payloads may differ, see module docs).
-            // lint: allow(half-conversion, sub-vector tail of the bulk narrow kernel itself)
             // SAFETY (covered by the fn contract): i < n on both slices.
             *op.add(i) = F16::from_f32(*sp.add(i)).to_bits();
             i += 1;

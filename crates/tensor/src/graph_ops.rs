@@ -63,6 +63,7 @@ impl Var {
         check_edges(src, dst, a.rows(), n_dst);
         let mut counts = vec![0.0f32; n_dst];
         for &d in dst {
+            // lint: allow(panic-reachability, dst/src indices are validated against n_dst/n_src at op entry)
             counts[d as usize] += 1.0;
         }
         let out =

@@ -164,6 +164,7 @@ impl GemmElem for F16 {
 /// # Panics
 ///
 /// Panics if the inner dimensions do not agree.
+// lint: entry(panic-reachability)
 pub fn gemm(a: &Tensor, b: &Tensor, ta: bool, tb: bool) -> Tensor {
     let (ar, ac) = (a.rows(), a.cols());
     let (br, bc) = (b.rows(), b.cols());
@@ -196,6 +197,7 @@ pub fn gemm(a: &Tensor, b: &Tensor, ta: bool, tb: bool) -> Tensor {
 ///
 /// Panics if a buffer length disagrees with its shape or the inner
 /// dimensions do not agree.
+// lint: entry(panic-reachability)
 pub fn gemm_f16(
     a: &[F16],
     a_rows: usize,
@@ -224,6 +226,7 @@ pub fn gemm_f16(
 ///
 /// Panics if the `a` buffer length disagrees with its shape or the inner
 /// dimensions do not agree.
+// lint: entry(panic-reachability)
 pub fn gemm_f16_f32(
     a: &[F16],
     a_rows: usize,
@@ -321,6 +324,7 @@ fn pack_b<TB: GemmElem>(
     bpack.clear();
     if !tb {
         for p in 0..kcb {
+            // lint: allow(panic-reachability, pack and micro-kernel loops index inside shapes asserted at the GEMM entry; hoisted slices keep the checks elidable)
             let row = &bd[(pc + p) * b_cols + jc..(pc + p) * b_cols + jc + ncb];
             TB::widen_append(row, bpack);
         }
@@ -561,7 +565,7 @@ mod simd {
         mb: usize,
         kcb: usize,
         ncb: usize,
-    ) {
+    ) { // lint: region(no_alloc)
         let mut i = 0;
         while i + 4 <= mb {
             let o0 = out0.add(i * n);
@@ -687,7 +691,7 @@ mod simd {
         mb: usize,
         kcb: usize,
         ncb: usize,
-    ) {
+    ) { // lint: region(no_alloc)
         let mut i = 0;
         while i + 8 <= mb {
             let mut j = 0;
@@ -910,6 +914,7 @@ const AGG_MIN_CHUNK: usize = 16;
 const AGG_SERIAL_CUTOFF: usize = 1 << 14;
 
 /// `out[i] = x[idx[i]]` — parallel row gather.
+// lint: entry(panic-reachability)
 pub fn gather_rows_forward(xd: &[f32], cols: usize, idx: &[u32]) -> Vec<f32> {
     let mut out = vec![0.0f32; idx.len() * cols];
     if idx.len() * cols < AGG_SERIAL_CUTOFF {
@@ -941,6 +946,7 @@ pub fn gather_rows_forward(xd: &[f32], cols: usize, idx: &[u32]) -> Vec<f32> {
 /// per row). This is the half-precision transfer path: a consumer gathers
 /// binary16 rows — half the bytes of the f32 gather — and pays the (cheap,
 /// vectorized) widen exactly once.
+// lint: entry(panic-reachability)
 pub fn gather_rows_forward_f16(xd: &[F16], cols: usize, idx: &[u32]) -> Vec<f32> {
     let mut out = vec![0.0f32; idx.len() * cols];
     if idx.len() * cols < AGG_SERIAL_CUTOFF {
@@ -977,6 +983,7 @@ pub fn gather_rows_forward_f16(xd: &[F16], cols: usize, idx: &[u32]) -> Vec<f32>
 /// # Panics
 ///
 /// Panics if `gd.len() != idx.len() * cols`.
+// lint: entry(panic-reachability)
 pub fn gather_rows_backward(gd: &[f32], cols: usize, idx: &[u32], n_src: usize) -> Vec<f32> {
     assert_eq!(gd.len(), idx.len() * cols, "gather_rows_backward shape mismatch");
     let mut dx = vec![0.0f32; n_src * cols];
@@ -1025,6 +1032,7 @@ pub fn gather_rows_backward(gd: &[f32], cols: usize, idx: &[u32], n_src: usize) 
 /// every source row inside `xd`), so the per-edge loop reads rows unchecked
 /// and prefetches the next edge's source row — the per-edge slice-check
 /// overhead this removes is what the sequential gather kernel never paid.
+// lint: entry(panic-reachability)
 pub fn scatter_reduce_forward(
     xd: &[f32],
     cols: usize,
@@ -1045,6 +1053,7 @@ pub fn scatter_reduce_forward(
     );
     with_csr(dst, n_dst, |offsets, order| {
         let out_ptr = SendPtr(out.as_mut_ptr());
+        // lint: region(no_alloc)
         let body = |d0: usize, d1: usize| {
             // SAFETY: `out` has n_dst·cols elements and tasks receive
             // disjoint destination-row ranges [d0, d1) ⊆ [0, n_dst), so the
@@ -1095,6 +1104,7 @@ pub fn scatter_reduce_forward(
 /// source row via a CSR index over `src` — again write-disjoint and
 /// order-deterministic, with the same validate-once / unchecked-per-edge
 /// row reads as the forward pass.
+// lint: entry(panic-reachability)
 pub fn scatter_reduce_backward(
     gd: &[f32],
     cols: usize,
@@ -1118,6 +1128,7 @@ pub fn scatter_reduce_backward(
     }
     with_csr(src, n_src, |offsets, order| {
         let dx_ptr = SendPtr(dx.as_mut_ptr());
+        // lint: region(no_alloc)
         let body = |s0: usize, s1: usize| {
             // SAFETY: `dx` has n_src·cols elements and tasks receive
             // disjoint source-row ranges [s0, s1) ⊆ [0, n_src), so the

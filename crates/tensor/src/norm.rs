@@ -71,6 +71,7 @@ impl Var {
         for r in 0..rows {
             let xrow = x.row(r);
             for c in 0..cols {
+                // lint: allow(panic-reachability, per-row slices are cols long by the asserted input shape and c < cols is the loop bound)
                 let h = (xrow[c] - mean[c]) * inv_std[c];
                 xhat[r * cols + c] = h;
                 out[r * cols + c] = g.data()[c] * h + b.data()[c];

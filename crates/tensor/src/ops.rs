@@ -53,6 +53,7 @@ fn broadcast_add(a: &Tensor, b: &Tensor) -> Tensor {
     let mut out = a.data().to_vec();
     let bd = b.data();
     for r in 0..a.rows() {
+        // lint: allow(panic-reachability, row ranges are bounded by the asserted rows*cols buffer lengths)
         for (o, v) in out[r * cols..(r + 1) * cols].iter_mut().zip(bd.iter()) {
             *o += v;
         }

@@ -76,6 +76,14 @@ fn configured_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Recovers a poisoned lock. Every critical section in this pool is a
+/// plain field assignment, and chunk panics are caught inside `drain`, so
+/// a poisoned mutex carries no broken invariant — take the guard and go.
+/// This keeps the whole kernel dispatch path free of panicking constructs.
+fn relock<T>(r: Result<T, std::sync::PoisonError<T>>) -> T {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
 static POOL: OnceLock<&'static ThreadPool> = OnceLock::new();
 
 /// The process-wide pool, created on first use.
@@ -106,6 +114,7 @@ impl ThreadPool {
             std::thread::Builder::new()
                 .name(format!("salient-kernel-{w}"))
                 .spawn(move || p.worker_loop())
+                // lint: allow(panic-reachability, workers spawn once at pool creation; spawn failure is unrecoverable resource exhaustion)
                 .expect("failed to spawn kernel worker");
         }
         pool
@@ -120,7 +129,7 @@ impl ThreadPool {
         let mut seen_epoch = 0u64;
         loop {
             let job = {
-                let mut st = self.state.lock().unwrap();
+                let mut st = relock(self.state.lock());
                 loop {
                     if st.epoch != seen_epoch {
                         if let Some(job) = st.job.clone() {
@@ -129,13 +138,13 @@ impl ThreadPool {
                         }
                         seen_epoch = st.epoch;
                     }
-                    st = self.work_cv.wait(st).unwrap();
+                    st = relock(self.work_cv.wait(st));
                 }
             };
             self.drain(&job);
             // Last participant out signals the submitter.
             if self.active.fetch_sub(1, Ordering::AcqRel) == 1 {
-                let _g = self.done_lock.lock().unwrap();
+                let _g = relock(self.done_lock.lock());
                 self.done_cv.notify_all();
             }
         }
@@ -164,7 +173,7 @@ impl ThreadPool {
                 // Relaxed: the store is an optimization hint; stragglers
                 // that miss it merely run extra chunks.
                 job.next.store(job.n_chunks, Ordering::Relaxed);
-                let mut slot = job.panic_payload.lock().unwrap();
+                let mut slot = relock(job.panic_payload.lock());
                 if slot.is_none() {
                     *slot = Some(payload);
                 }
@@ -187,7 +196,7 @@ impl ThreadPool {
             }
             return;
         }
-        let _submit = self.submit.lock().unwrap();
+        let _submit = relock(self.submit.lock());
         // SAFETY: the transmute only erases the borrow's lifetime; workers
         // dereference it exclusively between job publication below and the
         // completion wait at the end of this call, while `task` is borrowed.
@@ -204,7 +213,7 @@ impl ThreadPool {
         // `active` accounting exact without per-worker handshakes.
         self.active.store(self.threads, Ordering::Release);
         {
-            let mut st = self.state.lock().unwrap();
+            let mut st = relock(self.state.lock());
             st.epoch += 1;
             st.job = Some(std::sync::Arc::clone(&job));
             self.work_cv.notify_all();
@@ -212,15 +221,15 @@ impl ThreadPool {
         // The submitter is a participant too.
         self.drain(&job);
         if self.active.fetch_sub(1, Ordering::AcqRel) != 1 {
-            let mut g = self.done_lock.lock().unwrap();
+            let mut g = relock(self.done_lock.lock());
             while self.active.load(Ordering::Acquire) != 0 {
-                g = self.done_cv.wait(g).unwrap();
+                g = relock(self.done_cv.wait(g));
             }
         }
         // Retire the job: the chunk counter is exhausted, but clearing drops
         // the erased borrow reference eagerly.
-        self.state.lock().unwrap().job = None;
-        let payload = job.panic_payload.lock().unwrap().take();
+        relock(self.state.lock()).job = None;
+        let payload = relock(job.panic_payload.lock()).take();
         if let Some(payload) = payload {
             // Propagate the chunk's own panic (message and all) as if it
             // had happened on the submitting thread.

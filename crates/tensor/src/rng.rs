@@ -281,6 +281,7 @@ impl StdRng {
 impl Rng for StdRng {
     #[inline]
     fn next_u64(&mut self) -> u64 {
+        // lint: allow(panic-reachability, the xoshiro state array has fixed length 4 and every index is a literal)
         let result = self.s[1]
             .wrapping_mul(5)
             .rotate_left(7)

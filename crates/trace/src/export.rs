@@ -182,11 +182,9 @@ pub fn render_report(r: &PipelineReport, snap: &Snapshot) -> String {
             r.pct(occ.busy_ns)
         );
     }
-    for name in [
-        crate::names::hists::PREP_BATCH_NS,
-        crate::names::hists::TRAIN_BATCH_NS,
-        crate::names::hists::PREP_WAIT_NS,
-    ] {
+    // The full registry, not a hand-picked subset: a histogram recorded
+    // anywhere in the pipeline shows up here without touching this file.
+    for &name in crate::names::hists::ALL {
         if let Some(h) = snap.metrics.histogram(name) {
             if h.count > 0 {
                 let (p50, p95, p99) = h.percentiles();

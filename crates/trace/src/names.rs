@@ -37,6 +37,32 @@ pub mod spans {
     pub const SERVE_SLICE: &str = "serve.slice";
     /// Serving micro-batch model compute (widen + forward).
     pub const SERVE_GEMM: &str = "serve.gemm";
+    /// Warm-up iterations excluded from steady-state measurement.
+    pub const WARMUP: &str = "warmup";
+    /// Bench harness: one PyG-style (per-batch allocation) sampling pass.
+    pub const BENCH_SAMPLE_PYG: &str = "bench.sample_pyg";
+    /// Bench harness: one SALIENT fast-sampler pass.
+    pub const BENCH_SAMPLE_FAST: &str = "bench.sample_fast";
+
+    /// Every span name — the exporter's known-name list.
+    pub const ALL: &[&str] = &[
+        EPOCH,
+        STAGE_PREP,
+        STAGE_TRANSFER,
+        STAGE_TRAIN,
+        PREP_SAMPLE,
+        PREP_SLICE,
+        PREP_COPY,
+        SLOT_WAIT,
+        COMM_STEP,
+        RANK_EPOCH,
+        SERVE_SAMPLE,
+        SERVE_SLICE,
+        SERVE_GEMM,
+        WARMUP,
+        BENCH_SAMPLE_PYG,
+        BENCH_SAMPLE_FAST,
+    ];
 }
 
 /// Counter names.
@@ -92,6 +118,47 @@ pub mod counters {
     pub const SERVE_BREAKER_OPENS: &str = "serve.breaker_opens";
     /// Serving worker threads respawned by the supervisor.
     pub const SERVE_RESPAWNS: &str = "serve.respawns";
+
+    /// Every counter name — the exporter's known-name list.
+    pub const ALL: &[&str] = &[
+        BATCHES,
+        PREP_NODES,
+        PREP_EDGES,
+        PREP_BYTES,
+        TRANSFER_BYTES,
+        ITEM_PANICS,
+        RETRIES,
+        FAILED_BATCHES,
+        WORKER_PANICS,
+        RESPAWNS,
+        DEGRADED,
+        DDP_BYTES,
+        DDP_STEPS,
+        SERVE_ADMITTED,
+        SERVE_COMPLETED,
+        SERVE_SHED_OVERLOAD,
+        SERVE_SHED_INFEASIBLE,
+        SERVE_SHED_BREAKER,
+        SERVE_EXPIRED,
+        SERVE_REQUEST_PANICS,
+        SERVE_DEGRADES,
+        SERVE_RESTORES,
+        SERVE_BREAKER_OPENS,
+        SERVE_RESPAWNS,
+    ];
+}
+
+/// Gauge names.
+pub mod gauges {
+    /// Serving requests currently queued past admission.
+    pub const QUEUE_DEPTH: &str = "serve.queue_depth";
+    /// Current serving fanout level on the degradation ladder.
+    pub const FANOUT_LEVEL: &str = "serve.fanout_level";
+    /// Circuit-breaker state (0 closed, 1 half-open, 2 open).
+    pub const BREAKER_STATE: &str = "serve.breaker_state";
+
+    /// Every gauge name — the exporter's known-name list.
+    pub const ALL: &[&str] = &[QUEUE_DEPTH, FANOUT_LEVEL, BREAKER_STATE];
 }
 
 /// Histogram names.
@@ -106,6 +173,15 @@ pub mod hists {
     pub const SERVE_LATENCY_NS: &str = "serve.latency_ns";
     /// Serving micro-batch pipeline nanoseconds (sample + slice + gemm).
     pub const SERVE_BATCH_NS: &str = "serve.batch_ns";
+
+    /// Every histogram name — the exporter's known-name list.
+    pub const ALL: &[&str] = &[
+        PREP_BATCH_NS,
+        TRAIN_BATCH_NS,
+        PREP_WAIT_NS,
+        SERVE_LATENCY_NS,
+        SERVE_BATCH_NS,
+    ];
 }
 
 /// Point-event names.
@@ -130,4 +206,18 @@ pub mod events {
     pub const SERVE_BREAKER_HALF_OPEN: &str = "serve.breaker.half_open";
     /// Serving circuit breaker probe succeeded: HalfOpen→Closed.
     pub const SERVE_BREAKER_CLOSE: &str = "serve.breaker.close";
+
+    /// Every event name — the exporter's known-name list.
+    pub const ALL: &[&str] = &[
+        RETRY,
+        RESPAWN,
+        FAILED_BATCH,
+        DEGRADED_INLINE,
+        WORKER_PANIC,
+        SERVE_DEGRADE,
+        SERVE_RESTORE,
+        SERVE_BREAKER_OPEN,
+        SERVE_BREAKER_HALF_OPEN,
+        SERVE_BREAKER_CLOSE,
+    ];
 }

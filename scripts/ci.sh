@@ -12,7 +12,23 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== lint: workspace invariants (salient-lint)"
+# Text mode prints the per-rule finding table and wall time, so a
+# lint-cost regression (a rule suddenly slow or noisy) is visible in the
+# CI log, not just the exit code.
 cargo run -q --release -p salient-lint --offline -- check
+
+echo "== lint: machine-readable diagnostics + call-graph artifacts"
+mkdir -p target
+# The JSON diagnostics are the CI artifact downstream tooling consumes;
+# `check` already gated, so `|| true` keeps the artifact write from
+# double-failing the tier while the file still records every finding.
+cargo run -q --release -p salient-lint --offline -- check --format json \
+  > target/lint-report.json || true
+test -s target/lint-report.json
+# The call graph + per-rule reachability evidence. `graph` self-validates
+# through the in-repo JSON parser before printing.
+cargo run -q --release -p salient-lint --offline -- graph > target/lint-callgraph.json
+test -s target/lint-callgraph.json
 
 echo "== lint: dependency-freedom guard (salient-lint deps)"
 cargo run -q --release -p salient-lint --offline -- deps

@@ -4,6 +4,7 @@
 //! allocator makes the assertion exact — this is its own test binary so the
 //! allocator hook cannot perturb any other suite.
 
+use salient_repro::trace::names::{counters, events, hists, spans};
 use salient_repro::trace::Trace;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -46,24 +47,24 @@ fn disabled_tracing_batch_loop_allocates_nothing() {
 
     // Pre-resolved instruments, exactly as the batch-prep workers and the
     // DDP communicator hold them.
-    let batches = trace.counter("pipeline.batches");
-    let latency = trace.histogram("prep.batch_ns");
+    let batches = trace.counter(counters::BATCHES);
+    let latency = trace.histogram(hists::PREP_BATCH_NS);
 
     // Warm up once (lazy statics, TLS init) before the measured window.
     for batch in 0..8u64 {
-        let _span = trace.span_batch("stage.prep", batch);
+        let _span = trace.span_batch(spans::STAGE_PREP, batch);
         batches.inc();
         latency.observe(1 + batch);
     }
 
     let before = allocations();
     for batch in 0..10_000u64 {
-        let _span = trace.span_batch("stage.prep", batch);
-        let _inner = trace.span("prep.sample");
+        let _span = trace.span_batch(spans::STAGE_PREP, batch);
+        let _inner = trace.span(spans::PREP_SAMPLE);
         batches.inc();
         latency.observe(1 + batch);
-        trace.instant("fault.retry", batch);
-        trace.add("pipeline.retries", 1);
+        trace.instant(events::RETRY, batch);
+        trace.add(counters::RETRIES, 1);
     }
     let after = allocations();
     assert_eq!(
@@ -75,7 +76,7 @@ fn disabled_tracing_batch_loop_allocates_nothing() {
     // The disabled registry also records nothing.
     let snap = trace.snapshot();
     assert!(snap.events.is_empty());
-    assert_eq!(snap.metrics.counter("pipeline.batches"), 0);
+    assert_eq!(snap.metrics.counter(counters::BATCHES), 0);
 }
 
 #[test]
@@ -85,11 +86,11 @@ fn enabled_tracing_amortizes_event_allocations() {
     // than one allocation per span once the thread buffer exists.
     let trace = Trace::new(salient_repro::trace::Clock::virtual_with_tick(10));
     for batch in 0..64u64 {
-        let _span = trace.span_batch("warmup", batch);
+        let _span = trace.span_batch(spans::WARMUP, batch);
     }
     let before = allocations();
     for batch in 0..1_000u64 {
-        let _span = trace.span_batch("stage.prep", batch);
+        let _span = trace.span_batch(spans::STAGE_PREP, batch);
     }
     let after = allocations();
     assert!(
