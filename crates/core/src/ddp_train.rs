@@ -4,18 +4,35 @@
 //! and replicas stay bit-identical.
 
 use crate::config::RunConfig;
-use salient_tensor::rng::StdRng;
-use salient_tensor::rng::SliceRandom;
 use salient_ddp::{average_model_gradients, sync_model, CommError, Communicator};
 use salient_fault as fault;
 use salient_graph::{Dataset, NodeId};
 use salient_nn::{build_model, GnnModel, Mode};
-use salient_sampler::FastSampler;
+use salient_pipeline::{GraphSpec, PipeItem, StageGraph, StageOutcome, StageSpec};
+use salient_sampler::{FastSampler, MessageFlowGraph};
 use salient_tensor::optim::{zero_grads, Adam, Optimizer};
-use salient_tensor::Tape;
+use salient_tensor::rng::SliceRandom;
+use salient_tensor::rng::StdRng;
+use salient_tensor::{Tape, Tensor};
 use salient_trace::{names, Trace};
 use std::sync::Arc;
 use std::time::Duration;
+
+/// One DDP optimizer step flowing through a rank's per-epoch stage graph.
+/// Empty shards flow through as items too: every rank must reach the same
+/// number of collectives, so alignment steps cannot be skipped.
+struct DdpItem {
+    bid: u64,
+    shard: Vec<NodeId>,
+    mfg: Option<MessageFlowGraph>,
+    features: Option<Tensor>,
+}
+
+impl PipeItem for DdpItem {
+    fn batch_id(&self) -> u64 {
+        self.bid
+    }
+}
 
 /// Result of a distributed training run.
 pub struct DdpRunResult {
@@ -186,39 +203,97 @@ fn rank_loop(
         let effective = config.batch_size * world;
         let mut loss_sum = 0.0;
         let mut steps = 0usize;
-        for global_chunk in order.chunks(effective) {
-            // Rank r takes its slice of the effective batch; trailing
-            // partial chunks are shared as evenly as possible.
-            let shard: Vec<NodeId> = global_chunk
-                .iter()
-                .skip(rank)
-                .step_by(world)
-                .copied()
-                .collect();
-            if shard.is_empty() {
-                // Keep collectives aligned: participate with a zero grad.
-                zero_grads(model.params_mut().into_iter());
-                average_model_gradients(&comm, model.as_mut())?;
-                opt.step(model.params_mut().into_iter());
-                steps += 1;
-                continue;
-            }
-            let mfg = sampler.sample(&dataset.graph, &shard, &config.train_fanouts);
-            let tape = Tape::new();
-            let x = tape.constant(dataset.features.gather_f32(&mfg.node_ids));
-            let out = model.forward(&tape, x, &mfg, Mode::Train, &mut dropout_rng);
-            let targets: Vec<usize> = mfg.node_ids[..mfg.batch_size()]
-                .iter()
-                .map(|&v| dataset.labels[v as usize] as usize)
-                .collect();
-            let loss = out.nll_loss(&targets);
-            loss_sum += loss.value().item() as f64;
-            let grads = tape.backward(&loss);
-            zero_grads(model.params_mut().into_iter());
-            grads.apply_to(model.params_mut());
-            average_model_gradients(&comm, model.as_mut())?;
-            opt.step(model.params_mut().into_iter());
-            steps += 1;
+        let mut comm_err: Option<CommError> = None;
+        // The rank's per-epoch prep→train stage graph, always on the
+        // *inline* schedule: ring collectives require every rank to reach
+        // each all-reduce in lockstep, so a rank may never run its own
+        // compute ahead of its neighbours behind a stage queue. The graph
+        // still buys the shared span layout (`ddp.prep` / `ddp.train`) and
+        // the supervised failure path.
+        {
+            let mut chunk_iter = order.chunks(effective);
+            let mut next_bid = 0u64;
+            let ds_prep = Arc::clone(&dataset);
+            let ds_train = Arc::clone(&dataset);
+            let fanouts = config.train_fanouts.clone();
+            let sampler = &mut sampler;
+            let model = &mut model;
+            let opt = &mut opt;
+            let dropout_rng = &mut dropout_rng;
+            let loss_sum = &mut loss_sum;
+            let steps = &mut steps;
+            let comm = &comm;
+            let comm_err = &mut comm_err;
+            StageGraph::new(GraphSpec::new("ddp"), move || {
+                // Rank r takes its slice of the effective batch; trailing
+                // partial chunks are shared as evenly as possible.
+                let chunk = chunk_iter.next()?;
+                let shard: Vec<NodeId> = chunk.iter().skip(rank).step_by(world).copied().collect();
+                let bid = next_bid;
+                next_bid += 1;
+                Some(DdpItem {
+                    bid,
+                    shard,
+                    mfg: None,
+                    features: None,
+                })
+            })
+            .stage(
+                StageSpec::new("prep", names::spans::DDP_PREP),
+                move |mut item: DdpItem| {
+                    if !item.shard.is_empty() {
+                        let mfg = sampler.sample(&ds_prep.graph, &item.shard, &fanouts);
+                        item.features = Some(ds_prep.features.gather_f32(&mfg.node_ids));
+                        item.mfg = Some(mfg);
+                    }
+                    StageOutcome::Emit(item)
+                },
+            )
+            .stage(
+                StageSpec::new("train", names::spans::DDP_TRAIN),
+                move |mut item: DdpItem| {
+                    let step_result = (|| -> Result<(), CommError> {
+                        if let (Some(mfg), Some(x_data)) = (item.mfg.take(), item.features.take())
+                        {
+                            let tape = Tape::new();
+                            let x = tape.constant(x_data);
+                            let out = model.forward(&tape, x, &mfg, Mode::Train, dropout_rng);
+                            let targets: Vec<usize> = mfg.node_ids[..mfg.batch_size()]
+                                .iter()
+                                .map(|&v| ds_train.labels[v as usize] as usize)
+                                .collect();
+                            let loss = out.nll_loss(&targets);
+                            *loss_sum += loss.value().item() as f64;
+                            let grads = tape.backward(&loss);
+                            zero_grads(model.params_mut().into_iter());
+                            grads.apply_to(model.params_mut());
+                            average_model_gradients(comm, model.as_mut())?;
+                            opt.step(model.params_mut().into_iter());
+                        } else {
+                            // Keep collectives aligned: participate with a
+                            // zero grad.
+                            zero_grads(model.params_mut().into_iter());
+                            average_model_gradients(comm, model.as_mut())?;
+                            opt.step(model.params_mut().into_iter());
+                        }
+                        *steps += 1;
+                        Ok(())
+                    })();
+                    match step_result {
+                        Ok(()) => StageOutcome::Emit(item),
+                        Err(e) => {
+                            // A collective failure is terminal for the rank:
+                            // poison the graph and surface the typed error.
+                            *comm_err = Some(e);
+                            StageOutcome::Fatal
+                        }
+                    }
+                },
+            )
+            .run_inline(&trace);
+        }
+        if let Some(e) = comm_err {
+            return Err(e);
         }
         // Average the epoch loss across ranks for reporting.
         let mut l = [(loss_sum / steps.max(1) as f64) as f32];

@@ -1,18 +1,62 @@
 //! The training loop: baseline (serial PyG-style) and SALIENT (pipelined
 //! shared-memory batch preparation) executors over real data.
+//!
+//! Both executors are expressed as [`StageGraph`] descriptions. The
+//! baseline runs the graph inline (it *is* the serial reference schedule);
+//! the SALIENT executor lets [`StageGraph::run`] pick the threaded
+//! schedule when the thread budget allows, so the transfer/widen of batch
+//! `k+1` overlaps the compute of batch `k` in addition to the worker-side
+//! preparation overlap.
 
 use crate::config::{ExecutorKind, RunConfig};
 use crate::timing::StageTimings;
-use salient_tensor::rng::StdRng;
-use salient_tensor::rng::SliceRandom;
 use salient_batchprep::{run_epoch, BatchResult, PrepConfig, PrepMode, SamplerKind};
+use salient_fault as fault;
 use salient_graph::{Dataset, FeatureSlab, NodeId};
 use salient_nn::{build_model, metrics, GnnModel, Mode};
+use salient_pipeline::{shape, GraphSpec, PipeItem, StageGraph, StageOutcome, StageSpec};
 use salient_sampler::{FastSampler, MessageFlowGraph, PygSampler};
 use salient_tensor::optim::{Adam, Optimizer};
+use salient_tensor::rng::SliceRandom;
+use salient_tensor::rng::StdRng;
 use salient_tensor::{Tape, Tensor};
 use salient_trace::{analyze, names, Clock, Trace, NO_BATCH};
 use std::sync::Arc;
+
+/// The item flowing through both training pipelines; fields are filled in
+/// (and consumed) stage by stage.
+struct TrainItem {
+    bid: u64,
+    /// Salient source: the worker-prepared batch (or failure marker).
+    result: Option<BatchResult>,
+    /// Baseline source: the raw mini-batch node ids.
+    chunk: Vec<NodeId>,
+    mfg: Option<MessageFlowGraph>,
+    /// Baseline prep output: packed staged rows awaiting the widen.
+    staged: Option<FeatureSlab>,
+    features: Option<Tensor>,
+    labels: Vec<u32>,
+}
+
+impl TrainItem {
+    fn empty(bid: u64) -> TrainItem {
+        TrainItem {
+            bid,
+            result: None,
+            chunk: Vec::new(),
+            mfg: None,
+            staged: None,
+            features: None,
+            labels: Vec::new(),
+        }
+    }
+}
+
+impl PipeItem for TrainItem {
+    fn batch_id(&self) -> u64 {
+        self.bid
+    }
+}
 
 /// Result of one training epoch.
 #[derive(Clone, Copy, Debug)]
@@ -185,53 +229,89 @@ impl Trainer {
         loss_value
     }
 
-    /// Serial PyG-style epoch (Listing 1 of the paper).
-    ///
-    /// All stage stamps come from the trace clock; `StageTimings` is
-    /// derived from the recorded spans afterwards.
+    /// Serial PyG-style epoch (Listing 1 of the paper), expressed as the
+    /// same stage graph the SALIENT executor uses but pinned to the inline
+    /// schedule: prep, transfer and train run back-to-back on the trainer
+    /// thread with shared boundary timestamps — the serial reference.
     fn baseline_epoch(&mut self, order: &[NodeId]) -> EpochStats {
         let trace = self.trace.clone();
         let clock = trace.clock();
-        let train_hist = trace.histogram(names::hists::TRAIN_BATCH_NS);
         let epoch_start = clock.now_ns();
         let mut sampler = PygSampler::new(self.config.seed ^ self.epoch as u64);
         let dim = self.dataset.features.dim();
+        let fanouts = self.config.train_fanouts.clone();
         let transfer_bytes = trace.counter(names::counters::TRANSFER_BYTES);
-        let mut staged = FeatureSlab::new(self.dataset.features.dtype(), 0);
         let mut total_loss = 0.0;
         let mut batches = 0usize;
         let dataset = Arc::clone(&self.dataset);
-        for chunk in order.chunks(self.config.batch_size) {
-            let bid = batches as u64;
+        {
+            let this = &mut *self;
+            let total_loss = &mut total_loss;
+            let batches = &mut batches;
+            let mut chunks = order.chunks(this.config.batch_size);
+            let mut next_bid = 0u64;
+            let ds = Arc::clone(&dataset);
+            StageGraph::new(GraphSpec::new("baseline"), move || {
+                let chunk = chunks.next()?;
+                let bid = next_bid;
+                next_bid += 1;
+                Some(TrainItem {
+                    chunk: chunk.to_vec(),
+                    ..TrainItem::empty(bid)
+                })
+            })
             // Batch preparation: sample then slice (lines 1–4). For the
             // baseline this is real work on the trainer thread.
-            let t0 = clock.now_ns();
-            let mfg = sampler.sample(&dataset.graph, chunk, &self.config.train_fanouts);
-            staged.resize(mfg.num_nodes() * dim);
-            dataset.features.slice_into(&mfg.node_ids, staged.rows_mut());
-            let labels: Vec<u32> = mfg.node_ids[..mfg.batch_size()]
-                .iter()
-                .map(|&v| dataset.labels[v as usize])
-                .collect();
-            let t1 = clock.now_ns();
-            trace.record_span(names::spans::STAGE_PREP, bid, t0, t1);
-
+            .stage(
+                StageSpec::new("prep", names::spans::STAGE_PREP),
+                move |mut item: TrainItem| {
+                    let mfg = sampler.sample(&ds.graph, &item.chunk, &fanouts);
+                    let mut staged = FeatureSlab::new(ds.features.dtype(), 0);
+                    staged.resize(mfg.num_nodes() * dim);
+                    ds.features.slice_into(&mfg.node_ids, staged.rows_mut());
+                    item.labels = mfg.node_ids[..mfg.batch_size()]
+                        .iter()
+                        .map(|&v| ds.labels[v as usize])
+                        .collect();
+                    item.mfg = Some(mfg);
+                    item.staged = Some(staged);
+                    StageOutcome::Emit(item)
+                },
+            )
             // Transfer: the packed→f32 upcast stands in for the PCIe copy +
             // device-side widening (line 5). The counted bytes are the
             // *packed* payload — the quantity the copy would move.
-            let mut wide = vec![0.0f32; staged.len()];
-            staged.widen_into(&mut wide);
-            transfer_bytes.add((staged.bytes() + labels.len() * std::mem::size_of::<u32>()) as u64);
-            let features = Tensor::from_vec(wide, [mfg.num_nodes(), dim]);
-            let t2 = clock.now_ns();
-            trace.record_span(names::spans::STAGE_TRANSFER, bid, t1, t2);
-
+            .stage(
+                StageSpec::new("transfer", names::spans::STAGE_TRANSFER),
+                move |mut item: TrainItem| {
+                    let (Some(staged), Some(mfg)) = (item.staged.take(), item.mfg.as_ref()) else {
+                        return StageOutcome::Skip;
+                    };
+                    let mut wide = vec![0.0f32; staged.len()];
+                    staged.widen_into(&mut wide);
+                    transfer_bytes.add(
+                        (staged.bytes() + item.labels.len() * std::mem::size_of::<u32>()) as u64,
+                    );
+                    item.features = Some(Tensor::from_vec(wide, [mfg.num_nodes(), dim]));
+                    StageOutcome::Emit(item)
+                },
+            )
             // Training (lines 6–8).
-            total_loss += self.train_batch(&mfg, features, &labels);
-            let t3 = clock.now_ns();
-            trace.record_span(names::spans::STAGE_TRAIN, bid, t2, t3);
-            train_hist.observe(t3.saturating_sub(t2));
-            batches += 1;
+            .stage(
+                StageSpec::new("train", names::spans::STAGE_TRAIN)
+                    .hist(names::hists::TRAIN_BATCH_NS),
+                move |mut item: TrainItem| {
+                    let (Some(mfg), Some(features)) = (item.mfg.take(), item.features.take())
+                    else {
+                        return StageOutcome::Skip;
+                    };
+                    let labels = std::mem::take(&mut item.labels);
+                    *total_loss += this.train_batch(&mfg, features, &labels);
+                    *batches += 1;
+                    StageOutcome::Emit(item)
+                },
+            )
+            .run_inline(&trace);
         }
         let epoch_end = clock.now_ns();
         trace.record_span(names::spans::EPOCH, NO_BATCH, epoch_start, epoch_end);
@@ -245,7 +325,13 @@ impl Trainer {
     }
 
     /// SALIENT epoch: shared-memory workers prepare batches concurrently;
-    /// the consumer's prep time is only the time it actually blocks waiting.
+    /// the consumer side is a transfer→train stage graph. On an adequate
+    /// thread budget ([`StageGraph::threaded_available`]) the two stages
+    /// run on dedicated threads with a bounded
+    /// ([`shape::TRANSFER_QUEUE_CAP`]) queue between them, so batch `k+1`'s
+    /// widen/copy overlaps batch `k`'s compute; otherwise the inline
+    /// schedule reproduces the exact clock-read and FP-operation order of
+    /// the serial consumer loop.
     ///
     /// Workers record into the same trace registry (sample/slice spans,
     /// slot-wait backpressure, fault events), so one snapshot holds the
@@ -254,8 +340,6 @@ impl Trainer {
     fn salient_epoch(&mut self, order: &[NodeId]) -> EpochStats {
         let trace = self.trace.clone();
         let clock = trace.clock();
-        let wait_hist = trace.histogram(names::hists::PREP_WAIT_NS);
-        let train_hist = trace.histogram(names::hists::TRAIN_BATCH_NS);
         let transfer_bytes = trace.counter(names::counters::TRANSFER_BYTES);
         let epoch_start = clock.now_ns();
         let prep_cfg = PrepConfig {
@@ -275,40 +359,88 @@ impl Trainer {
         let mut total_loss = 0.0;
         let mut batches = 0usize;
         let mut failed_batches = 0usize;
-        loop {
-            let t0 = clock.now_ns();
-            let Ok(result) = handle.batches.recv() else {
-                break;
-            };
-            let bid = result.batch_id() as u64;
-            let t1 = clock.now_ns();
-            // Blocking wait only: the prep *work* ran on the workers.
-            trace.record_span(names::spans::STAGE_PREP, bid, t0, t1);
-            wait_hist.observe(t1.saturating_sub(t0));
-            let batch = match result {
-                BatchResult::Ready(batch) => batch,
-                BatchResult::Failed { .. } => {
-                    // Terminal marker: preparation exhausted its retry
-                    // budget. The epoch proceeds on the surviving batches.
-                    failed_batches += 1;
-                    continue;
-                }
-            };
-
-            let mut wide = vec![0.0f32; batch.mfg.num_nodes() * dim];
-            batch.slot.features().widen_into(&mut wide);
-            transfer_bytes.add(batch.slot.payload_bytes() as u64);
-            let features = Tensor::from_vec(wide, [batch.mfg.num_nodes(), dim]);
-            let labels = batch.slot.labels().to_vec();
-            let t2 = clock.now_ns();
-            trace.record_span(names::spans::STAGE_TRANSFER, bid, t1, t2);
-
-            total_loss += self.train_batch(&batch.mfg, features, &labels);
-            let t3 = clock.now_ns();
-            trace.record_span(names::spans::STAGE_TRAIN, bid, t2, t3);
-            train_hist.observe(t3.saturating_sub(t2));
-            batches += 1;
-        }
+        let stats = {
+            let this = &mut *self;
+            let total_loss = &mut total_loss;
+            let batches = &mut batches;
+            let failed = &mut failed_batches;
+            let rx = handle.batches.clone();
+            // Panic budget 2: an isolated stage panic retires its batch
+            // (counted in `failed_batches`, mirroring prep's
+            // retry-exhaustion policy); repetition beyond the budget
+            // poisons the pipeline, because a recurring executor panic is
+            // a bug, not a flaky batch.
+            StageGraph::new(
+                GraphSpec::new("train")
+                    .panic_budget(2)
+                    .wait_hist(names::hists::PREP_WAIT_NS),
+                move || {
+                    let result = rx.recv().ok()?;
+                    let mut item = TrainItem::empty(result.batch_id() as u64);
+                    item.result = Some(result);
+                    Some(item)
+                },
+            )
+            // Transfer: widen the packed staged rows to f32 — the PCIe
+            // copy + device-side cast stand-in. The pinned slot returns to
+            // the pool when it drops at the end of this stage.
+            .stage(
+                StageSpec::new("transfer", names::spans::STAGE_TRANSFER)
+                    .wait(names::spans::PIPE_WAIT),
+                move |mut item: TrainItem| {
+                    let bid = item.bid;
+                    let batch = match item.result.take() {
+                        Some(BatchResult::Ready(batch)) => batch,
+                        Some(BatchResult::Failed { .. }) => {
+                            // Terminal marker: preparation exhausted its
+                            // retry budget. The epoch proceeds on the
+                            // surviving batches.
+                            *failed += 1;
+                            return StageOutcome::Skip;
+                        }
+                        None => return StageOutcome::Skip,
+                    };
+                    if fault::fire(fault::sites::PIPE_TRANSFER, bid) {
+                        // Injected transfer drop: the batch retires here,
+                        // its slot returning to the pool via RAII.
+                        *failed += 1;
+                        return StageOutcome::Skip;
+                    }
+                    let mut wide = vec![0.0f32; batch.mfg.num_nodes() * dim];
+                    batch.slot.features().widen_into(&mut wide);
+                    transfer_bytes.add(batch.slot.payload_bytes() as u64);
+                    item.features =
+                        Some(Tensor::from_vec(wide, [batch.mfg.num_nodes(), dim]));
+                    item.labels = batch.slot.labels().to_vec();
+                    item.mfg = Some(batch.mfg);
+                    StageOutcome::Emit(item)
+                },
+            )
+            // Train: the consumer's wait on this stage's input is the
+            // SALIENT Table 1 "prep" stall (only the time it blocks; the
+            // prep work itself ran on the workers).
+            .stage(
+                StageSpec::new("train", names::spans::STAGE_TRAIN)
+                    .wait(names::spans::STAGE_PREP)
+                    .queue(shape::TRANSFER_QUEUE_CAP)
+                    .gauge(names::gauges::PIPE_QUEUE_COMPUTE)
+                    .hist(names::hists::TRAIN_BATCH_NS),
+                move |mut item: TrainItem| {
+                    let (Some(mfg), Some(features)) = (item.mfg.take(), item.features.take())
+                    else {
+                        return StageOutcome::Skip;
+                    };
+                    let labels = std::mem::take(&mut item.labels);
+                    *total_loss += this.train_batch(&mfg, features, &labels);
+                    *batches += 1;
+                    StageOutcome::Emit(item)
+                },
+            )
+            .run(&trace)
+        };
+        // Batches dropped by an injected stage panic count as failed: they
+        // left the pipeline without training, like a prep failure.
+        failed_batches += stats.panics as usize;
         handle.join();
         let epoch_end = clock.now_ns();
         trace.record_span(names::spans::EPOCH, NO_BATCH, epoch_start, epoch_end);

@@ -19,6 +19,7 @@ use salient_tensor::Tensor;
 use salient_trace::{names, Counter, Trace};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Mutex, PoisonError};
 use std::time::Duration;
 
 /// Which phase of a collective an error occurred in.
@@ -107,7 +108,10 @@ pub struct Communicator {
     timeout: Duration,
     steps: AtomicU64,
     to_next: Sender<Vec<f32>>,
-    from_prev: Receiver<Vec<f32>>,
+    /// Wrapped so `Communicator: Sync`: the pipelined executors capture
+    /// `&Communicator` in `Send` stage closures. Uncontended in practice —
+    /// only the owning rank ever receives on its link.
+    from_prev: Mutex<Receiver<Vec<f32>>>,
     trace: Trace,
     // Metric handles resolved once at ring construction so the per-step hot
     // path is two relaxed atomic adds (detached no-ops when tracing is off).
@@ -161,7 +165,7 @@ impl Communicator {
                 timeout,
                 steps: AtomicU64::new(0),
                 to_next,
-                from_prev,
+                from_prev: Mutex::new(from_prev),
                 trace: trace.clone(),
                 bytes_sent: trace.counter(names::counters::DDP_BYTES),
                 steps_counter: trace.counter(names::counters::DDP_STEPS),
@@ -244,7 +248,7 @@ impl Communicator {
             // lint: allow(determinism, deterministically injected fault delay; duration comes from the fault plan)
             std::thread::sleep(d);
         }
-        match self.from_prev.recv_timeout(self.timeout) {
+        match self.recv_from_prev() {
             Ok(v) => Ok(v),
             Err(RecvTimeoutError::Timeout) => {
                 Err(self.err(phase, CommErrorKind::Timeout(self.timeout)))
@@ -253,6 +257,16 @@ impl Communicator {
                 Err(self.err(phase, CommErrorKind::Disconnected))
             }
         }
+    }
+
+    /// Receives from the ring predecessor within the step deadline. The
+    /// link mutex is exclusive to this rank (see `from_prev`), so the lock
+    /// never blocks and a poisoned guard carries no broken invariant.
+    fn recv_from_prev(&self) -> Result<Vec<f32>, RecvTimeoutError> {
+        self.from_prev
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .recv_timeout(self.timeout)
     }
 
     /// In-place ring all-reduce (sum) over a flat buffer. Every rank must
@@ -343,7 +357,7 @@ impl Communicator {
                 return Err(self.err(CommPhase::Broadcast, CommErrorKind::Disconnected));
             }
         } else {
-            let incoming = match self.from_prev.recv_timeout(self.timeout) {
+            let incoming = match self.recv_from_prev() {
                 Ok(v) => v,
                 Err(RecvTimeoutError::Timeout) => {
                     return Err(self.err(CommPhase::Broadcast, CommErrorKind::Timeout(self.timeout)))

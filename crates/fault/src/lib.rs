@@ -89,6 +89,11 @@ pub mod sites {
     /// Serving worker thread itself (occ = worker incarnation) — kills the
     /// whole thread, exercising the serve supervisor's respawn path.
     pub const SERVE_WORKER: &str = "serve.worker";
+    /// Stage-graph executor transfer/widen stage (occ = batch id). `panic`
+    /// exercises the executor's per-item catch boundary: the batch is
+    /// dropped and counted, the pinned slot returns via RAII, and the
+    /// epoch completes on the remaining batches.
+    pub const PIPE_TRANSFER: &str = "pipe.transfer";
 
     /// Every known site, for spec validation and documentation.
     pub const ALL: &[&str] = &[
@@ -106,6 +111,7 @@ pub mod sites {
         SERVE_SLICE,
         SERVE_GEMM,
         SERVE_WORKER,
+        PIPE_TRANSFER,
     ];
 }
 

@@ -1,0 +1,29 @@
+//! Pipelined stage-graph executor (SALIENT §4, Figure 4).
+//!
+//! SALIENT's speedup comes from *overlap*: while the trainer computes on
+//! batch `k`, batch `k+1` is being transferred and batch `k+2` prepared.
+//! Before this crate each consumer (training loop, DDP ranks, the serving
+//! micro-batch path) hand-rolled its own orchestration; the overlap lived
+//! in ad-hoc loops that the simulator could only imitate, not share.
+//!
+//! This crate extracts the orchestration into one reusable engine:
+//!
+//! * [`StageGraph`] — a source plus ordered stages, each timed through
+//!   [`salient_trace::Clock`] so the identical description runs on the real
+//!   monotonic clock *and* on the simulator's virtual plane.
+//! * [`exec`]-internal bounded queues give backpressure by construction:
+//!   a fast producer parks, nothing is dropped, nothing spins.
+//! * [`shape`] — the canonical stage shapes (names, resource classes,
+//!   queue bounds) consumed by both the real executors and
+//!   `salient-sim`'s discrete-event schedules, so sim-vs-real drift checks
+//!   are structural rather than string-matched.
+//!
+//! See `DESIGN.md` §12 for the schedule diagrams and the pool-interaction
+//! rationale (stage loops are dedicated threads; `salient_tensor::pool`
+//! stays the intra-stage data-parallel axis).
+
+mod exec;
+mod queue;
+pub mod shape;
+
+pub use exec::{GraphSpec, PipeItem, PipeStats, StageGraph, StageOutcome, StageSpec};

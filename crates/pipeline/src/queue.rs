@@ -1,0 +1,176 @@
+//! Bounded blocking SPSC queue connecting adjacent pipeline stages.
+//!
+//! Backpressure is the queue bound: a producer that runs ahead of its
+//! consumer blocks in [`Sender::send`] until a slot frees — no drops, no
+//! busy-waiting (a condvar park, not a spin). The receiver drains every
+//! queued item after the sender hangs up, so pipeline shutdown loses no
+//! batch. Dropping the [`Receiver`] unblocks a parked sender with an error,
+//! which is how a poisoned downstream stage releases its upstream instead
+//! of wedging it.
+//!
+//! This is deliberately a private re-implementation rather than a reuse of
+//! `salient-batchprep`'s channel: the executor sits *below* batchprep in
+//! the crate stack (batchprep's `run_epoch` feeds a stage graph as its
+//! source), so depending on it here would invert the layering and drag the
+//! sampler/graph crates into `salient-sim`'s dependency cone.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+struct State<T> {
+    buf: VecDeque<T>,
+    cap: usize,
+    /// Sender dropped: receiver drains the buffer, then sees end-of-stream.
+    tx_closed: bool,
+    /// Receiver dropped: a blocked or future `send` fails immediately.
+    rx_closed: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+/// Queue state is plain data; a panicking stage thread cannot corrupt it,
+/// so poisoning is survivable and must not take the pipeline down.
+fn relock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Producer half; closes the stream on drop.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Consumer half; drains remaining items after close, errors senders on drop.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// A bounded queue of capacity `cap` (clamped to at least 1).
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            buf: VecDeque::with_capacity(cap.max(1)),
+            cap: cap.max(1),
+            tx_closed: false,
+            rx_closed: false,
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Blocks while the queue is at capacity (backpressure), then enqueues.
+    /// Returns the item back if the receiver is gone.
+    pub fn send(&self, item: T) -> Result<(), T> {
+        let mut st = relock(&self.shared.state);
+        while st.buf.len() >= st.cap && !st.rx_closed {
+            st = self
+                .shared
+                .not_full
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        if st.rx_closed {
+            return Err(item);
+        }
+        st.buf.push_back(item);
+        drop(st);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Current queue depth (for depth gauges; racy by nature).
+    pub fn len(&self) -> usize {
+        relock(&self.shared.state).buf.len()
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        relock(&self.shared.state).tx_closed = true;
+        self.shared.not_empty.notify_all();
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until an item is available; `None` only after the sender is
+    /// gone *and* the queue is fully drained — shutdown loses nothing.
+    pub fn recv(&self) -> Option<T> {
+        let mut st = relock(&self.shared.state);
+        loop {
+            if let Some(item) = st.buf.pop_front() {
+                drop(st);
+                self.shared.not_full.notify_one();
+                return Some(item);
+            }
+            if st.tx_closed {
+                return None;
+            }
+            st = self
+                .shared
+                .not_empty
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Current queue depth (for depth gauges; racy by nature).
+    pub fn len(&self) -> usize {
+        relock(&self.shared.state).buf.len()
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        relock(&self.shared.state).rx_closed = true;
+        self.shared.not_full.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drains_after_sender_drop() {
+        let (tx, rx) = bounded(4);
+        for i in 0..3 {
+            tx.send(i).map_err(|_| ()).expect("receiver alive");
+        }
+        drop(tx);
+        assert_eq!(rx.recv(), Some(0));
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        assert_eq!(rx.recv(), None);
+    }
+
+    #[test]
+    fn send_errors_after_receiver_drop() {
+        let (tx, rx) = bounded(1);
+        drop(rx);
+        assert_eq!(tx.send(7), Err(7));
+    }
+
+    #[test]
+    fn capacity_blocks_and_unblocks() {
+        let (tx, rx) = bounded(1);
+        tx.send(1u32).map_err(|_| ()).expect("receiver alive");
+        let h = std::thread::spawn(move || {
+            // Blocks until the main thread drains one slot.
+            tx.send(2).map_err(|_| ()).expect("receiver alive");
+        });
+        assert_eq!(rx.recv(), Some(1));
+        assert_eq!(rx.recv(), Some(2));
+        h.join().map_err(|_| ()).expect("sender thread ok");
+    }
+}

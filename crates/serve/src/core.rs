@@ -27,16 +27,17 @@ use crate::config::ServeConfig;
 use crate::ladder::{Ladder, LadderMove};
 use crate::loadgen::Arrival;
 use crate::{Rejected, Request, Response, Stage};
-use salient_core::BatchInferencer;
+use salient_core::{BatchInferencer, StagedBatch};
 use salient_fault::{self as fault, FaultAction};
 use salient_graph::Dataset;
 use salient_nn::GnnModel;
+use salient_pipeline::{GraphSpec, PipeItem, StageGraph, StageOutcome, StageSpec};
 use salient_sampler::{FastSampler, MessageFlowGraph};
 use salient_tensor::rng::StdRng;
 use salient_trace::{names, Clock, Counter, Gauge, Histogram, Trace};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Completed latencies kept for the rolling p99 estimate.
 const LATENCY_WINDOW: usize = 128;
@@ -49,6 +50,27 @@ const EWMA_ALPHA: f64 = 0.2;
 struct Pending {
     req: Request,
     admitted_ns: u64,
+}
+
+/// One micro-batch flowing through the serving stage graph; fields fill in
+/// stage by stage. Dropping it mid-pipeline releases its staged slot.
+struct ServeJob {
+    seq: u64,
+    seeds: Vec<salient_graph::NodeId>,
+    mfg: Option<MessageFlowGraph>,
+    staged: Option<StagedBatch>,
+}
+
+impl PipeItem for ServeJob {
+    fn batch_id(&self) -> u64 {
+        self.seq
+    }
+}
+
+/// Batch-state mutex helper: the state is plain data mutated under short
+/// critical sections, so a poisoned guard carries no broken invariant.
+fn lock_state<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// Rolling window of completed-request latencies with a cached p99.
@@ -481,88 +503,152 @@ impl ServerCore {
                 }
             }
         }
-        let mut expired_at: Vec<Option<Stage>> = vec![None; members.len()];
+        let expired_at: Vec<Option<Stage>> = vec![None; members.len()];
         let batch_start = self.clock.now_ns();
 
-        // ---- Stage 1: sample ------------------------------------------
-        let t0 = self.clock.now_ns();
-        let sample_res: Result<MessageFlowGraph, ()> = {
+        // The micro-batch pipeline is a sample → slice → gemm stage graph
+        // on the inline schedule (one micro-batch per step; ordering within
+        // the batch is the whole point). The engine provides the per-stage
+        // spans, the panic isolation (`panic_budget` 0: any stage panic
+        // poisons the batch, never the server), and the after-hooks carry
+        // the stage-boundary deadline checks. When every member has expired
+        // the hook *retires* the batch, so later stages never run and never
+        // record spans — dead work is dropped, not finished.
+        //
+        // Members and their expiry stages live outside the graph (behind a
+        // local mutex the closures share) so a batch retired mid-pipeline
+        // still produces its terminal responses afterwards.
+        struct BatchState {
+            members: Vec<Pending>,
+            expired_at: Vec<Option<Stage>>,
+            preds: Option<Vec<u32>>,
+        }
+        let state = Mutex::new(BatchState {
+            members,
+            expired_at,
+            preds: None,
+        });
+        let stats = {
+            let trace = self.trace.clone();
+            let state = &state;
+            let expired_ctr = self.ins.expired.clone();
+            let (ctr_sample, ctr_slice, ctr_gemm) =
+                (expired_ctr.clone(), expired_ctr.clone(), expired_ctr);
             let sampler = &mut self.sampler;
+            let inferencer = &self.inferencer;
+            let model = &mut self.model;
+            let rng = &mut self.rng;
             let dataset = Arc::clone(&self.dataset);
-            let clock = self.clock.clone();
-            catch_unwind(AssertUnwindSafe(|| {
-                apply_fault(&clock, fault::sites::SERVE_SAMPLER, seq);
-                sampler.sample(&dataset.graph, &seeds, &fanouts)
-            }))
-            .map_err(|_| ())
+            let (clock_sample, clock_slice, clock_gemm) =
+                (self.clock.clone(), self.clock.clone(), self.clock.clone());
+            let mut job = Some(ServeJob {
+                seq,
+                seeds,
+                mfg: None,
+                staged: None,
+            });
+            StageGraph::new(GraphSpec::new("serve"), move || job.take())
+                .stage_with_after(
+                    StageSpec::new("sample", names::spans::SERVE_SAMPLE),
+                    move |mut job: ServeJob| {
+                        apply_fault(&clock_sample, fault::sites::SERVE_SAMPLER, job.seq);
+                        job.mfg = Some(sampler.sample(&dataset.graph, &job.seeds, &fanouts));
+                        StageOutcome::Emit(job)
+                    },
+                    move |_job, end_ns| {
+                        let mut st = lock_state(state);
+                        let st = &mut *st;
+                        let live = Self::expire_members(
+                            &st.members,
+                            &mut st.expired_at,
+                            Stage::Sample,
+                            end_ns,
+                            &ctr_sample,
+                        );
+                        // Every member died waiting on the sampler: retire
+                        // the batch before paying for slice + gemm.
+                        live > 0
+                    },
+                )
+                .stage_with_after(
+                    StageSpec::new("slice", names::spans::SERVE_SLICE),
+                    move |mut job: ServeJob| {
+                        apply_fault(&clock_slice, fault::sites::SERVE_SLICE, job.seq);
+                        let Some(mfg) = job.mfg.as_ref() else {
+                            return StageOutcome::Fatal;
+                        };
+                        match inferencer.stage(mfg) {
+                            Ok(staged) => {
+                                job.staged = Some(staged);
+                                StageOutcome::Emit(job)
+                            }
+                            Err(_) => StageOutcome::Fatal,
+                        }
+                    },
+                    move |_job, end_ns| {
+                        let mut st = lock_state(state);
+                        let st = &mut *st;
+                        let live = Self::expire_members(
+                            &st.members,
+                            &mut st.expired_at,
+                            Stage::Slice,
+                            end_ns,
+                            &ctr_slice,
+                        );
+                        // Retiring drops the job, which drops the staged
+                        // slot back into the pool; the GEMM is skipped.
+                        live > 0
+                    },
+                )
+                .stage_with_after(
+                    StageSpec::new("gemm", names::spans::SERVE_GEMM),
+                    move |mut job: ServeJob| {
+                        apply_fault(&clock_gemm, fault::sites::SERVE_GEMM, job.seq);
+                        let (Some(mfg), Some(staged)) = (job.mfg.take(), job.staged.take())
+                        else {
+                            return StageOutcome::Fatal;
+                        };
+                        match inferencer.forward(staged, model.as_mut(), &mfg, rng) {
+                            Ok(preds) => {
+                                // Fan distinct-seed predictions back out to
+                                // the members that asked for them.
+                                let mut st = lock_state(state);
+                                st.preds =
+                                    Some(seed_idx.iter().map(|&i| preds[i]).collect());
+                                StageOutcome::Emit(job)
+                            }
+                            Err(_) => StageOutcome::Fatal,
+                        }
+                    },
+                    move |_job, end_ns| {
+                        let mut st = lock_state(state);
+                        let st = &mut *st;
+                        Self::expire_members(
+                            &st.members,
+                            &mut st.expired_at,
+                            Stage::Gemm,
+                            end_ns,
+                            &ctr_gemm,
+                        );
+                        true
+                    },
+                )
+                .run_inline(&trace)
         };
-        let t1 = self.clock.now_ns();
-        self.trace.record_span(names::spans::SERVE_SAMPLE, seq, t0, t1);
-        let mfg = match sample_res {
-            Ok(mfg) => mfg,
-            Err(()) => {
+        let BatchState {
+            members,
+            expired_at,
+            preds,
+        } = state.into_inner().unwrap_or_else(PoisonError::into_inner);
+        if let Some(fatal) = stats.fatal_stage {
+            if fatal == names::spans::SERVE_SAMPLE {
                 // Crashed sampler: deterministic respawn (re-seeded from the
                 // batch sequence, mirroring batchprep's retry re-seeding).
                 self.sampler = FastSampler::new(self.cfg.seed ^ 0x5A17 ^ seq);
-                return self.fail_batch(members, expired_at, out, pressured, batch_start);
             }
-        };
-        let live = Self::expire_members(&members, &mut expired_at, Stage::Sample, t1, &self.ins.expired);
-        if live == 0 {
-            // Every member died waiting on the sampler: drop the dead work
-            // before paying for slice + gemm.
-            return self.finish_batch(members, expired_at, None, out, pressured, fanout_level, batch_start);
+            return self.fail_batch(members, expired_at, out, pressured, batch_start);
         }
-
-        // ---- Stage 2: slice into a pinned slot ------------------------
-        let t2 = self.clock.now_ns();
-        let staged = {
-            let clock = self.clock.clone();
-            match catch_unwind(AssertUnwindSafe(|| {
-                apply_fault(&clock, fault::sites::SERVE_SLICE, seq)
-            })) {
-                Err(_) => Err(()),
-                Ok(_) => self.inferencer.stage(&mfg).map_err(|_| ()),
-            }
-        };
-        let t3 = self.clock.now_ns();
-        self.trace.record_span(names::spans::SERVE_SLICE, seq, t2, t3);
-        let staged = match staged {
-            Ok(s) => s,
-            Err(()) => return self.fail_batch(members, expired_at, out, pressured, batch_start),
-        };
-        let live = Self::expire_members(&members, &mut expired_at, Stage::Slice, t3, &self.ins.expired);
-        if live == 0 {
-            // Dropping `staged` returns the slot; skip the GEMM entirely.
-            drop(staged);
-            return self.finish_batch(members, expired_at, None, out, pressured, fanout_level, batch_start);
-        }
-
-        // ---- Stage 3: widen + GEMM ------------------------------------
-        let t4 = self.clock.now_ns();
-        let preds = {
-            let clock = self.clock.clone();
-            match catch_unwind(AssertUnwindSafe(|| {
-                apply_fault(&clock, fault::sites::SERVE_GEMM, seq)
-            })) {
-                Err(_) => Err(()),
-                Ok(_) => self
-                    .inferencer
-                    .forward(staged, self.model.as_mut(), &mfg, &mut self.rng)
-                    .map_err(|_| ()),
-            }
-        };
-        let t5 = self.clock.now_ns();
-        self.trace.record_span(names::spans::SERVE_GEMM, seq, t4, t5);
-        match preds {
-            Ok(mut preds) => {
-                Self::expire_members(&members, &mut expired_at, Stage::Gemm, t5, &self.ins.expired);
-                // Fan distinct-seed predictions back out to members.
-                preds = seed_idx.iter().map(|&i| preds[i]).collect();
-                self.finish_batch(members, expired_at, Some(preds), out, pressured, fanout_level, batch_start)
-            }
-            Err(()) => self.fail_batch(members, expired_at, out, pressured, batch_start),
-        }
+        self.finish_batch(members, expired_at, preds, out, pressured, fanout_level, batch_start)
     }
 
     /// Retires a batch whose pipeline panicked: every not-yet-expired

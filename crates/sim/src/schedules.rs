@@ -15,9 +15,10 @@
 //!    resource), assertions are skipped, and GPU compute overlaps transfer.
 
 use crate::cost::{CostModel, GnnArch, Impl};
-use crate::des::{Executed, Simulation, TaskId};
+use crate::des::{Executed, ResourceId, Simulation, TaskId};
 use crate::workload::{expected_batch, BatchWorkload};
 use salient_graph::DatasetStats;
+use salient_pipeline::shape::{self, ResourceKind, TRANSFER_QUEUE_CAP};
 
 /// Cumulative optimization level (each includes the previous).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
@@ -242,14 +243,49 @@ pub fn simulate_epoch_detailed(
         OptLevel::Pipelined => {
             // Full SALIENT: prep on workers, transfer on its own stream
             // (DMA), GPU compute overlaps; nothing blocks the main loop.
+            // The schedule is compiled from the canonical stage shape shared
+            // with the real executor (`salient_pipeline::shape::train`), so
+            // stage names, resource classes, and the double-buffer bound
+            // cannot silently drift between the two planes.
+            let [prep_sh, transfer_sh, train_sh] = shape::train();
+            let res = |kind: ResourceKind| -> ResourceId {
+                match kind {
+                    ResourceKind::Workers => workers,
+                    ResourceKind::Dma => dma,
+                    ResourceKind::Gpu => gpu,
+                }
+            };
             for b in 0..batches {
                 let mut prep_deps = Vec::new();
                 if b >= prefetch_depth {
                     prep_deps.push(train_tasks[b - prefetch_depth]);
                 }
-                let prep = sim.task(format!("prep[{b}]"), workers, s.prep_worker as u64, prep_deps);
-                let transfer = sim.task(format!("transfer[{b}]"), dma, s.transfer as u64, vec![prep]);
-                let train = sim.task(format!("train[{b}]"), gpu, s.train as u64, vec![transfer]);
+                let prep = sim.task(
+                    format!("{}[{b}]", prep_sh.sim_task),
+                    res(prep_sh.resource),
+                    s.prep_worker as u64,
+                    prep_deps,
+                );
+                // The bounded queue feeding compute: the transfer stage can
+                // run at most TRANSFER_QUEUE_CAP + 1 batches ahead of the
+                // consumer (cap queued plus one parked in send), mirroring
+                // the real executor's backpressure.
+                let mut tr_deps = vec![prep];
+                if b > TRANSFER_QUEUE_CAP {
+                    tr_deps.push(train_tasks[b - TRANSFER_QUEUE_CAP - 1]);
+                }
+                let transfer = sim.task(
+                    format!("{}[{b}]", transfer_sh.sim_task),
+                    res(transfer_sh.resource),
+                    s.transfer as u64,
+                    tr_deps,
+                );
+                let train = sim.task(
+                    format!("{}[{b}]", train_sh.sim_task),
+                    res(train_sh.resource),
+                    s.train as u64,
+                    vec![transfer],
+                );
                 train_tasks.push(train);
             }
         }
@@ -322,13 +358,23 @@ pub fn simulate_inference_epoch(
     let gpu = sim.resource("gpu", 1);
     let mut infer_tasks: Vec<TaskId> = Vec::with_capacity(batches);
     let prefetch = 2 * cfg.cpu_workers;
+    let [prep_sh, transfer_sh, _] = shape::train();
     for b in 0..batches {
         let mut deps = Vec::new();
         if b >= prefetch {
             deps.push(infer_tasks[b - prefetch]);
         }
-        let prep = sim.task(format!("prep[{b}]"), workers, prep_ns as u64, deps);
-        let transfer = sim.task(format!("transfer[{b}]"), dma, transfer_ns as u64, vec![prep]);
+        let prep = sim.task(format!("{}[{b}]", prep_sh.sim_task), workers, prep_ns as u64, deps);
+        let mut tr_deps = vec![prep];
+        if b > TRANSFER_QUEUE_CAP {
+            tr_deps.push(infer_tasks[b - TRANSFER_QUEUE_CAP - 1]);
+        }
+        let transfer = sim.task(
+            format!("{}[{b}]", transfer_sh.sim_task),
+            dma,
+            transfer_ns as u64,
+            tr_deps,
+        );
         let infer = sim.task(format!("infer[{b}]"), gpu, infer_ns as u64, vec![transfer]);
         infer_tasks.push(infer);
     }

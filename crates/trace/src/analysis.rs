@@ -133,10 +133,12 @@ pub struct ThreadOccupancy {
 /// The stall-attribution report (see the module docs).
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct PipelineReport {
-    /// Thread that recorded the `epoch` spans (the consumer loop).
+    /// Thread that recorded the `stage.train` spans (the compute consumer;
+    /// falls back to the `epoch` recorder for compute-less snapshots).
     pub trainer_tid: Option<u32>,
-    /// Measurement window: summed `epoch` span time on the trainer thread
-    /// (falling back to the snapshot extent when no epoch span exists).
+    /// Measurement window: summed `epoch` span time on whichever thread
+    /// recorded the wrapper (falling back to the snapshot extent when no
+    /// epoch span exists).
     pub window_ns: u64,
     /// Trainer blocked on batch preparation (`stage.prep`).
     pub prep_ns: u64,
@@ -154,8 +156,9 @@ pub struct PipelineReport {
     pub worker_copy_ns: u64,
     /// Worker time blocked waiting for a free pinned slot (backpressure).
     pub worker_slot_wait_ns: u64,
-    /// Preparation work (sample/slice/copy on non-trainer threads) that ran
-    /// *concurrently with* trainer compute — the pipeline-overlap win.
+    /// Preparation-pipeline work (sample/slice/copy/transfer on non-trainer
+    /// threads) that ran *concurrently with* trainer compute — the
+    /// pipeline-overlap win.
     pub overlap_ns: u64,
     /// DDP ring-step communication time across all ranks.
     pub comm_ns: u64,
@@ -197,24 +200,26 @@ impl PipelineReport {
 
 /// Computes the stall-attribution report from a snapshot.
 pub fn analyze(snap: &Snapshot) -> PipelineReport {
-    // The trainer is the thread that recorded `epoch` spans; fall back to
-    // the recorder of `stage.train` for callers that skip the wrapper.
+    // The trainer is the thread that records model compute (`stage.train`).
+    // The `epoch` wrapper is only a fallback: in the threaded stage-graph
+    // executor the epoch span lives on the orchestrating thread while
+    // compute runs on a dedicated stage thread, and resolving the trainer
+    // via `epoch` first silently zeroed compute_ns — and with it every
+    // overlap_frac — for exactly the runs that pipeline.
     let trainer_tid = snap
-        .spans(spans::EPOCH)
+        .spans(spans::STAGE_TRAIN)
         .map(|e| e.tid)
         .next()
-        .or_else(|| snap.spans(spans::STAGE_TRAIN).map(|e| e.tid).next());
+        .or_else(|| snap.spans(spans::EPOCH).map(|e| e.tid).next());
 
-    let window_ns = match trainer_tid {
-        Some(tid) => {
-            let w = snap.sum_ns_on(spans::EPOCH, tid);
-            if w > 0 {
-                w
-            } else {
-                snap.extent().map(|(s, e)| e - s).unwrap_or(0)
-            }
-        }
-        None => snap.extent().map(|(s, e)| e - s).unwrap_or(0),
+    // The window is epoch wall-clock wherever the wrapper was recorded
+    // (trainer thread in the inline schedule, orchestrator in the threaded
+    // one); extent is the fallback for wrapper-less snapshots.
+    let epoch_ns = snap.sum_ns(spans::EPOCH);
+    let window_ns = if epoch_ns > 0 {
+        epoch_ns
+    } else {
+        snap.extent().map(|(s, e)| e - s).unwrap_or(0)
     };
 
     let on_trainer = |name: &str| trainer_tid.map(|t| snap.sum_ns_on(name, t)).unwrap_or(0);
@@ -233,6 +238,10 @@ pub fn analyze(snap: &Snapshot) -> PipelineReport {
     prep_work.extend(worker_spans(spans::PREP_SAMPLE));
     prep_work.extend(worker_spans(spans::PREP_SLICE));
     prep_work.extend(worker_spans(spans::PREP_COPY));
+    // Transfer/widen work on a non-trainer thread is pipeline work hidden
+    // under compute too (the threaded executor's transfer stage); on the
+    // inline schedule transfer runs on the trainer and stays excluded.
+    prep_work.extend(worker_spans(spans::STAGE_TRANSFER));
     let compute_iv: Vec<(u64, u64)> = trainer_tid
         .map(|t| {
             snap.spans(spans::STAGE_TRAIN)
@@ -378,6 +387,104 @@ mod tests {
         let w = r.occupancy.iter().find(|o| o.tid != trainer).unwrap();
         assert_eq!(w.busy_ns, 75);
         assert_eq!(w.name, "w");
+    }
+
+    /// The threaded stage-graph layout: `epoch` on the orchestrating main
+    /// thread, compute (+ its prep wait) on a dedicated stage thread,
+    /// transfer on another, sampling on a worker. Known overlap by
+    /// construction: sample 20..60 (40) ∪ transfer 60..80 (20) against
+    /// compute 0..100 → 60 of 100 compute ns → 0.6.
+    fn scripted_threaded() -> Snapshot {
+        let t = Trace::new(Clock::virtual_manual());
+        t.record_span(spans::EPOCH, crate::NO_BATCH, 0, 200);
+        let spawn = |name: &str, f: Box<dyn FnOnce(&Trace) + Send>| {
+            let t = t.clone();
+            std::thread::Builder::new()
+                .name(name.into())
+                .spawn(move || f(&t))
+                .unwrap()
+                .join()
+                .unwrap();
+        };
+        spawn(
+            "compute",
+            Box::new(|t| {
+                t.record_span(spans::STAGE_TRAIN, 0, 0, 100);
+                t.record_span(spans::STAGE_PREP, 1, 100, 130);
+                t.record_span(spans::STAGE_TRAIN, 1, 130, 190);
+            }),
+        );
+        spawn(
+            "transfer",
+            Box::new(|t| {
+                t.record_span(spans::STAGE_TRANSFER, 1, 60, 80);
+            }),
+        );
+        spawn(
+            "sampler",
+            Box::new(|t| {
+                t.record_span(spans::PREP_SAMPLE, 1, 20, 60);
+            }),
+        );
+        t.snapshot()
+    }
+
+    #[test]
+    fn cross_thread_overlap_is_credited_at_known_fraction() {
+        let snap = scripted_threaded();
+        let r = analyze(&snap);
+        // The trainer is the stage.train recorder, NOT the epoch recorder:
+        // resolving via `epoch` first is the regression that reported
+        // overlap_frac 0 for every threaded run.
+        let compute_tid = snap.spans(spans::STAGE_TRAIN).next().unwrap().tid;
+        let epoch_tid = snap.spans(spans::EPOCH).next().unwrap().tid;
+        assert_ne!(compute_tid, epoch_tid);
+        assert_eq!(r.trainer_tid, Some(compute_tid));
+        // The epoch wrapper still defines the window even off-trainer.
+        assert_eq!(r.window_ns, 200);
+        assert_eq!(r.compute_ns, 160);
+        assert_eq!(r.prep_ns, 30);
+        // Transfer happened on its own stage thread — pipelined away from
+        // the trainer, so it contributes to overlap, not to trainer stall.
+        assert_eq!(r.transfer_ns, 0);
+        // sample 20..60 ∪ transfer 60..80 vs compute 0..100 ∪ 130..190.
+        assert_eq!(r.overlap_ns, 60);
+        assert!((r.overlap_frac() - 60.0 / 160.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overlap_frac_against_compute_only_window() {
+        // Restrict to the first compute interval: overlap 60 of compute
+        // 100 → exactly the hand-computed 0.6.
+        let snap = scripted_threaded().window(0, 100);
+        let r = analyze(&snap);
+        assert_eq!(r.compute_ns, 100);
+        assert_eq!(r.overlap_ns, 60);
+        assert!((r.overlap_frac() - 0.6).abs() < 1e-9, "{}", r.overlap_frac());
+    }
+
+    #[test]
+    fn serial_schedule_still_reports_zero_overlap() {
+        // The inline schedule's shape: prep wait, transfer, and compute all
+        // on one thread, worker spans only inside the trainer's waits —
+        // nothing concurrent with compute, so overlap must stay 0.
+        let t = Trace::new(Clock::virtual_manual());
+        t.record_span(spans::EPOCH, crate::NO_BATCH, 0, 300);
+        t.record_span(spans::STAGE_PREP, 0, 0, 100);
+        t.record_span(spans::STAGE_TRANSFER, 0, 100, 120);
+        t.record_span(spans::STAGE_TRAIN, 0, 120, 200);
+        let worker = std::thread::Builder::new()
+            .name("w".into())
+            .spawn({
+                let t = t.clone();
+                move || t.record_span(spans::PREP_SAMPLE, 0, 10, 90)
+            })
+            .unwrap();
+        worker.join().unwrap();
+        let r = analyze(&t.snapshot());
+        assert_eq!(r.overlap_ns, 0);
+        assert_eq!(r.overlap_frac(), 0.0);
+        assert_eq!(r.transfer_ns, 20);
     }
 
     #[test]

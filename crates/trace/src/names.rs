@@ -37,7 +37,18 @@ pub mod spans {
     pub const SERVE_SLICE: &str = "serve.slice";
     /// Serving micro-batch model compute (widen + forward).
     pub const SERVE_GEMM: &str = "serve.gemm";
-    /// Warm-up iterations excluded from steady-state measurement.
+    /// A pipeline stage blocked on its input queue (threaded stage-graph
+    /// executor; the sink stage's wait keeps its Table-1 name,
+    /// [`STAGE_PREP`]).
+    pub const PIPE_WAIT: &str = "pipe.wait";
+    /// DDP rank-side batch preparation (sample + gather) stage work.
+    pub const DDP_PREP: &str = "ddp.prep";
+    /// DDP rank-side compute (forward + backward + all-reduce + step)
+    /// stage work.
+    pub const DDP_TRAIN: &str = "ddp.train";
+    /// Warm-up iterations excluded from steady-state measurement; also the
+    /// stage-graph executor's first source wait per run (pipeline fill),
+    /// kept out of the steady-state wait histogram.
     pub const WARMUP: &str = "warmup";
     /// Bench harness: one PyG-style (per-batch allocation) sampling pass.
     pub const BENCH_SAMPLE_PYG: &str = "bench.sample_pyg";
@@ -59,6 +70,9 @@ pub mod spans {
         SERVE_SAMPLE,
         SERVE_SLICE,
         SERVE_GEMM,
+        PIPE_WAIT,
+        DDP_PREP,
+        DDP_TRAIN,
         WARMUP,
         BENCH_SAMPLE_PYG,
         BENCH_SAMPLE_FAST,
@@ -118,6 +132,8 @@ pub mod counters {
     pub const SERVE_BREAKER_OPENS: &str = "serve.breaker_opens";
     /// Serving worker threads respawned by the supervisor.
     pub const SERVE_RESPAWNS: &str = "serve.respawns";
+    /// Items dropped by a caught panic inside a stage-graph executor stage.
+    pub const PIPE_STAGE_PANICS: &str = "pipe.stage_panics";
 
     /// Every counter name — the exporter's known-name list.
     pub const ALL: &[&str] = &[
@@ -145,6 +161,7 @@ pub mod counters {
         SERVE_RESTORES,
         SERVE_BREAKER_OPENS,
         SERVE_RESPAWNS,
+        PIPE_STAGE_PANICS,
     ];
 }
 
@@ -156,9 +173,13 @@ pub mod gauges {
     pub const FANOUT_LEVEL: &str = "serve.fanout_level";
     /// Circuit-breaker state (0 closed, 1 half-open, 2 open).
     pub const BREAKER_STATE: &str = "serve.breaker_state";
+    /// Depth of the stage-graph executor's transfer→compute queue (the
+    /// double-buffer bound; backpressure shows as this gauge pinned at
+    /// capacity).
+    pub const PIPE_QUEUE_COMPUTE: &str = "pipe.q.compute";
 
     /// Every gauge name — the exporter's known-name list.
-    pub const ALL: &[&str] = &[QUEUE_DEPTH, FANOUT_LEVEL, BREAKER_STATE];
+    pub const ALL: &[&str] = &[QUEUE_DEPTH, FANOUT_LEVEL, BREAKER_STATE, PIPE_QUEUE_COMPUTE];
 }
 
 /// Histogram names.
@@ -173,6 +194,10 @@ pub mod hists {
     pub const SERVE_LATENCY_NS: &str = "serve.latency_ns";
     /// Serving micro-batch pipeline nanoseconds (sample + slice + gemm).
     pub const SERVE_BATCH_NS: &str = "serve.batch_ns";
+    /// Pipeline-fill nanoseconds: the stage-graph executor's first source
+    /// wait per run, reported separately so it cannot distort the
+    /// steady-state `prep.wait_ns` percentiles.
+    pub const PIPE_FILL_NS: &str = "pipe.fill_ns";
 
     /// Every histogram name — the exporter's known-name list.
     pub const ALL: &[&str] = &[
@@ -181,6 +206,7 @@ pub mod hists {
         PREP_WAIT_NS,
         SERVE_LATENCY_NS,
         SERVE_BATCH_NS,
+        PIPE_FILL_NS,
     ];
 }
 
@@ -206,6 +232,11 @@ pub mod events {
     pub const SERVE_BREAKER_HALF_OPEN: &str = "serve.breaker.half_open";
     /// Serving circuit breaker probe succeeded: HalfOpen→Closed.
     pub const SERVE_BREAKER_CLOSE: &str = "serve.breaker.close";
+    /// A stage-graph executor stage caught an item panic (item dropped).
+    pub const PIPE_STAGE_PANIC: &str = "pipe.stage_panic";
+    /// A stage-graph run exceeded its panic budget (or a stage returned a
+    /// fatal outcome) and stopped pulling new work.
+    pub const PIPE_POISONED: &str = "pipe.poisoned";
 
     /// Every event name — the exporter's known-name list.
     pub const ALL: &[&str] = &[
@@ -219,5 +250,7 @@ pub mod events {
         SERVE_BREAKER_OPEN,
         SERVE_BREAKER_HALF_OPEN,
         SERVE_BREAKER_CLOSE,
+        PIPE_STAGE_PANIC,
+        PIPE_POISONED,
     ];
 }

@@ -9,6 +9,7 @@ pub use salient_ddp as ddp;
 pub use salient_fault as fault;
 pub use salient_graph as graph;
 pub use salient_nn as nn;
+pub use salient_pipeline as pipeline;
 pub use salient_sampler as sampler;
 pub use salient_serve as serve;
 pub use salient_sim as sim;

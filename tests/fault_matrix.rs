@@ -254,6 +254,79 @@ fn worker_collapse_degrades_to_inline_preparation() {
     }
 }
 
+#[test]
+fn transfer_stage_panic_retires_one_batch_and_the_pipeline_survives() {
+    let _s = serial();
+    use salient_repro::core::Trainer;
+    // Batch 2's transfer stage panics inside the pipelined executor. The
+    // engine catches it, drops the item (its pinned slot returns via RAII —
+    // with slots=4 and more batches than slots, a leaked slot would starve
+    // the prep workers and hang this test), counts it against the graph's
+    // panic budget, and the epoch completes on the surviving batches.
+    let ds = dataset();
+    let trace = Trace::new(Clock::virtual_with_tick(1_000));
+    let run = RunConfig {
+        epochs: 1,
+        batch_size: 32,
+        ..RunConfig::test_tiny()
+    };
+    let n = ds.splits.train.len().div_ceil(run.batch_size);
+    assert!(n > run.slots, "must recycle slots to prove none leaked");
+    let _guard = fault::scoped(FaultPlan::new(41).panic_at(sites::PIPE_TRANSFER, 2));
+    let mut trainer = Trainer::with_trace(Arc::clone(&ds), run, trace.clone());
+    let stats = trainer.fit();
+    assert_eq!(stats.len(), 1);
+    assert_eq!(stats[0].batches, n - 1, "exactly the panicked batch is lost");
+    assert_eq!(stats[0].failed_batches, 1, "the loss is accounted, not silent");
+
+    // The panic is observable on the timeline: one stage-panic counter
+    // tick and one point event tagged with the failing batch id; the
+    // pipeline never poisons.
+    let snap = trace.snapshot();
+    assert_eq!(snap.metrics.counter(names::counters::PIPE_STAGE_PANICS), 1);
+    let tagged: Vec<u64> = snap
+        .events
+        .iter()
+        .filter(|e| e.name == names::events::PIPE_STAGE_PANIC)
+        .map(|e| e.batch)
+        .collect();
+    assert_eq!(tagged, vec![2]);
+    assert_eq!(snap.count(names::events::PIPE_POISONED), 0);
+
+    // The panicked batch never reached the compute stage.
+    let trained: Vec<u64> = snap
+        .spans(names::spans::STAGE_TRAIN)
+        .map(|e| e.batch)
+        .collect();
+    assert_eq!(trained.len(), n - 1);
+    assert!(!trained.contains(&2), "batch 2 must not train after its panic");
+}
+
+#[test]
+fn transfer_stage_drop_fault_skips_the_batch_silently_but_accounted() {
+    let _s = serial();
+    use salient_repro::core::Trainer;
+    // Same site, Drop kind: the transfer stage sheds the batch without a
+    // panic — no stage-panic activity, but the batch is still accounted as
+    // failed and the rest of the epoch is untouched.
+    let ds = dataset();
+    let trace = Trace::new(Clock::virtual_with_tick(1_000));
+    let run = RunConfig {
+        epochs: 1,
+        batch_size: 32,
+        ..RunConfig::test_tiny()
+    };
+    let n = ds.splits.train.len().div_ceil(run.batch_size);
+    let _guard = fault::scoped(FaultPlan::new(42).drop_at(sites::PIPE_TRANSFER, 1));
+    let mut trainer = Trainer::with_trace(Arc::clone(&ds), run, trace.clone());
+    let stats = trainer.fit();
+    assert_eq!(stats[0].batches, n - 1);
+    assert_eq!(stats[0].failed_batches, 1);
+    let snap = trace.snapshot();
+    assert_eq!(snap.metrics.counter(names::counters::PIPE_STAGE_PANICS), 0);
+    assert_eq!(snap.count(names::events::PIPE_POISONED), 0);
+}
+
 fn ddp_cfg() -> RunConfig {
     RunConfig {
         epochs: 1,

@@ -3,6 +3,7 @@
 //! graphs with matching statistics.
 
 use salient_repro::graph::{DatasetConfig, DatasetStats};
+use salient_repro::pipeline::shape::{self, ResourceKind, TRANSFER_QUEUE_CAP};
 use salient_repro::sampler::FastSampler;
 use salient_repro::sim::{expected_batch, CostModel, EpochConfig, OptLevel};
 
@@ -98,6 +99,90 @@ fn simulator_reproduces_headline_claims() {
         "16-GPU parallel speedup ≈8x, got {:.2}",
         salient / multi
     );
+}
+
+#[test]
+fn pipelined_sim_schedule_is_structurally_the_real_stage_graph() {
+    // Schedule drift between the simulator and the real executor is caught
+    // structurally: both planes are built from `pipeline::shape::train()`,
+    // so this test asserts (a) every simulated Pipelined task comes from
+    // the shared shape and runs on the shape's resource class, (b) the
+    // simulated transfer stage carries the real executor's
+    // double-buffering bound, and (c) a real traced run records exactly
+    // the spans the shape names.
+    use salient_repro::core::{ExecutorKind, RunConfig, Trainer};
+    use salient_repro::trace::{Clock, Trace};
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    let cfg = EpochConfig::paper_default(DatasetStats::arxiv(), OptLevel::Pipelined);
+    let (_report, sim, _ex) =
+        salient_repro::sim::simulate_epoch_detailed(&cfg, &CostModel::paper_hardware());
+    let train_shape = shape::train();
+    let resource_name = |k: ResourceKind| match k {
+        ResourceKind::Workers => "cpu-workers",
+        ResourceKind::Dma => "dma",
+        ResourceKind::Gpu => "gpu",
+    };
+
+    let mut per_stage: BTreeMap<&str, usize> = BTreeMap::new();
+    let mut task_by_label: BTreeMap<String, usize> = BTreeMap::new();
+    for (tid, task) in sim.tasks().iter().enumerate() {
+        let prefix = task.label.split('[').next().expect("task label");
+        let stage = train_shape
+            .iter()
+            .find(|s| s.sim_task == prefix)
+            .unwrap_or_else(|| panic!("sim task {:?} is not in shape::train()", task.label));
+        assert_eq!(
+            sim.resources()[task.resource].name,
+            resource_name(stage.resource),
+            "{:?} must run on its shape's resource class",
+            task.label
+        );
+        *per_stage.entry(stage.sim_task).or_insert(0) += 1;
+        task_by_label.insert(task.label.clone(), tid);
+    }
+    let stages: Vec<&str> = per_stage.keys().copied().collect();
+    assert_eq!(stages, ["prep", "train", "transfer"], "stage set drifted");
+    let batches = per_stage["train"];
+    assert!(batches > TRANSFER_QUEUE_CAP + 1, "need enough batches to exercise the bound");
+    assert_eq!(per_stage["prep"], batches);
+    assert_eq!(per_stage["transfer"], batches);
+
+    // transfer[b] may run at most TRANSFER_QUEUE_CAP + 1 batches ahead of
+    // the consumer — the same backpressure the bounded queue imposes on
+    // the real executor.
+    for b in (TRANSFER_QUEUE_CAP + 1)..batches {
+        let tr = task_by_label[&format!("transfer[{b}]")];
+        let gate = task_by_label[&format!("train[{}]", b - TRANSFER_QUEUE_CAP - 1)];
+        assert!(
+            sim.tasks()[tr].deps.contains(&gate),
+            "transfer[{b}] is missing its double-buffer gate"
+        );
+    }
+
+    // Real plane: a traced SALIENT run must record every span the shape
+    // names (prep.sample on the workers, stage.transfer and stage.train on
+    // the executor), so renaming or dropping a stage on either side fails
+    // here rather than silently desynchronizing the planes.
+    let trace = Trace::new(Clock::virtual_with_tick(1_000));
+    let dataset = Arc::new(DatasetConfig::tiny(5).build());
+    let run = RunConfig {
+        executor: ExecutorKind::Salient,
+        epochs: 1,
+        num_workers: 2,
+        ..RunConfig::test_tiny()
+    };
+    let mut trainer = Trainer::with_trace(dataset, run, trace.clone());
+    trainer.fit();
+    let snap = trace.snapshot();
+    for stage in &train_shape {
+        assert!(
+            snap.spans(stage.span).next().is_some(),
+            "real trace is missing span {:?} required by shape::train()",
+            stage.span
+        );
+    }
 }
 
 #[test]
