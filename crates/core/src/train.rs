@@ -121,6 +121,18 @@ impl Trainer {
     /// Panics if the configuration is inconsistent.
     pub fn with_trace(dataset: Arc<Dataset>, config: RunConfig, trace: Trace) -> Self {
         config.validate();
+        // With a flight recorder attached, arm the fault-site observer so a
+        // triggered injection dumps the recorder *before* the action (e.g.
+        // an injected panic) lands — the dump names the site and carries the
+        // failing batch's causal window.
+        if trace.blackbox().is_some() {
+            let obs_trace = trace.clone();
+            fault::set_fire_observer(Some(std::sync::Arc::new(move |site: &str, occ: u64| {
+                if let Some(bb) = obs_trace.blackbox() {
+                    let _ = bb.dump(&obs_trace, site, occ);
+                }
+            })));
+        }
         let model = build_model(
             config.model.into(),
             dataset.features.dim(),

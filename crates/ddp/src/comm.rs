@@ -216,15 +216,19 @@ impl Communicator {
     /// fault drops the link) and receive the previous rank's payload within
     /// the deadline.
     fn step(&self, payload: Vec<f32>, phase: CommPhase) -> Result<Vec<f32>, CommError> {
-        // Relaxed: diagnostic step counter; channel send/recv below provide
-        // all cross-rank ordering.
-        self.steps.fetch_add(1, Ordering::Relaxed);
+        // The pre-increment value doubles as the ring-step index tagged
+        // onto the send/recv edge spans, letting the critical-path
+        // reconstructor chain them across ranks. Relaxed: diagnostic
+        // counter; the channel send/recv provide all cross-rank ordering.
+        let ring_step = self.steps.fetch_add(1, Ordering::Relaxed);
         // Comm span covers the send and the (possibly blocking) receive —
         // the trace-level view of ring latency. Payloads are f32s.
         let _comm_span = self.trace.span(names::spans::COMM_STEP);
         self.steps_counter.inc();
         self.bytes_sent
             .add(payload.len() as u64 * std::mem::size_of::<f32>() as u64);
+        let clock = self.trace.clock();
+        let send_t0 = clock.now_ns();
         match fault::point(fault::sites::DDP_SEND, self.rank as u64) {
             FaultAction::Proceed => {
                 if self.to_next.send(payload).is_err() {
@@ -244,11 +248,17 @@ impl Communicator {
                 panic!("injected fault: panic at ddp.send (rank {})", self.rank)
             }
         }
+        self.trace
+            .record_span(names::spans::DDP_RING_SEND, ring_step, send_t0, clock.now_ns());
         if let FaultAction::Delay(d) = fault::point(fault::sites::DDP_RECV, self.rank as u64) {
             // lint: allow(determinism, deterministically injected fault delay; duration comes from the fault plan)
             std::thread::sleep(d);
         }
-        match self.recv_from_prev() {
+        let recv_t0 = clock.now_ns();
+        let received = self.recv_from_prev();
+        self.trace
+            .record_span(names::spans::DDP_RING_RECV, ring_step, recv_t0, clock.now_ns());
+        match received {
             Ok(v) => Ok(v),
             Err(RecvTimeoutError::Timeout) => {
                 Err(self.err(phase, CommErrorKind::Timeout(self.timeout)))
@@ -486,12 +496,23 @@ mod tests {
                 s.spawn(move || {
                     let mut data = vec![1.0f32; 8];
                     comm.all_reduce_sum(&mut data).unwrap();
+                    // Scoped threads can release the scope before their
+                    // TLS destructors run, so flush explicitly rather than
+                    // relying on teardown to beat the snapshot below.
+                    comm.trace.flush_current_thread();
                 });
             }
         });
         let snap = trace.snapshot();
         // 2 ranks × (1 reduce-scatter + 1 all-gather) ring steps.
         assert_eq!(snap.spans(names::spans::COMM_STEP).count(), 4);
+        // Every step carries one send edge and one recv edge, batch-tagged
+        // with its ring-step index for the critical-path reconstructor.
+        assert_eq!(snap.spans(names::spans::DDP_RING_SEND).count(), 4);
+        assert_eq!(snap.spans(names::spans::DDP_RING_RECV).count(), 4);
+        assert!(snap
+            .spans(names::spans::DDP_RING_SEND)
+            .all(|e| e.batch == 0 || e.batch == 1));
         assert_eq!(snap.metrics.counter(names::counters::DDP_STEPS), 4);
         // Each step ships one 4-float chunk (len 8 split across 2 ranks).
         assert_eq!(snap.metrics.counter(names::counters::DDP_BYTES), 4 * 16);

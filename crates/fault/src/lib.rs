@@ -441,6 +441,47 @@ fn inner_mut(this: &mut Arc<PlanInner>) -> &mut PlanInner {
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static PLAN: Mutex<Option<FaultPlan>> = Mutex::new(None);
 
+/// A callback invoked whenever an installed plan actually triggers a fault
+/// (any [`FaultAction`] other than `Proceed`), with the site name and
+/// occurrence id. Used to hook the flight recorder: a dump taken *before*
+/// an injected panic unwinds captures the causal window leading up to it.
+pub type FireObserver = Arc<dyn Fn(&str, u64) + Send + Sync>;
+
+static OBSERVER_ARMED: AtomicBool = AtomicBool::new(false);
+static OBSERVER: Mutex<Option<FireObserver>> = Mutex::new(None);
+
+/// Registers (or with `None`, clears) the process-global fire observer.
+///
+/// The observer runs on the faulting thread, after the plan decision and
+/// before the action is applied — in particular before an injected panic
+/// unwinds. It is called outside every fault-crate lock, so it may freely
+/// take its own locks (e.g. to dump a trace).
+pub fn set_fire_observer(obs: Option<FireObserver>) {
+    // Armed flag first-cleared / last-set so the fast path in
+    // `notify_observer` never observes the flag without the observer.
+    OBSERVER_ARMED.store(false, Ordering::Release);
+    let armed = obs.is_some();
+    *OBSERVER.lock().unwrap_or_else(std::sync::PoisonError::into_inner) = obs;
+    OBSERVER_ARMED.store(armed, Ordering::Release);
+}
+
+fn notify_observer(site: &str, occ: u64) {
+    // Relaxed fast path mirrors `point`: with no observer armed this is one
+    // load on the (already cold) fault-firing path.
+    if !OBSERVER_ARMED.load(Ordering::Relaxed) {
+        return;
+    }
+    // Clone the handle out of the lock before calling so the observer can
+    // itself reach fault/trace machinery without a lock-order cycle.
+    let obs = OBSERVER
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone();
+    if let Some(f) = obs {
+        f(site, occ);
+    }
+}
+
 /// Installs `plan` process-wide; subsequent [`point`] calls consult it.
 pub fn install(plan: FaultPlan) {
     *PLAN.lock().unwrap() = Some(plan);
@@ -509,11 +550,19 @@ fn point_slow(site: &str, occ: u64) -> FaultAction {
     // critical sections are plain reads/assignments, so a poisoned guard
     // carries no broken invariant — and decision points sit on hot paths
     // that must stay panic-free.
-    let guard = PLAN.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-    match guard.as_ref() {
-        Some(plan) => plan.decide(site, occ),
-        None => FaultAction::Proceed,
+    let action = {
+        let guard = PLAN.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        match guard.as_ref() {
+            Some(plan) => plan.decide(site, occ),
+            None => FaultAction::Proceed,
+        }
+    };
+    // Notify after the plan lock drops: the observer may dump a trace or
+    // take arbitrary locks of its own.
+    if action != FaultAction::Proceed {
+        notify_observer(site, occ);
     }
+    action
 }
 
 /// Evaluates `point(site, occ)` and applies panics and delays inline.
@@ -647,6 +696,31 @@ mod tests {
         }
         assert!(!enabled());
         assert_eq!(point(sites::PREP_SEND, 2), FaultAction::Proceed);
+    }
+
+    #[test]
+    fn fire_observer_sees_triggered_sites_before_the_action() {
+        // Global state, like global_install_and_scoped_clear: restores the
+        // disarmed observer and cleared plan before returning.
+        let seen: Arc<Mutex<Vec<(String, u64)>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = seen.clone();
+        set_fire_observer(Some(Arc::new(move |site: &str, occ: u64| {
+            sink.lock().unwrap().push((site.to_string(), occ));
+        })));
+        {
+            let _g = scoped(FaultPlan::new(0).drop_at(sites::PREP_WORKER, 77));
+            // A proceed decision must not notify.
+            assert_eq!(point(sites::PREP_WORKER, 76), FaultAction::Proceed);
+            // A triggered drop must.
+            assert_eq!(point(sites::PREP_WORKER, 77), FaultAction::Drop);
+        }
+        set_fire_observer(None);
+        let seen = seen.lock().unwrap();
+        assert!(
+            seen.contains(&(sites::PREP_WORKER.to_string(), 77)),
+            "observer missed the triggered site: {seen:?}"
+        );
+        assert!(!seen.contains(&(sites::PREP_WORKER.to_string(), 76)));
     }
 
     #[test]

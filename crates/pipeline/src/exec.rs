@@ -357,6 +357,7 @@ impl<'a, T: PipeItem + Send + 'a> StageGraph<'a, T> {
                         if stats.panics > self.spec.panic_budget {
                             stats.fatal_stage = Some(stage.spec.work_span);
                             trace.instant(names::events::PIPE_POISONED, bid);
+                            dump_on_poison(trace, bid);
                             break 'items;
                         }
                         continue 'items;
@@ -364,6 +365,7 @@ impl<'a, T: PipeItem + Send + 'a> StageGraph<'a, T> {
                     Ok(StageOutcome::Fatal) => {
                         stats.fatal_stage = Some(stage.spec.work_span);
                         trace.instant(names::events::PIPE_POISONED, bid);
+                        dump_on_poison(trace, bid);
                         break 'items;
                     }
                     Ok(StageOutcome::Skip) => {
@@ -420,7 +422,7 @@ impl<'a, T: PipeItem + Send + 'a> StageGraph<'a, T> {
                 } else {
                     let (cap, gauge) = feeds.next().unwrap_or((1, None));
                     let (tx, rx) = queue::bounded::<T>(cap);
-                    (Some((tx, gauge.map(|g| trace.gauge(g)))), Some(rx))
+                    (Some((tx, gauge.map(|g| (g, trace.gauge(g))))), Some(rx))
                 };
                 let input = incoming.take();
                 incoming = next_rx;
@@ -473,8 +475,18 @@ struct StageCtx<'env, 'a, T> {
     source: Option<Box<dyn FnMut() -> Option<T> + Send + 'a>>,
     /// Later stages: the queue from the previous stage.
     input: Option<queue::Receiver<T>>,
-    /// Non-last stages: the queue to the next stage (+ its depth gauge).
-    output: Option<(queue::Sender<T>, Option<Gauge>)>,
+    /// Non-last stages: the queue to the next stage (+ its depth gauge,
+    /// keyed by the registered gauge name so depth samples also land on a
+    /// Chrome-trace counter track).
+    output: Option<(queue::Sender<T>, Option<(&'static str, Gauge)>)>,
+}
+
+/// On poison, hand the flight recorder the failing batch id so the dump
+/// carries that batch's causal chain. No-op when no blackbox is attached.
+fn dump_on_poison(trace: &Trace, bid: u64) {
+    if let Some(bb) = trace.blackbox() {
+        let _ = bb.dump(trace, names::events::PIPE_POISONED, bid);
+    }
 }
 
 /// One stage thread: pull → wait span → step (panic-caught) → work span →
@@ -502,8 +514,8 @@ fn stage_loop<T: PipeItem + Send>(ctx: StageCtx<'_, '_, T>) {
     let fill_hist = trace.histogram(names::hists::PIPE_FILL_NS);
     let panic_ctr = trace.counter(names::counters::PIPE_STAGE_PANICS);
     let work_hist: Option<Histogram> = stage.spec.work_hist.map(|n| trace.histogram(n));
-    let in_gauge: Option<Gauge> = match (&input, stage.spec.queue_gauge) {
-        (Some(_), Some(g)) => Some(trace.gauge(g)),
+    let in_gauge: Option<(&'static str, Gauge)> = match (&input, stage.spec.queue_gauge) {
+        (Some(_), Some(g)) => Some((g, trace.gauge(g))),
         _ => None,
     };
     let mut first_wait = true;
@@ -519,8 +531,10 @@ fn stage_loop<T: PipeItem + Send>(ctx: StageCtx<'_, '_, T>) {
             }
             (None, Some(rx)) => {
                 let it = rx.recv();
-                if let Some(g) = &in_gauge {
-                    g.set(rx.len() as u64);
+                if let Some((name, g)) = &in_gauge {
+                    let depth = rx.len() as u64;
+                    g.set(depth);
+                    trace.counter_track(*name, depth);
                 }
                 it
             }
@@ -556,6 +570,7 @@ fn stage_loop<T: PipeItem + Send>(ctx: StageCtx<'_, '_, T>) {
                 if total > spec.panic_budget {
                     shared.poison(stage.spec.work_span);
                     trace.instant(names::events::PIPE_POISONED, bid);
+                    dump_on_poison(&trace, bid);
                     if is_last {
                         // The sink exits now; dropping its receiver
                         // unblocks parked upstream senders with an error.
@@ -566,6 +581,7 @@ fn stage_loop<T: PipeItem + Send>(ctx: StageCtx<'_, '_, T>) {
             Ok(StageOutcome::Fatal) => {
                 shared.poison(stage.spec.work_span);
                 trace.instant(names::events::PIPE_POISONED, bid);
+                dump_on_poison(&trace, bid);
                 if is_last {
                     break;
                 }
@@ -583,12 +599,19 @@ fn stage_loop<T: PipeItem + Send>(ctx: StageCtx<'_, '_, T>) {
                 } else if is_last {
                     shared.emitted.fetch_add(1, Ordering::AcqRel);
                 } else if let Some((tx, gauge)) = &output {
+                    // The send span makes backpressure visible on the
+                    // causal chain: a full downstream queue parks us here.
+                    let ts0 = clock.now_ns();
                     if tx.send(next).is_err() {
                         // Downstream hung up (poisoned): stop producing.
                         break;
                     }
-                    if let Some(g) = gauge {
-                        g.set(tx.len() as u64);
+                    let ts1 = clock.now_ns();
+                    trace.record_span(names::spans::PIPE_SEND, bid, ts0, ts1);
+                    if let Some((name, g)) = gauge {
+                        let depth = tx.len() as u64;
+                        g.set(depth);
+                        trace.counter_track(name, depth);
                     }
                 }
             }

@@ -372,6 +372,11 @@ impl ServerCore {
                 self.ins.breaker_opens.inc();
                 self.ins.breaker_state.set(1);
                 self.trace.instant(names::events::SERVE_BREAKER_OPEN, self.batch_seq);
+                // A breaker open means the server is shedding load: dump the
+                // flight recorder so the window leading up to it survives.
+                if let Some(bb) = self.trace.blackbox() {
+                    let _ = bb.dump(&self.trace, names::events::SERVE_BREAKER_OPEN, self.batch_seq);
+                }
             }
             BreakerMove::HalfOpened => {
                 self.ins.breaker_state.set(2);

@@ -37,8 +37,8 @@ pub use cost::{CostModel, GnnArch, Impl};
 pub use des::{Executed, ResourceId, ResourceSpec, SimTime, Simulation, TaskId, TaskSpec};
 pub use multi::{scaling_sweep, simulate_multi_gpu, MultiGpuConfig, MultiGpuReport};
 pub use schedules::{
-    simulate_epoch, simulate_epoch_detailed, simulate_inference_epoch, EpochConfig, EpochReport,
-    OptLevel,
+    pipelined_shape_ns, simulate_epoch, simulate_epoch_detailed, simulate_inference_epoch,
+    EpochConfig, EpochReport, OptLevel, PipelinedShapeNs,
 };
 pub use timeline::{render_text, to_csv};
 pub use workload::{epoch_totals, expected_batch, expected_samples_per_node, BatchWorkload};

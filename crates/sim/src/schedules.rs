@@ -175,6 +175,47 @@ pub(crate) fn stage_durations(cfg: &EpochConfig, m: &CostModel, w: &BatchWorkloa
     }
 }
 
+/// The Pipelined schedule's per-batch stage durations and shape constants,
+/// exported for cross-validation: the trace-side what-if projector
+/// (`salient_trace::critical_path::Replay`) builds the same batch-major
+/// greedy schedule from these numbers, and CI gates its makespan against
+/// the DES result from [`simulate_epoch_detailed`].
+#[derive(Clone, Copy, Debug)]
+pub struct PipelinedShapeNs {
+    /// Per-batch end-to-end prep duration on one worker (ns).
+    pub prep_ns: u64,
+    /// Per-batch transfer duration on the DMA stream (ns).
+    pub transfer_ns: u64,
+    /// Per-batch GPU train duration (ns).
+    pub train_ns: u64,
+    /// Prep worker-pool width.
+    pub workers: usize,
+    /// Batches per epoch.
+    pub batches: usize,
+    /// Bounded transfer→train queue capacity (see
+    /// [`salient_pipeline::shape::TRANSFER_QUEUE_CAP`]).
+    pub queue_cap: usize,
+    /// Source prefetch depth: how many batches may enter prep before the
+    /// first train completion gates further sourcing.
+    pub prefetch: usize,
+}
+
+/// Computes the [`PipelinedShapeNs`] for `cfg` under `model` — the exact
+/// constants [`simulate_epoch_detailed`] uses for [`OptLevel::Pipelined`].
+pub fn pipelined_shape_ns(cfg: &EpochConfig, model: &CostModel) -> PipelinedShapeNs {
+    let w = expected_batch(&cfg.stats, &cfg.fanouts, cfg.batch_size);
+    let s = stage_durations(cfg, model, &w);
+    PipelinedShapeNs {
+        prep_ns: s.prep_worker as u64,
+        transfer_ns: s.transfer as u64,
+        train_ns: s.train as u64,
+        workers: cfg.cpu_workers,
+        batches: cfg.stats.batches_per_epoch(cfg.batch_size),
+        queue_cap: TRANSFER_QUEUE_CAP,
+        prefetch: 2 * cfg.cpu_workers,
+    }
+}
+
 /// Builds and runs the DES for one epoch, returning the report plus the raw
 /// execution (for timeline export).
 pub fn simulate_epoch_detailed(

@@ -146,8 +146,18 @@ pub struct PipelineReport {
     pub transfer_ns: u64,
     /// Trainer in model compute (`stage.train`).
     pub compute_ns: u64,
-    /// Unattributed trainer time (scheduling gaps, pipeline fill).
+    /// Trainer time outside the three stages. Always equals
+    /// `fill_ns + idle_ns + shutdown_ns` — the named decomposition below —
+    /// so nothing in the window is left unattributed.
     pub other_ns: u64,
+    /// Pipeline fill: each epoch window's lead-in before the trainer's
+    /// first stage activity, plus explicit warm-up waits on the trainer.
+    pub fill_ns: u64,
+    /// Mid-run scheduling gaps on the trainer (the residual after fill and
+    /// shutdown are carved out of `other_ns`).
+    pub idle_ns: u64,
+    /// Epoch tail after the trainer's last stage activity (drain/teardown).
+    pub shutdown_ns: u64,
     /// Worker time in neighborhood sampling.
     pub worker_sample_ns: u64,
     /// Worker time in slicing.
@@ -200,17 +210,23 @@ impl PipelineReport {
 
 /// Computes the stall-attribution report from a snapshot.
 pub fn analyze(snap: &Snapshot) -> PipelineReport {
-    // The trainer is the thread that records model compute (`stage.train`).
-    // The `epoch` wrapper is only a fallback: in the threaded stage-graph
-    // executor the epoch span lives on the orchestrating thread while
-    // compute runs on a dedicated stage thread, and resolving the trainer
-    // via `epoch` first silently zeroed compute_ns — and with it every
-    // overlap_frac — for exactly the runs that pipeline.
-    let trainer_tid = snap
-        .spans(spans::STAGE_TRAIN)
-        .map(|e| e.tid)
-        .next()
-        .or_else(|| snap.spans(spans::EPOCH).map(|e| e.tid).next());
+    // The trainer is *every* thread that records model compute
+    // (`stage.train`) — a set, not a single tid, because the threaded
+    // stage-graph executor spawns fresh stage threads per epoch, so a
+    // multi-epoch run records compute on several tids and single-tid
+    // attribution silently dropped every epoch after the first. The
+    // `epoch` wrapper recorder is only a fallback for compute-less
+    // snapshots.
+    let trainer_tids: Vec<u32> = {
+        let mut v: Vec<u32> = snap.spans(spans::STAGE_TRAIN).map(|e| e.tid).collect();
+        v.sort_unstable();
+        v.dedup();
+        if v.is_empty() {
+            v.extend(snap.spans(spans::EPOCH).map(|e| e.tid).take(1));
+        }
+        v
+    };
+    let trainer_tid = trainer_tids.first().copied();
 
     // The window is epoch wall-clock wherever the wrapper was recorded
     // (trainer thread in the inline schedule, orchestrator in the threaded
@@ -222,15 +238,81 @@ pub fn analyze(snap: &Snapshot) -> PipelineReport {
         snap.extent().map(|(s, e)| e - s).unwrap_or(0)
     };
 
-    let on_trainer = |name: &str| trainer_tid.map(|t| snap.sum_ns_on(name, t)).unwrap_or(0);
+    let on_trainer = |name: &str| -> u64 {
+        trainer_tids
+            .iter()
+            .map(|&t| snap.sum_ns_on(name, t))
+            .sum()
+    };
     let prep_ns = on_trainer(spans::STAGE_PREP);
     let transfer_ns = on_trainer(spans::STAGE_TRANSFER);
     let compute_ns = on_trainer(spans::STAGE_TRAIN);
     let other_ns = window_ns.saturating_sub(prep_ns + transfer_ns + compute_ns);
 
+    // Attribute the `other` bucket into named categories. The window set is
+    // the merged epoch spans (snapshot extent as fallback); trainer "busy"
+    // is the union of its stage spans. Fill is each window's lead-in before
+    // the first busy interval plus explicit warm-up waits, shutdown is the
+    // tail after the last, and idle is the clamped residual — so the three
+    // always sum to other_ns exactly.
+    let windows: Vec<(u64, u64)> = {
+        // Per-epoch windows, deliberately NOT merged: back-to-back epochs
+        // touch at their boundary, and merging them would hide every
+        // epoch's fill/shutdown edges except the outermost ones.
+        let mut iv: Vec<(u64, u64)> = snap
+            .spans(spans::EPOCH)
+            .map(|e| (e.start_ns, e.end_ns))
+            .filter(|(s, e)| e > s)
+            .collect();
+        iv.sort_unstable();
+        if iv.is_empty() {
+            snap.extent().into_iter().collect()
+        } else {
+            iv
+        }
+    };
+    let busy: Vec<(u64, u64)> = merge_intervals(
+        snap.events
+            .iter()
+            .filter(|e| {
+                e.kind == EventKind::Span
+                    && trainer_tids.contains(&e.tid)
+                    && e.name != spans::EPOCH
+                    && e.name != spans::RANK_EPOCH
+                    && e.name != spans::WARMUP
+            })
+            .map(|e| (e.start_ns, e.end_ns))
+            .collect(),
+    );
+    let mut fill_iv: Vec<(u64, u64)> = snap
+        .spans(spans::WARMUP)
+        .filter(|e| trainer_tids.contains(&e.tid))
+        .map(|e| (e.start_ns, e.end_ns))
+        .collect();
+    let mut shutdown_raw = 0u64;
+    for &(ws, we) in &windows {
+        let clipped: Vec<(u64, u64)> = busy
+            .iter()
+            .filter_map(|&(s, e)| {
+                let lo = s.max(ws);
+                let hi = e.min(we);
+                (hi > lo).then_some((lo, hi))
+            })
+            .collect();
+        if let (Some(&(first, _)), Some(&(_, last))) = (clipped.first(), clipped.last()) {
+            if first > ws {
+                fill_iv.push((ws, first));
+            }
+            shutdown_raw += we.saturating_sub(last);
+        }
+    }
+    let fill_ns = union_ns(fill_iv).min(other_ns);
+    let shutdown_ns = shutdown_raw.min(other_ns - fill_ns);
+    let idle_ns = other_ns - fill_ns - shutdown_ns;
+
     let worker_spans = |name: &str| -> Vec<(u64, u64)> {
         snap.spans(name)
-            .filter(|e| Some(e.tid) != trainer_tid)
+            .filter(|e| !trainer_tids.contains(&e.tid))
             .map(|e| (e.start_ns, e.end_ns))
             .collect()
     };
@@ -242,14 +324,11 @@ pub fn analyze(snap: &Snapshot) -> PipelineReport {
     // under compute too (the threaded executor's transfer stage); on the
     // inline schedule transfer runs on the trainer and stays excluded.
     prep_work.extend(worker_spans(spans::STAGE_TRANSFER));
-    let compute_iv: Vec<(u64, u64)> = trainer_tid
-        .map(|t| {
-            snap.spans(spans::STAGE_TRAIN)
-                .filter(|e| e.tid == t)
-                .map(|e| (e.start_ns, e.end_ns))
-                .collect()
-        })
-        .unwrap_or_default();
+    let compute_iv: Vec<(u64, u64)> = snap
+        .spans(spans::STAGE_TRAIN)
+        .filter(|e| trainer_tids.contains(&e.tid))
+        .map(|e| (e.start_ns, e.end_ns))
+        .collect();
     let overlap_ns = intersection_ns(
         &merge_intervals(prep_work),
         &merge_intervals(compute_iv),
@@ -289,19 +368,22 @@ pub fn analyze(snap: &Snapshot) -> PipelineReport {
         transfer_ns,
         compute_ns,
         other_ns,
+        fill_ns,
+        idle_ns,
+        shutdown_ns,
         worker_sample_ns: snap
             .spans(spans::PREP_SAMPLE)
-            .filter(|e| Some(e.tid) != trainer_tid)
+            .filter(|e| !trainer_tids.contains(&e.tid))
             .map(SpanEvent::dur_ns)
             .sum(),
         worker_slice_ns: snap
             .spans(spans::PREP_SLICE)
-            .filter(|e| Some(e.tid) != trainer_tid)
+            .filter(|e| !trainer_tids.contains(&e.tid))
             .map(SpanEvent::dur_ns)
             .sum(),
         worker_copy_ns: snap
             .spans(spans::PREP_COPY)
-            .filter(|e| Some(e.tid) != trainer_tid)
+            .filter(|e| !trainer_tids.contains(&e.tid))
             .map(SpanEvent::dur_ns)
             .sum(),
         worker_slot_wait_ns: snap.sum_ns(spans::SLOT_WAIT),
@@ -364,6 +446,13 @@ mod tests {
         assert_eq!(r.other_ns, 50);
         let total: f64 = r.stage_pcts().iter().sum();
         assert!((total - 100.0).abs() < 1e-9, "{total}");
+        // The `other` bucket decomposes into named categories: the trainer
+        // was busy 0..150 inside the 0..200 window, so all 50 ns of other
+        // is epoch-tail shutdown.
+        assert_eq!(r.fill_ns, 0);
+        assert_eq!(r.idle_ns, 0);
+        assert_eq!(r.shutdown_ns, 50);
+        assert_eq!(r.fill_ns + r.idle_ns + r.shutdown_ns, r.other_ns);
     }
 
     #[test]
@@ -450,6 +539,54 @@ mod tests {
         // sample 20..60 ∪ transfer 60..80 vs compute 0..100 ∪ 130..190.
         assert_eq!(r.overlap_ns, 60);
         assert!((r.overlap_frac() - 60.0 / 160.0).abs() < 1e-9);
+        // other = 200 - 190 = 10, all after the trainer's last activity.
+        assert_eq!(r.other_ns, 10);
+        assert_eq!(r.shutdown_ns, 10);
+        assert_eq!(r.fill_ns, 0);
+        assert_eq!(r.idle_ns, 0);
+    }
+
+    #[test]
+    fn multi_epoch_threaded_runs_attribute_every_epochs_compute() {
+        // The threaded executor spawns a fresh compute thread per epoch, so
+        // `stage.train` lands on a different tid each epoch; single-tid
+        // trainer resolution dropped everything after epoch 1.
+        let t = Trace::new(Clock::virtual_manual());
+        t.record_span(spans::EPOCH, crate::NO_BATCH, 0, 100);
+        t.record_span(spans::EPOCH, crate::NO_BATCH, 100, 200);
+        let spawn = |name: &str, f: Box<dyn FnOnce(&Trace) + Send>| {
+            let t = t.clone();
+            std::thread::Builder::new()
+                .name(name.into())
+                .spawn(move || f(&t))
+                .unwrap()
+                .join()
+                .unwrap();
+        };
+        spawn(
+            "compute-e0",
+            Box::new(|t| {
+                t.record_span(spans::WARMUP, 0, 0, 10);
+                t.record_span(spans::STAGE_TRAIN, 0, 10, 90);
+            }),
+        );
+        spawn(
+            "compute-e1",
+            Box::new(|t| {
+                t.record_span(spans::STAGE_TRAIN, 1, 110, 195);
+            }),
+        );
+        let r = analyze(&t.snapshot());
+        assert_eq!(r.window_ns, 200);
+        // Both epochs' compute counted: 80 + 85.
+        assert_eq!(r.compute_ns, 165);
+        assert_eq!(r.other_ns, 35);
+        // Epoch 0 lead-in 0..10 (covered by the warm-up wait) and epoch 1
+        // lead-in 100..110 are fill; tails 90..100 + 195..200 are shutdown.
+        assert_eq!(r.fill_ns, 20);
+        assert_eq!(r.shutdown_ns, 15);
+        assert_eq!(r.idle_ns, 0);
+        assert_eq!(r.fill_ns + r.idle_ns + r.shutdown_ns, r.other_ns);
     }
 
     #[test]

@@ -254,6 +254,8 @@ pub struct ChromeTraceSummary {
     pub span_events: usize,
     /// `"i"` (instant) events.
     pub instant_events: usize,
+    /// `"C"` (counter-track) events.
+    pub counter_events: usize,
     /// `"M"` (metadata) records.
     pub metadata_events: usize,
     /// Distinct `tid`s across non-metadata events.
@@ -311,6 +313,15 @@ pub fn validate_chrome_trace(text: &str) -> Result<ChromeTraceSummary, String> {
                 }
                 tids.push(tid as i64);
             }
+            "C" => {
+                ev.get("ts")
+                    .and_then(Value::as_num)
+                    .ok_or_else(|| at("missing numeric ts"))?;
+                ev.get("args")
+                    .ok_or_else(|| at("C event missing args"))?;
+                summary.counter_events += 1;
+                tids.push(tid as i64);
+            }
             other => return Err(at(&format!("unknown ph {other:?}"))),
         }
     }
@@ -357,10 +368,12 @@ mod tests {
             let _s = t.span_batch(spans::STAGE_TRAIN, 0);
         }
         t.instant("fault.retry", NO_BATCH);
+        t.counter_track("pipe.q.compute", 3);
         let json = chrome_trace(&t.snapshot());
         let summary = validate_chrome_trace(&json).unwrap();
         assert_eq!(summary.span_events, 1);
         assert_eq!(summary.instant_events, 1);
+        assert_eq!(summary.counter_events, 1);
         assert_eq!(summary.metadata_events, 1);
         assert_eq!(summary.distinct_tids, 1);
     }

@@ -47,7 +47,9 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod blackbox;
 mod clock;
+pub mod critical_path;
 pub mod export;
 pub mod json;
 pub mod names;
@@ -56,6 +58,8 @@ mod span;
 pub mod metrics;
 
 pub use analysis::{analyze, PipelineReport, Snapshot, ThreadOccupancy};
+pub use blackbox::{Blackbox, BlackboxConfig};
 pub use clock::{Clock, VirtualClock};
+pub use critical_path::{batch_chains, BatchChain, ChainAttribution, EdgeKind, Replay, WhatIf};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, Metrics, MetricsSnapshot};
 pub use span::{EventKind, SpanEvent, SpanGuard, Trace, NO_BATCH};

@@ -4,16 +4,21 @@
 //! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc`-wrapped
 //! atomics: look one up once (a short registry lock), then update it on the
 //! hot path with plain atomic operations — no locks, no allocation.
-//! Histograms use log-linear buckets (4 sub-buckets per octave, exact below
-//! 8 ns) so p50/p95/p99 estimates stay within ~12% of the true quantile
-//! across the full nanosecond-to-minutes range with a fixed 256-slot table.
+//! Histograms use log-linear buckets (16 sub-buckets per octave, exact
+//! below 64 ns) so p50/p95/p99 estimates stay within 1/16 (6.25%) of the
+//! true quantile across the full nanosecond-to-minutes range with a fixed
+//! 992-slot table. The finer resolution matters for small-count
+//! distributions: with 4 sub-buckets per octave, a cluster of ~2 µs batch
+//! times all landed in one 256 ns-wide bucket and p50/p95/p99 collapsed to
+//! the same floor.
 
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// Number of histogram buckets (covers the full `u64` range).
-pub const HIST_BUCKETS: usize = 252;
+/// Number of histogram buckets (covers the full `u64` range): 64 exact
+/// buckets below 64, then 16 sub-buckets per octave for msb 6..=63.
+pub const HIST_BUCKETS: usize = 992;
 
 /// A monotonically increasing counter.
 #[derive(Clone, Debug, Default)]
@@ -69,25 +74,26 @@ impl Gauge {
 
 /// Maps a value to its log-linear bucket index.
 ///
-/// Values below 8 get exact buckets; above that, each power of two is split
-/// into 4 sub-buckets keyed by the two bits after the leading one.
+/// Values below 64 get exact buckets; above that, each power of two is
+/// split into 16 sub-buckets keyed by the four bits after the leading one,
+/// bounding the floor's relative error by 1/16.
 fn bucket_index(v: u64) -> usize {
-    if v < 8 {
+    if v < 64 {
         return v as usize;
     }
-    let msb = 63 - v.leading_zeros() as u64; // >= 3
-    let sub = (v >> (msb - 2)) & 0b11;
-    (8 + (msb - 3) * 4 + sub) as usize
+    let msb = 63 - v.leading_zeros() as u64; // >= 6
+    let sub = (v >> (msb - 4)) & 0b1111;
+    (64 + (msb - 6) * 16 + sub) as usize
 }
 
 /// The smallest value that maps to bucket `i` (inverse of [`bucket_index`]).
 fn bucket_floor(i: usize) -> u64 {
-    if i < 8 {
+    if i < 64 {
         return i as u64;
     }
-    let msb = 3 + (i as u64 - 8) / 4;
-    let sub = (i as u64 - 8) % 4;
-    (1u64 << msb) | (sub << (msb - 2))
+    let msb = 6 + (i as u64 - 64) / 16;
+    let sub = (i as u64 - 64) % 16;
+    (1u64 << msb) | (sub << (msb - 4))
 }
 
 /// A fixed-bucket log-scale histogram (lock-free updates).
@@ -275,7 +281,7 @@ mod tests {
 
     #[test]
     fn bucket_index_and_floor_are_consistent() {
-        for v in [0u64, 1, 5, 7, 8, 9, 15, 16, 100, 1_000, 123_456, u64::MAX / 2] {
+        for v in [0u64, 1, 5, 7, 8, 9, 15, 16, 63, 64, 65, 100, 1_000, 123_456, u64::MAX / 2] {
             let i = bucket_index(v);
             assert!(bucket_floor(i) <= v, "floor({i}) <= {v}");
             if i + 1 < HIST_BUCKETS {
@@ -321,6 +327,49 @@ mod tests {
         assert_eq!(snap.gauges, vec![("g".to_string(), 7)]);
         assert_eq!(snap.histogram("h").unwrap().count, 1);
         assert_eq!(snap.counter("absent"), 0);
+    }
+
+    #[test]
+    fn relative_error_is_bounded_by_one_sixteenth() {
+        // Exact below 64; above, the bucket floor underestimates by at most
+        // v/16 (the 4 sub-bucket bits preserve the top 5 significant bits).
+        let mut v = 1u64;
+        while v < u64::MAX / 3 {
+            for x in [v, v + 1, v * 3 / 2, v * 2 - 1] {
+                let f = bucket_floor(bucket_index(x));
+                assert!(f <= x, "floor {f} > value {x}");
+                if x < 64 {
+                    assert_eq!(f, x, "exact range must be exact");
+                } else {
+                    let err = (x - f) as f64;
+                    assert!(err <= x as f64 / 16.0, "err {err} > {x}/16");
+                }
+            }
+            v = v.saturating_mul(2);
+        }
+    }
+
+    #[test]
+    fn small_count_distributions_keep_distinct_percentiles() {
+        // A tight cluster of ~2 µs values: with the old 4-sub-bucket table,
+        // 1800/1900/2000 all landed in the single 1792..2047 bucket and
+        // p50/p95/p99 collapsed to the same floor (the BENCH prep_batch
+        // defect). The 16-sub-bucket table keeps them distinct.
+        let h = Histogram::default();
+        for _ in 0..90 {
+            h.observe(1_800);
+        }
+        for _ in 0..8 {
+            h.observe(1_900);
+        }
+        for _ in 0..2 {
+            h.observe(2_000);
+        }
+        let (p50, p95, p99) = h.snapshot().percentiles();
+        assert_eq!(p50, 1_792, "p50 {p50}");
+        assert_eq!(p95, 1_856, "p95 {p95}");
+        assert_eq!(p99, 1_984, "p99 {p99}");
+        assert!(p50 < p95 && p95 < p99, "percentiles must be distinct");
     }
 
     #[test]

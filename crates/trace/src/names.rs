@@ -54,6 +54,13 @@ pub mod spans {
     pub const BENCH_SAMPLE_PYG: &str = "bench.sample_pyg";
     /// Bench harness: one SALIENT fast-sampler pass.
     pub const BENCH_SAMPLE_FAST: &str = "bench.sample_fast";
+    /// A stage-graph producer blocked pushing into a full bounded queue
+    /// (backpressure edge in the per-batch causal chain).
+    pub const PIPE_SEND: &str = "pipe.send";
+    /// One DDP ring-link send (causal edge: this rank → next rank).
+    pub const DDP_RING_SEND: &str = "ddp.ring_send";
+    /// One DDP ring-link receive (causal edge: previous rank → this rank).
+    pub const DDP_RING_RECV: &str = "ddp.ring_recv";
 
     /// Every span name — the exporter's known-name list.
     pub const ALL: &[&str] = &[
@@ -76,6 +83,9 @@ pub mod spans {
         WARMUP,
         BENCH_SAMPLE_PYG,
         BENCH_SAMPLE_FAST,
+        PIPE_SEND,
+        DDP_RING_SEND,
+        DDP_RING_RECV,
     ];
 }
 
@@ -134,6 +144,8 @@ pub mod counters {
     pub const SERVE_RESPAWNS: &str = "serve.respawns";
     /// Items dropped by a caught panic inside a stage-graph executor stage.
     pub const PIPE_STAGE_PANICS: &str = "pipe.stage_panics";
+    /// Flight-recorder dumps written by the blackbox exporter.
+    pub const BLACKBOX_DUMPS: &str = "blackbox.dumps";
 
     /// Every counter name — the exporter's known-name list.
     pub const ALL: &[&str] = &[
@@ -162,6 +174,7 @@ pub mod counters {
         SERVE_BREAKER_OPENS,
         SERVE_RESPAWNS,
         PIPE_STAGE_PANICS,
+        BLACKBOX_DUMPS,
     ];
 }
 
@@ -237,6 +250,8 @@ pub mod events {
     /// A stage-graph run exceeded its panic budget (or a stage returned a
     /// fatal outcome) and stopped pulling new work.
     pub const PIPE_POISONED: &str = "pipe.poisoned";
+    /// The flight recorder wrote a blackbox dump (payload: triggering batch).
+    pub const BLACKBOX_DUMP: &str = "blackbox.dump";
 
     /// Every event name — the exporter's known-name list.
     pub const ALL: &[&str] = &[
@@ -252,5 +267,6 @@ pub mod events {
         SERVE_BREAKER_CLOSE,
         PIPE_STAGE_PANIC,
         PIPE_POISONED,
+        BLACKBOX_DUMP,
     ];
 }

@@ -15,6 +15,7 @@
 //! flush automatically on exit.
 
 use crate::analysis::Snapshot;
+use crate::blackbox::{Blackbox, BlackboxConfig, BlackboxInner, Shard};
 use crate::clock::Clock;
 use crate::metrics::{Counter, Gauge, Histogram, Metrics};
 use std::cell::RefCell;
@@ -34,10 +35,13 @@ pub enum EventKind {
     Span,
     /// A point event (retry, respawn, failure marker).
     Instant,
+    /// A sampled counter-track value (queue depth over time); the sampled
+    /// value rides in the `batch` field and `start_ns == end_ns`.
+    Counter,
 }
 
 /// One recorded event.
-#[derive(Clone, Debug)]
+#[derive(Clone, Copy, Debug)]
 pub struct SpanEvent {
     /// Event name (one of [`crate::names::spans`] / [`crate::names::events`]
     /// for pipeline code; free-form `&'static str` otherwise).
@@ -47,7 +51,8 @@ pub struct SpanEvent {
     /// Small dense id of the recording thread (index into the snapshot's
     /// thread-name table).
     pub tid: u32,
-    /// Associated batch id, or [`NO_BATCH`].
+    /// Associated batch id, or [`NO_BATCH`]; for [`EventKind::Counter`]
+    /// events this field carries the sampled value instead.
     pub batch: u64,
     /// Start timestamp (clock nanoseconds).
     pub start_ns: u64,
@@ -70,6 +75,9 @@ pub(crate) struct TraceInner {
     /// Thread-name table; a thread's tid is its index here.
     threads: Mutex<Vec<String>>,
     metrics: Metrics,
+    /// Flight recorder, when attached: per-thread bounded rings of the most
+    /// recent events, dumped on faults (see [`crate::blackbox`]).
+    blackbox: Option<Arc<BlackboxInner>>,
 }
 
 fn lock_tolerant<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -83,6 +91,20 @@ struct ThreadBuf {
     inner: Arc<TraceInner>,
     tid: u32,
     buf: Vec<SpanEvent>,
+    /// This thread's flight-recorder ring, when a blackbox is attached.
+    shard: Option<Arc<Shard>>,
+}
+
+/// Builds the calling thread's buffer for `inner`, registering the thread
+/// and (when a blackbox is attached) its flight-recorder ring shard.
+fn new_thread_buf(inner: &Arc<TraceInner>) -> ThreadBuf {
+    let tid = register_thread(inner);
+    ThreadBuf {
+        inner: Arc::clone(inner),
+        tid,
+        buf: Vec::with_capacity(FLUSH_EVERY),
+        shard: inner.blackbox.as_ref().map(|bb| bb.register_shard(tid)),
+    }
 }
 
 impl ThreadBuf {
@@ -127,12 +149,7 @@ fn record(inner: &Arc<TraceInner>, mut make: impl FnMut(u32) -> SpanEvent) {
             // lint: allow(panic-reachability, i comes from position() on the same bufs vec one line up)
             Some(i) => &mut bufs[i],
             None => {
-                let tid = register_thread(inner);
-                bufs.push(ThreadBuf {
-                    inner: Arc::clone(inner),
-                    tid,
-                    buf: Vec::with_capacity(FLUSH_EVERY),
-                });
+                bufs.push(new_thread_buf(inner));
                 let last = bufs.len() - 1;
                 &mut bufs[last]
             }
@@ -141,6 +158,11 @@ fn record(inner: &Arc<TraceInner>, mut make: impl FnMut(u32) -> SpanEvent) {
         entry.buf.push(ev);
         if entry.buf.len() >= FLUSH_EVERY {
             entry.flush();
+        }
+        // Mirror into the flight-recorder ring after the buffer push so the
+        // two never hold their locks at once (acyclic lock order).
+        if let Some(shard) = &entry.shard {
+            shard.write(ev);
         }
     });
     if pushed.is_err() {
@@ -186,8 +208,32 @@ impl Trace {
                 events: Mutex::new(Vec::new()),
                 threads: Mutex::new(Vec::new()),
                 metrics: Metrics::default(),
+                blackbox: None,
             })),
         }
+    }
+
+    /// An enabled handle with an attached flight recorder: every recorded
+    /// event is also mirrored into a bounded per-thread ring that the
+    /// [`Blackbox`] can dump on faults (see [`crate::blackbox`]).
+    pub fn with_blackbox(clock: Clock, cfg: BlackboxConfig) -> Trace {
+        Trace {
+            inner: Some(Arc::new(TraceInner {
+                // Relaxed: the id only needs uniqueness, not ordering.
+                id: NEXT_TRACE_ID.fetch_add(1, Ordering::Relaxed),
+                clock,
+                events: Mutex::new(Vec::new()),
+                threads: Mutex::new(Vec::new()),
+                metrics: Metrics::default(),
+                blackbox: Some(Arc::new(BlackboxInner::new(cfg))),
+            })),
+        }
+    }
+
+    /// The attached flight recorder, if this handle has one.
+    pub fn blackbox(&self) -> Option<Blackbox> {
+        let inner = self.inner.as_ref()?;
+        inner.blackbox.as_ref().map(|bb| Blackbox::from_inner(Arc::clone(bb)))
     }
 
     /// The null handle: every operation is a no-op and the span fast path
@@ -306,6 +352,23 @@ impl Trace {
         }
     }
 
+    /// Records a timestamped counter-track sample (exported as a Chrome
+    /// `"C"` counter event, e.g. queue depth over time). The sampled value
+    /// rides in the event's `batch` field.
+    pub fn counter_track(&self, name: &'static str, value: u64) {
+        if let Some(inner) = &self.inner {
+            let now = inner.clock.now_ns();
+            record(inner, |tid| SpanEvent {
+                name,
+                kind: EventKind::Counter,
+                tid,
+                batch: value,
+                start_ns: now,
+                end_ns: now,
+            });
+        }
+    }
+
     /// Registers the calling thread (idempotent) and returns its dense id,
     /// or `None` for a disabled handle.
     pub fn current_tid(&self) -> Option<u32> {
@@ -316,13 +379,9 @@ impl Trace {
             if let Some(b) = bufs.iter().find(|b| b.inner.id == inner.id) {
                 tid = Some(b.tid);
             } else {
-                let t = register_thread(inner);
-                bufs.push(ThreadBuf {
-                    inner: Arc::clone(inner),
-                    tid: t,
-                    buf: Vec::with_capacity(FLUSH_EVERY),
-                });
-                tid = Some(t);
+                let b = new_thread_buf(inner);
+                tid = Some(b.tid);
+                bufs.push(b);
             }
         });
         tid

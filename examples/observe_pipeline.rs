@@ -27,10 +27,12 @@
 use salient_repro::bench::harness::{write_json, Json};
 use salient_repro::core::{ExecutorKind, RunConfig, Trainer};
 use salient_repro::graph::DatasetConfig;
+use salient_repro::pipeline::shape;
 use salient_repro::tensor::pool;
+use salient_repro::trace::critical_path::{batch_chains, summarize, Replay};
 use salient_repro::trace::export::{chrome_trace, metrics_json, render_report};
 use salient_repro::trace::json::validate_chrome_trace;
-use salient_repro::trace::{analyze, names, Clock, Trace};
+use salient_repro::trace::{analyze, names, BlackboxConfig, Clock, Trace};
 use std::sync::Arc;
 
 /// Threaded-schedule overlap measurement on the real clock. Returns the
@@ -106,8 +108,10 @@ fn overlap_run() -> (Json, f64) {
 fn main() {
     // A virtual clock that advances 1µs per read: the run is scheduled by
     // real threads but every timestamp comes from the registry's clock, so
-    // the exported artifacts are structurally identical run-to-run.
-    let trace = Trace::new(Clock::virtual_with_tick(1_000));
+    // the exported artifacts are structurally identical run-to-run. The
+    // attached flight recorder mirrors every event into bounded per-thread
+    // rings (dumped only on faults — none here, so it must stay silent).
+    let trace = Trace::with_blackbox(Clock::virtual_with_tick(1_000), BlackboxConfig::default());
     let dataset = Arc::new(DatasetConfig::tiny(3).build());
     let run = RunConfig {
         executor: ExecutorKind::Salient,
@@ -115,6 +119,7 @@ fn main() {
         num_workers: 2,
         ..RunConfig::test_tiny()
     };
+    let prefetch = 2 * run.num_workers;
     let mut trainer = Trainer::with_trace(Arc::clone(&dataset), run, trace.clone());
     for stats in trainer.fit() {
         println!(
@@ -208,6 +213,47 @@ fn main() {
             None => Json::Obj(vec![("count".into(), Json::Num(0.0))]),
         }
     };
+    // Per-batch causal chains: charge every nanosecond of every batch's
+    // latency to a named category, then project what doubling the compute
+    // stage's speed would buy (the what-if answer CI cross-checks against
+    // the sim plane in tests/critical_path.rs).
+    let chains = batch_chains(&snap);
+    let attr = summarize(&chains);
+    let chain_total = attr.total_ns.max(1);
+    let cat_pct: Vec<(String, Json)> = attr
+        .categories()
+        .iter()
+        .map(|(label, ns)| {
+            (
+                (*label).to_string(),
+                Json::Num(100.0 * *ns as f64 / chain_total as f64),
+            )
+        })
+        .collect();
+    // `queued` is the only residual bucket (no recorded span active); the
+    // acceptance bar is >= 90% of chain time under named categories.
+    let queued_pct = 100.0 * attr.queued_ns as f64 / chain_total as f64;
+    let named_pct = 100.0 - queued_pct;
+    assert!(
+        named_pct >= 90.0,
+        "critical path must attribute >= 90% of chain time to named \
+         categories, got {named_pct:.1}% (queued {queued_pct:.1}%)"
+    );
+    let what_if = Replay::from_snapshot(&snap, shape::TRANSFER_QUEUE_CAP, prefetch)
+        .map(|r| r.what_if(2, 2.0));
+    if let Some(w) = &what_if {
+        println!(
+            "what-if train 2x: baseline {:.3} ms -> projected {:.3} ms (speedup {:.2}x)",
+            w.baseline_ns as f64 / 1e6,
+            w.projected_ns as f64 / 1e6,
+            w.speedup
+        );
+    }
+    // No fault fired in this run, so the always-on flight recorder must not
+    // have dumped anything.
+    let dumps = snap.metrics.counter(names::counters::BLACKBOX_DUMPS);
+    assert_eq!(dumps, 0, "clean run must not trigger a blackbox dump");
+
     let doc = Json::Obj(vec![
         ("bench".into(), Json::Str("pipeline_observability".into())),
         ("clock".into(), Json::Str("virtual(tick=1us)".into())),
@@ -217,7 +263,34 @@ fn main() {
                 ("prep".into(), Json::Num(pcts[0])),
                 ("transfer".into(), Json::Num(pcts[1])),
                 ("train".into(), Json::Num(pcts[2])),
-                ("other".into(), Json::Num(pcts[3])),
+                // `other` decomposed into its named parts (they sum to it
+                // exactly, so the six shares still partition the window).
+                ("fill".into(), Json::Num(report.pct(report.fill_ns))),
+                ("idle".into(), Json::Num(report.pct(report.idle_ns))),
+                (
+                    "shutdown".into(),
+                    Json::Num(report.pct(report.shutdown_ns)),
+                ),
+            ]),
+        ),
+        (
+            "critical_path".into(),
+            Json::Obj(vec![
+                ("batches".into(), Json::Num(chains.len() as f64)),
+                ("total_ns".into(), Json::Num(attr.total_ns as f64)),
+                ("named_pct".into(), Json::Num(named_pct)),
+                ("categories_pct".into(), Json::Obj(cat_pct)),
+                (
+                    "what_if_train_2x".into(),
+                    match &what_if {
+                        Some(w) => Json::Obj(vec![
+                            ("baseline_ns".into(), Json::Num(w.baseline_ns as f64)),
+                            ("projected_ns".into(), Json::Num(w.projected_ns as f64)),
+                            ("speedup".into(), Json::Num(w.speedup)),
+                        ]),
+                        None => Json::Obj(vec![]),
+                    },
+                ),
             ]),
         ),
         ("window_ns".into(), Json::Num(report.window_ns as f64)),

@@ -54,6 +54,18 @@ cargo run -q --release --offline --example observe_pipeline
 test -s BENCH_pipeline.json
 test -s target/trace_pipeline.json
 test -s target/metrics_pipeline.json
+# The critical-path section is the profiler's acceptance gate: >= 90% of
+# every batch's chain extent charged to named causal categories (the
+# example itself asserts this; CI re-checks the artifact survived).
+grep -q '"critical_path"' BENCH_pipeline.json
+grep -q '"named_pct"' BENCH_pipeline.json
+# Flight-recorder overhead gate: the counting-allocator suite proves the
+# always-on recorder adds zero steady-state allocations per event.
+cargo test -q --offline --test trace_overhead
+# What-if-vs-sim gate: the replay projector and the discrete-event sim
+# must agree on the Pipelined schedule's makespan (and on a faster-GPU
+# what-if) within 10%, on the same shape constants.
+cargo test -q --offline --test critical_path
 
 echo "== pipeline tier: threaded stage-graph overlap (SALIENT_NUM_THREADS=3)"
 # Rerun the observability binary with an explicit thread budget that

@@ -1,0 +1,76 @@
+//! Cross-plane validation of the what-if projector: replaying recorded
+//! causal chains under the pipeline's structural constraints (bounded
+//! transfer queue, prefetch depth, worker lanes) must agree with the sim
+//! plane's independent discrete-event schedule on the same shape constants.
+//! This is the CI gate for the profiler's central promise — a what-if
+//! projection is trustworthy because an unrelated model of the same
+//! pipeline predicts the same makespan, within 10%.
+
+use salient_repro::graph::DatasetStats;
+use salient_repro::sim::{
+    pipelined_shape_ns, simulate_epoch, CostModel, EpochConfig, OptLevel, PipelinedShapeNs,
+};
+use salient_repro::trace::Replay;
+
+/// The 3-stage uniform replay on the sim plane's shape constants.
+fn replay_for(sh: &PipelinedShapeNs) -> Replay {
+    Replay::uniform(
+        &[("prep", sh.workers), ("transfer", 1), ("train", 1)],
+        &[sh.prep_ns, sh.transfer_ns, sh.train_ns],
+        sh.batches,
+        sh.queue_cap,
+        sh.prefetch,
+    )
+}
+
+fn pct_diff(a: f64, b: f64) -> f64 {
+    100.0 * (a - b).abs() / b
+}
+
+#[test]
+fn replay_makespan_matches_the_sim_plane_within_ten_percent() {
+    let model = CostModel::paper_hardware();
+    for stats in [DatasetStats::arxiv(), DatasetStats::products()] {
+        let name = stats.name;
+        let cfg = EpochConfig::paper_default(stats, OptLevel::Pipelined);
+        let sh = pipelined_shape_ns(&cfg, &model);
+        let replay_ns = replay_for(&sh).makespan_ns() as f64;
+        let sim_ns = simulate_epoch(&cfg, &model).epoch_s * 1e9;
+        let diff = pct_diff(replay_ns, sim_ns);
+        assert!(
+            diff <= 10.0,
+            "{name}: replay {replay_ns:.3e} ns vs sim {sim_ns:.3e} ns ({diff:.1}% apart)"
+        );
+    }
+}
+
+#[test]
+fn what_if_projection_matches_rerunning_the_sim_with_the_faster_stage() {
+    let model = CostModel::paper_hardware();
+    let cfg = EpochConfig::paper_default(DatasetStats::arxiv(), OptLevel::Pipelined);
+    let sh = pipelined_shape_ns(&cfg, &model);
+
+    // Double the GPU's throughput in the sim's cost model; the resulting
+    // per-batch train-duration ratio is the exact speed-up factor to feed
+    // the replay projector (per-batch overheads keep it below 2x).
+    let mut fast = model.clone();
+    fast.gpu_flops *= 2.0;
+    let sh_fast = pipelined_shape_ns(&cfg, &fast);
+    assert!(sh_fast.train_ns < sh.train_ns, "faster GPU must shorten train");
+    let factor = sh.train_ns as f64 / sh_fast.train_ns as f64;
+
+    let w = replay_for(&sh).what_if(2, factor);
+    assert!(w.speedup >= 1.0, "speeding a stage can never slow the run");
+    let sim_fast_ns = simulate_epoch(&cfg, &fast).epoch_s * 1e9;
+    let diff = pct_diff(w.projected_ns as f64, sim_fast_ns);
+    assert!(
+        diff <= 10.0,
+        "projected {:.3e} ns vs faster-GPU sim {sim_fast_ns:.3e} ns ({diff:.1}% apart)",
+        w.projected_ns as f64
+    );
+
+    // And the baseline leg of the same what-if still matches the unmodified
+    // sim, so the projection's delta is anchored at both ends.
+    let sim_ns = simulate_epoch(&cfg, &model).epoch_s * 1e9;
+    assert!(pct_diff(w.baseline_ns as f64, sim_ns) <= 10.0);
+}

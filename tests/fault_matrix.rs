@@ -327,6 +327,96 @@ fn transfer_stage_drop_fault_skips_the_batch_silently_but_accounted() {
     assert_eq!(snap.count(names::events::PIPE_POISONED), 0);
 }
 
+#[test]
+fn pipeline_poison_dumps_the_flight_recorder_with_the_failing_chain() {
+    let _s = serial();
+    use salient_repro::core::Trainer;
+    use salient_repro::trace::BlackboxConfig;
+    // Every transfer attempt panics: the third exceeds the graph's panic
+    // budget (2) and poisons the pipeline. A run with an attached flight
+    // recorder must leave a parseable post-mortem dump on disk carrying
+    // the poisoning batch's causal chain.
+    let ds = dataset();
+    let dir = std::env::temp_dir().join("salient_fault_matrix_blackbox");
+    std::fs::remove_dir_all(&dir).ok();
+    let trace = Trace::with_blackbox(
+        Clock::virtual_with_tick(1_000),
+        BlackboxConfig {
+            capacity: 1024,
+            dir: dir.to_string_lossy().into_owned(),
+        },
+    );
+    let run = RunConfig {
+        epochs: 1,
+        batch_size: 32,
+        ..RunConfig::test_tiny()
+    };
+    let _guard = fault::scoped(FaultPlan::new(43).with_spec(FaultSpec {
+        site: sites::PIPE_TRANSFER.to_string(),
+        kind: FaultKind::Panic,
+        trigger: Trigger::Always,
+        budget: None,
+    }));
+    let mut trainer = Trainer::with_trace(Arc::clone(&ds), run, trace.clone());
+    let _stats = trainer.fit();
+    // The attached-blackbox trainer also installs a global fire observer;
+    // detach it so later tests in this serialized binary are unaffected.
+    fault::set_fire_observer(None);
+
+    let snap = trace.snapshot();
+    assert!(
+        snap.count(names::events::PIPE_POISONED) >= 1,
+        "an over-budget panic storm must poison the pipeline"
+    );
+    assert!(
+        snap.metrics.counter(names::counters::BLACKBOX_DUMPS) >= 1,
+        "poisoning must dump the flight recorder"
+    );
+    let bb = trace.blackbox().expect("recorder attached at construction");
+    assert!(bb.last_dump().is_some());
+
+    // Find the poison dump (earlier fire-observer dumps share the dir) and
+    // check it post-mortem: valid JSON, poison reason, the failing batch's
+    // chain reconstructed from the rings.
+    use salient_repro::trace::json::parse;
+    let mut poison_dump = None;
+    for entry in std::fs::read_dir(&dir).expect("dump dir exists") {
+        let text = std::fs::read_to_string(entry.unwrap().path()).unwrap();
+        let doc = parse(&text).expect("every dump must be valid JSON");
+        let meta = doc.get("blackbox").expect("dump carries trigger metadata");
+        if meta.get("reason").and_then(|r| r.as_str())
+            == Some(names::events::PIPE_POISONED)
+        {
+            poison_dump = Some(doc);
+        }
+    }
+    let doc = poison_dump.expect("one dump must record the poison trigger");
+    let meta = doc.get("blackbox").unwrap();
+    // Budget 2: the third panicking *arrival* poisons. Prep workers race,
+    // so that arrival's batch id varies — but it is always a real batch of
+    // the epoch, and the dump must carry its chain.
+    let poisoned_batch = meta
+        .get("batch")
+        .unwrap()
+        .as_num()
+        .expect("dump records the poisoning batch");
+    assert!(
+        poisoned_batch >= 0.0 && poisoned_batch < expected_batches() as f64,
+        "poisoning batch {poisoned_batch} out of range"
+    );
+    let chain = doc.get("chain").unwrap().as_arr().unwrap();
+    assert!(
+        !chain.is_empty(),
+        "the dump must carry the failing batch's causal chain"
+    );
+    for edge in chain {
+        assert!(edge.get("kind").unwrap().as_str().is_some());
+        assert!(edge.get("start_ns").unwrap().as_num().is_some());
+    }
+    assert!(doc.get("trace").unwrap().get("traceEvents").is_some());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 fn ddp_cfg() -> RunConfig {
     RunConfig {
         epochs: 1,

@@ -99,3 +99,39 @@ fn enabled_tracing_amortizes_event_allocations() {
         after - before
     );
 }
+
+#[test]
+fn flight_recorder_steady_state_costs_no_extra_allocations() {
+    // The always-on flight recorder must be cheap enough to leave attached
+    // in production: its per-thread rings are fully preallocated at thread
+    // registration, so the steady-state mirror write is an index assignment.
+    // Same amortized bound as plain enabled tracing — the recorder adds
+    // zero allocations per event once the thread is registered.
+    let trace = salient_repro::trace::Trace::with_blackbox(
+        salient_repro::trace::Clock::virtual_with_tick(10),
+        salient_repro::trace::BlackboxConfig {
+            capacity: 4096,
+            dir: "target/blackbox-overhead-test".to_string(),
+        },
+    );
+    // Warm up: registers this thread (allocating its ring) and faults in
+    // the thread-local buffer before the measured window.
+    for batch in 0..64u64 {
+        let _span = trace.span_batch(spans::WARMUP, batch);
+    }
+    let before = allocations();
+    for batch in 0..1_000u64 {
+        let _span = trace.span_batch(spans::STAGE_PREP, batch);
+    }
+    let after = allocations();
+    assert!(
+        after - before < 100,
+        "flight recorder must not allocate at steady state, got {} allocations",
+        after - before
+    );
+    // The ring really captured the window (overwrite-oldest, so the most
+    // recent events are present).
+    let bb = trace.blackbox().expect("recorder attached");
+    let recent = bb.recent_events();
+    assert!(recent.iter().any(|e| e.batch == 999));
+}
